@@ -1,0 +1,67 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures in quick
+mode and asserts its qualitative *shape* (orderings, crossovers, signs of
+effects).  ``benchmark.pedantic(..., rounds=1)`` is used throughout:
+the interesting measurement is the single regeneration time, and
+re-running multi-minute experiments for timing statistics would be
+wasteful.  Trained pipelines are cached across benchmarks via
+``repro.experiments.common``, so the first learned benchmark pays the
+training cost and the rest reuse it.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+#: Results recorded by the benchmarks, for the EXPERIMENTS.md report.
+_RECORDED = {}
+_ELAPSED = {}
+
+
+@pytest.fixture(scope="session")
+def run_quick():
+    """Run one experiment module in quick mode (shared helper)."""
+
+    def _run(module, **kwargs):
+        return module.run(quick=True, **kwargs)
+
+    return _run
+
+
+@pytest.fixture()
+def record():
+    """Collect an ExperimentResult for the end-of-session report."""
+
+    def _record(result, elapsed_s: float = None):
+        _RECORDED[result.experiment_id] = result
+        _ELAPSED[result.experiment_id] = (
+            elapsed_s if elapsed_s is not None else 0.0
+        )
+
+    return _record
+
+
+@pytest.fixture()
+def timed_run(record):
+    """Run an experiment in quick mode, time it, and record the result."""
+
+    def _run(module, **kwargs):
+        start = time.time()
+        result = module.run(quick=True, **kwargs)
+        record(result, time.time() - start)
+        return result
+
+    return _run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write EXPERIMENTS.md from whatever the benchmarks regenerated."""
+    if not _RECORDED:
+        return
+    from repro.experiments.report import render_markdown
+
+    path = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    path.write_text(render_markdown(_RECORDED, _ELAPSED, quick=True))
+    print(f"\n[benchmarks] wrote {path} from {len(_RECORDED)} experiment results")

@@ -1,0 +1,56 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+from repro.experiments import ablations
+
+
+def test_bench_ablation_theta(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: ablations.run_theta(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    by_theta = {row["theta"]: row["kar"] for row in result.rows}
+    # Removing the BCE term (theta = 1) collapses the quantization head.
+    assert by_theta[1.0] < 0.65
+    # The paper's theta = 0.9 materially beats the untrained head.
+    assert by_theta[0.9] > by_theta[1.0] + 0.15
+
+
+def test_bench_ablation_bloom(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: ablations.run_bloom(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    rows = {row["variant"]: row for row in result.rows}
+    # Position preservation: correction quality unchanged (within noise).
+    assert (
+        abs(
+            rows["with-bloom"]["reconciled_agreement"]
+            - rows["no-bloom"]["reconciled_agreement"]
+        )
+        < 0.05
+    )
+
+
+def test_bench_ablation_architecture(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: ablations.run_architecture(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    rows = {row["cell"]: row for row in result.rows}
+    # The bidirectional encoder has the most parameters and should not be
+    # worse than the unidirectional arms (the paper's choice).
+    assert rows["bilstm"]["parameters"] > rows["lstm"]["parameters"]
+    assert rows["gru"]["parameters"] < rows["lstm"]["parameters"]
+    assert rows["bilstm"]["kar"] >= max(rows["lstm"]["kar"], rows["gru"]["kar"]) - 0.03
+
+
+def test_bench_ablation_quantizer(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: ablations.run_quantizer(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    rows = {row["quantizer"]: row for row in result.rows}
+    # Multi-bit doubles the extracted bits per window...
+    assert rows["multi-bit-2"]["bits_per_window"] == 2 * rows["mean-threshold"]["bits_per_window"]
+    # ...at a bounded agreement cost.
+    assert rows["multi-bit-2"]["kar"] > rows["mean-threshold"]["kar"] - 0.15

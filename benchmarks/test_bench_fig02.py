@@ -1,0 +1,25 @@
+"""Fig. 2 benchmark: feasibility (correlation vs data rate and speed)."""
+
+import numpy as np
+
+from repro.experiments import fig02_feasibility
+
+
+def test_bench_fig02(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig02_feasibility.run(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    rate_rows = [r for r in result.rows if r["panel"] == "a:data-rate"]
+    speed_rows = [r for r in result.rows if r["panel"] == "b:speed"]
+
+    # Shape (a): the slowest data rates correlate materially worse than the
+    # fastest ones (paper: monotone rise).
+    slow = np.mean([r["correlation"] for r in rate_rows[:3]])
+    fast = np.mean([r["correlation"] for r in rate_rows[-3:]])
+    assert fast > slow + 0.15
+
+    # Shape (b): low speeds correlate better than high speeds.
+    low = np.mean([r["correlation"] for r in speed_rows[:3]])
+    high = np.mean([r["correlation"] for r in speed_rows[-3:]])
+    assert low > high

@@ -1,0 +1,16 @@
+"""Fig. 3 benchmark: pRSSI vs arRSSI correlation per scenario."""
+
+from repro.experiments import fig03_prssi_vs_rrssi
+
+
+def test_bench_fig03(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig03_prssi_vs_rrssi.run(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    assert len(result.rows) == 4
+    for row in result.rows:
+        # Paper shape: the register-RSSI feature beats packet RSSI in
+        # every scenario, by a wide margin.
+        assert row["arrssi_correlation"] > row["prssi_correlation"] + 0.1
+        assert row["arrssi_correlation"] > 0.75

@@ -1,0 +1,16 @@
+"""Fig. 4 benchmark: register-RSSI structure within one probing round."""
+
+from repro.experiments import fig04_register_trace
+
+
+def test_bench_fig04(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig04_register_trace.run(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    values = {row["statistic"]: row["value"] for row in result.rows}
+    # The packet average hides real within-packet variation...
+    assert values["within-packet register spread (dB)"] > 1.0
+    # ...and only the adjacent boundary windows track each other.
+    assert values["adjacent-window correlation"] > 0.5
+    assert values["adjacent-window correlation"] > values["far-window correlation"] + 0.3

@@ -1,0 +1,16 @@
+"""Fig. 9 benchmark: arRSSI window-percentage sweep."""
+
+from repro.experiments import fig09_arrssi_window
+
+
+def test_bench_fig09(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig09_arrssi_window.run(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    by_percent = {row["window_percent"]: row["correlation"] for row in result.rows}
+    best = max(by_percent, key=by_percent.get)
+    # Paper shape: rise-then-fall with an interior peak near 10%.
+    assert 5 <= best <= 20
+    assert by_percent[best] > by_percent[2]
+    assert by_percent[best] > by_percent[80]

@@ -1,0 +1,18 @@
+"""Fig. 11 benchmark: AE reconciliation decoder-width sweep vs CS."""
+
+from repro.experiments import fig11_reconciliation
+
+
+def test_bench_fig11(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig11_reconciliation.run(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    rows = {row["method"]: row for row in result.rows}
+    # Paper shape: AE agreement grows with decoder width...
+    assert rows["AE-128"]["agreement"] >= rows["AE-16"]["agreement"]
+    # ...the wide AEs beat the CS baseline...
+    assert rows["AE-128"]["agreement"] >= rows["CS (20x64)"]["agreement"] - 0.01
+    # ...and AE decoding is cheaper than iterative CS decoding (wall-clock
+    # comparison, so allow slack for CPU contention on loaded hosts).
+    assert rows["AE-64"]["decode_ms"] < rows["CS (20x64)"]["decode_ms"] * 1.5

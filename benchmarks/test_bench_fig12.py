@@ -1,0 +1,30 @@
+"""Fig. 12 benchmark: key agreement rate comparison against baselines."""
+
+import numpy as np
+
+from repro.experiments import fig12_13_comparison
+
+
+def test_bench_fig12(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig12_13_comparison.run(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    by_scenario = {}
+    for row in result.rows:
+        by_scenario.setdefault(row["scenario"], {})[row["system"]] = row
+    assert len(by_scenario) == 4
+    vk_values, gao_values = [], []
+    for scenario, systems in by_scenario.items():
+        vk = systems["Vehicle-Key"]["kar"]
+        vk_values.append(vk)
+        gao_values.append(systems["Gao et al."]["kar"])
+        assert vk > 0.9
+        # Paper shape: Vehicle-Key clearly beats the pRSSI systems in
+        # every scenario.
+        assert vk > systems["LoRa-Key"]["kar"]
+        assert vk > systems["Han et al."]["kar"] - 0.01
+    # Gao et al. is the closest competitor (paper: 15.10 pp behind); at
+    # quick scale its handful of smoothed blocks can tie Vehicle-Key, so
+    # compare means with a small tolerance rather than per-scenario wins.
+    assert np.mean(vk_values) >= np.mean(gao_values) - 0.02

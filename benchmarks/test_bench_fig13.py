@@ -1,0 +1,21 @@
+"""Fig. 13 benchmark: key generation rate comparison against baselines."""
+
+import numpy as np
+
+from repro.experiments import fig12_13_comparison
+
+
+def test_bench_fig13(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig12_13_comparison.run(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    by_system = {}
+    for row in result.rows:
+        by_system.setdefault(row["system"], []).append(row["kgr_bps"])
+    means = {name: float(np.mean(values)) for name, values in by_system.items()}
+    # Paper shape: Vehicle-Key generates keys fastest; Gao et al.'s
+    # model-based scheme is the slowest by an order of magnitude.
+    assert means["Vehicle-Key"] > means["LoRa-Key"]
+    assert means["Vehicle-Key"] > means["Gao et al."] * 5
+    assert means["Gao et al."] < means["Han et al."]

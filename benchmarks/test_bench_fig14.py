@@ -1,0 +1,24 @@
+"""Fig. 14 benchmark: cross-scenario transfer learning."""
+
+import numpy as np
+
+from repro.experiments import fig14_generalization
+
+
+def test_bench_fig14(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig14_generalization.run(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    by_target = {}
+    for row in result.rows:
+        by_target.setdefault(row["target"], {})[row["arm"]] = row["agreement"]
+    assert len(by_target) == 3
+    margins = []
+    for target, arms in by_target.items():
+        # Paper shape: transfer with 10% of the data and a small epoch
+        # budget is competitive with from-scratch training on full data
+        # at the same budget.
+        margins.append(arms["transfer-10%"] - arms["scratch"])
+        assert arms["transfer-100%"] > 0.6
+    assert np.mean(margins) > -0.05

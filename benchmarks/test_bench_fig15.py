@@ -1,0 +1,18 @@
+"""Fig. 15 benchmark: security against eavesdropping and imitation."""
+
+from repro.experiments import fig15_security
+
+
+def test_bench_fig15(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig15_security.run(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    assert len(result.rows) == 4  # 2 environments x 2 attackers
+    for row in result.rows:
+        # Paper shape: legitimate parties near-perfect, attackers far
+        # below them (eavesdropper near chance).
+        assert row["legitimate_kar"] > 0.9
+        assert row["eve_kar"] < row["legitimate_kar"] - 0.1
+        if row["attacker"] == "eavesdropper":
+            assert row["eve_kar"] < 0.65

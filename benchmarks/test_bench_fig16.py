@@ -1,0 +1,18 @@
+"""Fig. 16 benchmark: the imitating Eve's arRSSI trace structure."""
+
+from repro.experiments import fig16_eve_trace
+
+
+def test_bench_fig16(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig16_eve_trace.run(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    by_key = {(row["environment"], row["pair"]): row for row in result.rows}
+    for environment in ("urban", "rural"):
+        legit = by_key[(environment, "bob-vs-alice")]
+        eve = by_key[(environment, "eve-vs-alice")]
+        # Paper shape: Eve shares the overall (raw) pattern but her
+        # small-scale variation tracks the legitimate channel far worse.
+        assert eve["raw_correlation"] > 0.2
+        assert legit["smallscale_correlation"] > eve["smallscale_correlation"] + 0.15

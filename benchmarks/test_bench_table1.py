@@ -1,0 +1,20 @@
+"""Table I benchmark: robustness across devices and speeds."""
+
+import numpy as np
+
+from repro.experiments import table1_robustness
+
+
+def test_bench_table1(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: table1_robustness.run(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    assert len(result.rows) == 9  # 3 devices x 3 speeds
+    kars = [row["kar"] for row in result.rows if not np.isnan(row["kar"])]
+    # Paper shape: uniformly high agreement for every device/speed cell.
+    assert min(kars) > 0.85
+    # Mild decline with speed: slowest cells >= fastest cells on average.
+    slow = np.nanmean([r["kar"] for r in result.rows if r["speed_kmh"] == 30])
+    fast = np.nanmean([r["kar"] for r in result.rows if r["speed_kmh"] == 90])
+    assert slow >= fast - 0.02

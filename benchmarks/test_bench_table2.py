@@ -1,0 +1,14 @@
+"""Table II benchmark: NIST randomness of the final keys."""
+
+from repro.experiments import table2_nist
+
+
+def test_bench_table2(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: table2_nist.run(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    assert len(result.rows) == 8
+    # Paper shape: every reported test clears the 1% significance level.
+    failed = [row["test"] for row in result.rows if not row["passed"]]
+    assert not failed, f"NIST failures: {failed}"

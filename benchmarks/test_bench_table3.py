@@ -1,0 +1,20 @@
+"""Table III / Fig. 17 benchmark: computation time and energy profile."""
+
+from repro.experiments import table3_power
+
+
+def test_bench_table3(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: table3_power.run(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    rows = {(row["phase"], row["party"]): row for row in result.rows}
+    # Paper shape: Alice's total dominates Bob's; prediction dominates
+    # reconciliation on Alice's side; energy follows the power model.
+    assert rows[("total", "alice")]["time_ms"] > rows[("total", "bob")]["time_ms"]
+    assert (
+        rows[("prediction-quantization", "alice")]["time_ms"]
+        > rows[("reconciliation", "alice")]["time_ms"]
+    )
+    for row in result.rows:
+        assert row["energy_mj"] > 0

@@ -1,0 +1,80 @@
+"""Reconciliation playground: Cascade vs compressed sensing vs the
+autoencoder, on controlled mismatches.
+
+A fast, training-light example of the substrate the paper's Sec. IV-C
+builds on: how each reconciliation method trades correction power,
+communication and computation as the bit-disagreement rate grows.
+
+Run:  python examples/reconciliation_comparison.py  (about a minute)
+"""
+
+import time
+
+import numpy as np
+
+from repro.reconciliation import (
+    AutoencoderReconciliation,
+    CascadeReconciliation,
+    CompressedSensingReconciliation,
+)
+from repro.utils.bits import flip_bits, random_bits
+
+
+def evaluate(reconciler, flips: int, trials: int = 40):
+    agreements, messages, total_bytes = [], [], []
+    start = time.perf_counter()
+    for trial in range(trials):
+        bob = random_bits(64, trial)
+        positions = np.random.default_rng(trial).choice(64, size=flips, replace=False)
+        outcome = reconciler.reconcile(flip_bits(bob, positions), bob)
+        agreements.append(outcome.agreement)
+        messages.append(outcome.messages)
+        total_bytes.append(outcome.bytes_exchanged)
+    elapsed_ms = 1e3 * (time.perf_counter() - start) / trials
+    return (
+        float(np.mean(agreements)),
+        float(np.mean(messages)),
+        float(np.mean(total_bytes)),
+        elapsed_ms,
+    )
+
+
+def main() -> None:
+    print("reconciliation methods on 64-bit keys")
+    print("=" * 70)
+
+    print("training the autoencoder reconciler ...")
+    autoencoder = AutoencoderReconciliation(
+        key_bits=64, code_dim=48, decoder_units=192, seed=0
+    )
+    autoencoder.fit(n_samples=25000, epochs=40)
+
+    methods = [
+        ("Cascade (k=3, 4 iter)", CascadeReconciliation(block_size=3, iterations=4)),
+        ("CS (20x64, OMP)", CompressedSensingReconciliation(measurements=20)),
+        ("Autoencoder (AE-192)", autoencoder),
+    ]
+
+    header = f"{'method':24s} {'flips':>5s} {'agree':>7s} {'msgs':>6s} {'bytes':>6s} {'ms':>7s}"
+    print("\n" + header)
+    print("-" * len(header))
+    for flips in (1, 3, 6, 10):
+        for name, method in methods:
+            agree, msgs, payload, ms = evaluate(method, flips)
+            print(
+                f"{name:24s} {flips:5d} {agree:7.3f} {msgs:6.1f} "
+                f"{payload:6.0f} {ms:7.2f}"
+            )
+        print()
+
+    print("reading the table:")
+    print(" - Cascade corrects everything but needs many message round trips")
+    print("   (each one a LoRa packet of ~1 s airtime).")
+    print(" - CS sends one syndrome but fails beyond its sparsity budget and")
+    print("   its OMP decoding is the slowest compute.")
+    print(" - The autoencoder sends one syndrome, decodes in one matrix pass,")
+    print("   and corrects the realistic (<10%) disagreement range.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""V2I scenario: a vehicle keys up with a roadside unit, with an
+eavesdropper parked nearby.
+
+Demonstrates the workload from the paper's introduction: a car passing
+urban infrastructure establishes a fresh AES key over LoRa while a
+passive attacker records everything -- probes, consensus masks and the
+reconciliation syndromes -- and still cannot assemble the key.  Shows
+multi-session pooling (several probing bursts contribute to one key) and
+uses the established key to authenticate a telemetry message.
+
+Run:  python examples/v2i_roadside_unit.py
+"""
+
+import hashlib
+import hmac
+
+from repro import ScenarioName, VehicleKeyPipeline
+from repro.probing.eve import EveConfig, build_eavesdropping_eve
+from repro.security.attacks import run_attack
+
+
+def main() -> None:
+    print("V2I urban: vehicle <-> roadside unit with a parked eavesdropper")
+    print("=" * 64)
+
+    pipeline = VehicleKeyPipeline.for_scenario(ScenarioName.V2I_URBAN, seed=13)
+    print("training (V2I-Urban episodes) ...")
+    pipeline.train(n_episodes=150, epochs=80, reconciler_epochs=30)
+
+    # --- pool several short probing bursts into one key.
+    print("\nprobing in three short bursts while the vehicle passes ...")
+    traces = [
+        pipeline.collect_trace(f"burst-{index}", n_rounds=192) for index in range(3)
+    ]
+    session = pipeline.build_session()
+    result = session.run(traces)
+    print(f"  windows={result.n_windows} blocks={result.n_blocks} "
+          f"verified={len(result.verified_blocks)}")
+    print(f"  agreement after reconciliation: {result.reconciled_agreement.mean:.2%}")
+
+    if not result.keys_match:
+        print("  (not enough verified bits this run -- try more bursts)")
+        return
+    key = result.final_key_alice
+    print(f"  shared 128-bit key: {key.hex()}")
+
+    # --- use the key: authenticate a telemetry frame to the RSU.
+    frame = b"speed=52;lane=2;ts=1718000000"
+    tag = hmac.new(key, frame, hashlib.sha256).digest()[:8]
+    print(f"\nvehicle -> RSU: {frame.decode()} | mac={tag.hex()}")
+    rsu_ok = hmac.compare_digest(
+        hmac.new(result.final_key_bob, frame, hashlib.sha256).digest()[:8], tag
+    )
+    print(f"RSU verifies the frame: {'ACCEPT' if rsu_ok else 'REJECT'}")
+
+    # --- the parked eavesdropper's best shot.
+    print("\nevaluating the parked eavesdropper (knows the whole protocol) ...")
+    report = run_attack(pipeline, "eavesdropper", n_traces=1, n_rounds=256)
+    print(f"  legitimate agreement : {report.legitimate_agreement:.2%}")
+    print(f"  eavesdropper agreement: {report.eve_agreement:.2%} (chance is 50%)")
+    print(
+        "  probability of guessing a 128-bit key at that bit accuracy: "
+        f"~{report.eve_agreement ** 128:.1e}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""V2V scenario: a convoy pair keys up while a third car imitates.
+
+Reproduces the paper's imitating-attack story (Sec. V-H2) as a runnable
+scenario: two vehicles on a rural road establish keys; a third vehicle
+tails the leader along the identical route, records every packet and
+mounts the full stolen-pipeline attack.  Also checks the generated key
+stream with the NIST battery, as the paper's Table II does.
+
+Run:  python examples/v2v_convoy_attack.py
+"""
+
+import numpy as np
+
+from repro import ScenarioName, VehicleKeyPipeline
+from repro.experiments.table2_nist import generate_key_stream
+from repro.security.attacks import run_attack
+from repro.security.nist import run_nist_suite
+
+
+def main() -> None:
+    print("V2V rural convoy with an imitating attacker")
+    print("=" * 52)
+
+    pipeline = VehicleKeyPipeline.for_scenario(ScenarioName.V2V_RURAL, seed=29)
+    print("training (V2V-Rural episodes) ...")
+    pipeline.train(n_episodes=150, epochs=80, reconciler_epochs=30)
+
+    print("\nrunning the imitating attack (Eve tails Alice 10 m behind) ...")
+    report = run_attack(pipeline, "imitator", n_traces=2, n_rounds=256)
+    print(f"  legitimate agreement  : {report.legitimate_agreement:.2%}")
+    print(f"  imitator agreement    : {report.eve_agreement:.2%}")
+    print(f"  imitator raw agreement: {report.eve_raw_agreement:.2%}")
+    print(
+        "  Eve copies the route, so her large-scale channel correlates "
+        f"(r = {report.eve_feature_correlation:.2f}),"
+    )
+    print("  but the multipath she cannot copy keeps her out of key range.")
+
+    print("\nNIST randomness of the produced key material ...")
+    stream = generate_key_stream(pipeline, n_sessions=8, session_rounds=256)
+    print(f"  key stream: {stream.size} bits from privacy-amplified sessions")
+    p_values = run_nist_suite(stream)
+    for name, p_value in p_values.items():
+        verdict = "pass" if p_value >= 0.01 else "FAIL"
+        print(f"  {name:26s} p = {p_value:.4f}  [{verdict}]")
+    passed = sum(p >= 0.01 for p in p_values.values())
+    print(f"  {passed}/8 tests passed (paper: 8/8)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""Small-scale multipath fading (Clarke/Jakes sum-of-sinusoids).
+
+Small-scale fading is the component that (a) makes the key random -- its
+spatial decorrelation over half a wavelength is the security foundation of
+the whole scheme -- and (b) makes key generation hard over LoRa, because
+it decorrelates over the channel coherence time, which is shorter than the
+packet airtime.
+
+Two parameterizations of the same sum-of-sinusoids model are provided:
+
+- :class:`SpatialJakesFading` evaluates the complex gain as a function of
+  the *relative displacement* between the endpoints (in meters).  Mobility
+  models feed it the accumulated relative motion, which handles varying
+  vehicle speed exactly (the instantaneous Doppler is just the derivative
+  of displacement over wavelength).
+- :class:`TemporalJakesFading` evaluates it against time for a fixed
+  maximum Doppler, matching textbook Jakes simulators; used by the
+  theoretical-verification experiments.
+
+Both support a Rician K-factor: ``K = 0`` is pure Rayleigh (urban NLOS),
+larger K adds a LOS component (rural).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require, require_positive
+
+_DEFAULT_N_PATHS = 64
+
+
+class _SumOfSinusoids:
+    """Shared machinery: N scatterers with random angles and phases."""
+
+    def __init__(self, n_paths: int, rician_k: float, seed: SeedLike):
+        require(n_paths >= 8, f"n_paths must be >= 8 for a credible Rayleigh sum, got {n_paths}")
+        require(rician_k >= 0, "rician_k must be >= 0")
+        rng = as_generator(seed)
+        self.n_paths = int(n_paths)
+        self.rician_k = float(rician_k)
+        # Isotropic arrival angles and i.i.d. phases (Clarke's model).
+        self._cos_angles = np.cos(rng.uniform(0.0, 2.0 * np.pi, size=self.n_paths))
+        self._phases = rng.uniform(0.0, 2.0 * np.pi, size=self.n_paths)
+        self._los_phase = float(rng.uniform(0.0, 2.0 * np.pi))
+        self._los_cos = float(np.cos(rng.uniform(0.0, 2.0 * np.pi)))
+
+    def _complex_gain(self, phase_progress: np.ndarray) -> np.ndarray:
+        """Complex gain given per-path phase progress (radians per unit cos-angle).
+
+        ``phase_progress`` has shape ``(..., 1)`` broadcastable against the
+        path axis; returns shape ``(...)`` complex gains with unit average
+        power.
+        """
+        angles = phase_progress * self._cos_angles + self._phases
+        diffuse = np.exp(1j * angles).sum(axis=-1) / np.sqrt(self.n_paths)
+        if self.rician_k == 0:
+            return diffuse
+        los = np.exp(1j * (phase_progress[..., 0] * self._los_cos + self._los_phase))
+        k = self.rician_k
+        return np.sqrt(k / (k + 1.0)) * los + np.sqrt(1.0 / (k + 1.0)) * diffuse
+
+
+class SpatialJakesFading(_SumOfSinusoids):
+    """Fading as a function of relative displacement between the endpoints.
+
+    Args:
+        wavelength_m: Carrier wavelength (0.6912 m at 434 MHz).
+        n_paths: Number of scatterers in the sum-of-sinusoids.
+        rician_k: Rician K-factor (0 = Rayleigh).
+        seed: Randomness of the realization.
+
+    The complex gain at displacement ``s`` is
+
+        h(s) = sum_n exp(j (2 pi s / lambda) cos(alpha_n) + j phi_n) / sqrt(N)
+
+    which decorrelates like ``J_0(2 pi s / lambda)``: about zero beyond
+    half a wavelength, the paper's Eve-separation argument.
+    """
+
+    def __init__(
+        self,
+        wavelength_m: float,
+        n_paths: int = _DEFAULT_N_PATHS,
+        rician_k: float = 0.0,
+        seed: SeedLike = None,
+    ):
+        require_positive(wavelength_m, "wavelength_m")
+        super().__init__(n_paths, rician_k, seed)
+        self.wavelength_m = float(wavelength_m)
+
+    def complex_gain(self, displacement_m) -> np.ndarray:
+        """Complex channel gain at the given displacement(s)."""
+        s = np.asarray(displacement_m, dtype=float)
+        progress = (2.0 * np.pi * s / self.wavelength_m)[..., np.newaxis]
+        return self._complex_gain(progress)
+
+    def gain_db(self, displacement_m) -> np.ndarray:
+        """Power gain in dB, floored at -60 dB to avoid log-of-zero."""
+        magnitude = np.abs(self.complex_gain(displacement_m))
+        return 20.0 * np.log10(np.maximum(magnitude, 1e-3))
+
+
+class TemporalJakesFading(_SumOfSinusoids):
+    """Fading as a function of time for a fixed maximum Doppler.
+
+    Equivalent to :class:`SpatialJakesFading` with displacement
+    ``s = v t``; exposed separately for experiments that sweep Doppler
+    directly.
+    """
+
+    def __init__(
+        self,
+        max_doppler_hz: float,
+        n_paths: int = _DEFAULT_N_PATHS,
+        rician_k: float = 0.0,
+        seed: SeedLike = None,
+    ):
+        require(max_doppler_hz >= 0, "max_doppler_hz must be >= 0")
+        super().__init__(n_paths, rician_k, seed)
+        self.max_doppler_hz = float(max_doppler_hz)
+
+    def complex_gain(self, time_s) -> np.ndarray:
+        """Complex channel gain at the given time(s)."""
+        t = np.asarray(time_s, dtype=float)
+        progress = (2.0 * np.pi * self.max_doppler_hz * t)[..., np.newaxis]
+        return self._complex_gain(progress)
+
+    def gain_db(self, time_s) -> np.ndarray:
+        """Power gain in dB, floored at -60 dB."""
+        magnitude = np.abs(self.complex_gain(time_s))
+        return 20.0 * np.log10(np.maximum(magnitude, 1e-3))

@@ -1,0 +1,114 @@
+"""Asymmetric interference sources (paper Sec. II-A, effect 4).
+
+The paper lists four reciprocity-breaking effects; three (probe time
+offset, hardware imperfection, additive noise) are modeled elsewhere.
+This module adds the fourth: *interference power is asymmetric between
+devices*.  An interference source is a transmitter somewhere in the
+scene with a bursty on/off activity pattern; each legitimate receiver
+picks it up through its own distance, so the two ends of the link see
+different interference power at different times -- a purely asymmetric
+RSSI corruption.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.channel.pathloss import LogDistancePathLoss, PathLossModel
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require, require_positive
+
+
+class InterferenceSource:
+    """A bursty transmitter at a fixed position.
+
+    Activity is a random telegraph process: exponentially distributed ON
+    bursts (mean ``mean_on_s``) separated by exponentially distributed OFF
+    gaps (mean ``mean_off_s``), realized lazily and deterministically in
+    the seed.
+
+    Args:
+        position: Transmitter location (meters).
+        eirp_dbm: Radiated power while ON.
+        mean_on_s: Average burst duration.
+        mean_off_s: Average silence duration.
+        pathloss: Propagation model toward the receivers.
+        seed: Activity-pattern randomness.
+    """
+
+    def __init__(
+        self,
+        position: Tuple[float, float],
+        eirp_dbm: float = 10.0,
+        mean_on_s: float = 0.5,
+        mean_off_s: float = 5.0,
+        pathloss: PathLossModel = None,
+        seed: SeedLike = None,
+    ):
+        self.position = np.asarray(position, dtype=float)
+        require(self.position.shape == (2,), "position must be a 2-vector")
+        require_positive(mean_on_s, "mean_on_s")
+        require_positive(mean_off_s, "mean_off_s")
+        self.eirp_dbm = float(eirp_dbm)
+        self.mean_on_s = float(mean_on_s)
+        self.mean_off_s = float(mean_off_s)
+        self.pathloss = pathloss if pathloss is not None else LogDistancePathLoss()
+        self._rng = as_generator(seed)
+        # Segment k spans [boundaries[k], boundaries[k+1]); even k = OFF.
+        self._boundaries: List[float] = [0.0]
+
+    def _extend_to(self, horizon_s: float) -> None:
+        while self._boundaries[-1] <= horizon_s:
+            is_off = (len(self._boundaries) - 1) % 2 == 0
+            mean = self.mean_off_s if is_off else self.mean_on_s
+            self._boundaries.append(
+                self._boundaries[-1] + float(self._rng.exponential(mean))
+            )
+
+    def active(self, times_s) -> np.ndarray:
+        """Boolean activity at the given time(s)."""
+        times = np.atleast_1d(np.asarray(times_s, dtype=float))
+        require(bool(np.all(times >= 0)), "activity is defined for t >= 0")
+        self._extend_to(float(times.max(initial=0.0)) + 1.0)
+        boundaries = np.asarray(self._boundaries)
+        segment = np.searchsorted(boundaries, times, side="right") - 1
+        result = (segment % 2) == 1
+        if np.isscalar(times_s):
+            return bool(result[0])
+        return result.reshape(np.shape(times_s))
+
+    def power_dbm(self, times_s, rx_positions: np.ndarray) -> np.ndarray:
+        """Received interference power at each (time, receiver position).
+
+        Returns ``-inf`` dBm while the source is OFF.
+        """
+        times = np.atleast_1d(np.asarray(times_s, dtype=float))
+        positions = np.atleast_2d(np.asarray(rx_positions, dtype=float))
+        require(
+            positions.shape == times.shape + (2,),
+            "rx_positions must supply one 2-D position per time",
+        )
+        distance = np.linalg.norm(positions - self.position, axis=-1)
+        power = self.eirp_dbm - self.pathloss.loss_db(distance)
+        power = np.where(self.active(times), power, -np.inf)
+        if np.isscalar(times_s):
+            return float(power[0])
+        return power.reshape(np.shape(times_s))
+
+
+def combine_power_dbm(signal_dbm: np.ndarray, interference_dbm: np.ndarray) -> np.ndarray:
+    """Total received power: linear-domain sum of signal and interference.
+
+    ``-inf`` interference contributes nothing; this is what an RSSI
+    register actually measures during a collision.
+    """
+    signal = np.asarray(signal_dbm, dtype=float)
+    interference = np.asarray(interference_dbm, dtype=float)
+    linear = 10.0 ** (signal / 10.0)
+    with np.errstate(over="ignore"):
+        linear = linear + np.where(
+            np.isfinite(interference), 10.0 ** (interference / 10.0), 0.0
+        )
+    return 10.0 * np.log10(linear)

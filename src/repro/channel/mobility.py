@@ -1,0 +1,226 @@
+"""Vehicle mobility models.
+
+Trajectories produce positions and velocities over time; the channel layer
+consumes two derived signals:
+
+- the *separation distance* between the endpoints (drives path loss),
+- the *accumulated relative displacement* ``integral |v_A(t) - v_B(t)| dt``
+  (drives small-scale fading and shadowing decorrelation -- this is the
+  paper's ``f_d = |V_A - V_B| / C * f_0`` model generalized to
+  time-varying vector velocities).
+
+Three trajectory families cover the paper's scenarios: a static roadside
+unit (V2I), constant-speed highway driving (rural), and stop-and-go urban
+traffic with random speed segments.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require, require_positive
+
+
+class Trajectory(abc.ABC):
+    """A node's motion: position and velocity as functions of time."""
+
+    @abc.abstractmethod
+    def position_m(self, time_s) -> np.ndarray:
+        """Position(s) in meters; shape ``(..., 2)`` for array input."""
+
+    @abc.abstractmethod
+    def velocity_m_s(self, time_s) -> np.ndarray:
+        """Velocity vector(s) in m/s; shape ``(..., 2)`` for array input."""
+
+    def speed_m_s(self, time_s) -> np.ndarray:
+        """Scalar speed(s) in m/s."""
+        return np.linalg.norm(self.velocity_m_s(time_s), axis=-1)
+
+
+class StaticTrajectory(Trajectory):
+    """A fixed node (roadside unit, building-mounted gateway)."""
+
+    def __init__(self, position: Tuple[float, float] = (0.0, 0.0)):
+        self._position = np.asarray(position, dtype=float)
+        require(self._position.shape == (2,), "position must be a 2-vector")
+
+    def position_m(self, time_s) -> np.ndarray:
+        t = np.asarray(time_s, dtype=float)
+        return np.broadcast_to(self._position, t.shape + (2,)).copy()
+
+    def velocity_m_s(self, time_s) -> np.ndarray:
+        t = np.asarray(time_s, dtype=float)
+        return np.zeros(t.shape + (2,))
+
+
+class StraightLineTrajectory(Trajectory):
+    """Constant-velocity motion: rural highway driving."""
+
+    def __init__(
+        self,
+        start: Tuple[float, float],
+        speed_m_s: float,
+        heading_deg: float = 0.0,
+    ):
+        require(speed_m_s >= 0, "speed_m_s must be >= 0")
+        self._start = np.asarray(start, dtype=float)
+        require(self._start.shape == (2,), "start must be a 2-vector")
+        heading = np.deg2rad(heading_deg)
+        self._velocity = speed_m_s * np.array([np.cos(heading), np.sin(heading)])
+
+    def position_m(self, time_s) -> np.ndarray:
+        t = np.asarray(time_s, dtype=float)
+        return self._start + t[..., np.newaxis] * self._velocity
+
+    def velocity_m_s(self, time_s) -> np.ndarray:
+        t = np.asarray(time_s, dtype=float)
+        return np.broadcast_to(self._velocity, t.shape + (2,)).copy()
+
+
+class StopAndGoTrajectory(Trajectory):
+    """Urban stop-and-go traffic along a straight street.
+
+    Speed is piecewise constant: segments with random durations
+    (``segment_duration_s`` on average, exponential) and random speeds
+    uniform in ``[0, max_speed_m_s]``, with a ``stop_probability`` chance
+    of a full stop (red light).  Segments are realized lazily out to the
+    queried horizon, so the trajectory is deterministic in its seed.
+    """
+
+    def __init__(
+        self,
+        start: Tuple[float, float],
+        max_speed_m_s: float,
+        heading_deg: float = 0.0,
+        segment_duration_s: float = 15.0,
+        stop_probability: float = 0.2,
+        seed: SeedLike = None,
+    ):
+        require_positive(max_speed_m_s, "max_speed_m_s")
+        require_positive(segment_duration_s, "segment_duration_s")
+        require(0.0 <= stop_probability <= 1.0, "stop_probability must be in [0, 1]")
+        self._start = np.asarray(start, dtype=float)
+        require(self._start.shape == (2,), "start must be a 2-vector")
+        heading = np.deg2rad(heading_deg)
+        self._direction = np.array([np.cos(heading), np.sin(heading)])
+        self._max_speed = float(max_speed_m_s)
+        self._segment_duration = float(segment_duration_s)
+        self._stop_probability = float(stop_probability)
+        self._rng = as_generator(seed)
+        # Segment k covers [boundaries[k], boundaries[k+1]) at speeds[k];
+        # cumulative[k] is distance travelled by boundaries[k].
+        self._boundaries = [0.0]
+        self._speeds: list = []
+        self._cumulative = [0.0]
+
+    def _extend_to(self, horizon_s: float) -> None:
+        while self._boundaries[-1] <= horizon_s:
+            duration = float(self._rng.exponential(self._segment_duration))
+            duration = max(duration, 1.0)
+            if self._rng.uniform() < self._stop_probability:
+                speed = 0.0
+            else:
+                speed = float(self._rng.uniform(0.2, 1.0) * self._max_speed)
+            self._speeds.append(speed)
+            self._cumulative.append(self._cumulative[-1] + speed * duration)
+            self._boundaries.append(self._boundaries[-1] + duration)
+
+    def _distance_along(self, t: np.ndarray) -> np.ndarray:
+        flat = np.atleast_1d(t).ravel()
+        require(np.all(flat >= 0), "StopAndGoTrajectory is defined for t >= 0")
+        self._extend_to(float(flat.max(initial=0.0)) + 1.0)
+        bounds = np.asarray(self._boundaries)
+        cumulative = np.asarray(self._cumulative)
+        speeds = np.asarray(self._speeds)
+        idx = np.clip(np.searchsorted(bounds, flat, side="right") - 1, 0, len(speeds) - 1)
+        dist = cumulative[idx] + speeds[idx] * (flat - bounds[idx])
+        return dist.reshape(np.shape(t))
+
+    def position_m(self, time_s) -> np.ndarray:
+        t = np.asarray(time_s, dtype=float)
+        return self._start + self._distance_along(t)[..., np.newaxis] * self._direction
+
+    def velocity_m_s(self, time_s) -> np.ndarray:
+        t = np.asarray(time_s, dtype=float)
+        flat = np.atleast_1d(t).ravel()
+        self._extend_to(float(flat.max(initial=0.0)) + 1.0)
+        bounds = np.asarray(self._boundaries)
+        speeds = np.asarray(self._speeds)
+        idx = np.clip(np.searchsorted(bounds, flat, side="right") - 1, 0, len(speeds) - 1)
+        speed = speeds[idx].reshape(np.shape(t))
+        return speed[..., np.newaxis] * self._direction
+
+
+class RelativeMotion:
+    """Derived signals for a pair of trajectories.
+
+    Provides the separation distance and the accumulated relative
+    displacement ``integral |v_A - v_B| dt``, the quantity that indexes
+    the spatial fading process.  The integral is evaluated on a cached
+    uniform grid (default 10 ms) extended lazily, so repeated queries are
+    cheap and deterministic.
+    """
+
+    def __init__(
+        self,
+        trajectory_a: Trajectory,
+        trajectory_b: Trajectory,
+        integration_step_s: float = 0.01,
+    ):
+        require_positive(integration_step_s, "integration_step_s")
+        self.trajectory_a = trajectory_a
+        self.trajectory_b = trajectory_b
+        self._step = float(integration_step_s)
+        self._grid_cumulative: Optional[np.ndarray] = None  # cum displacement at k*step
+
+    def distance_m(self, time_s) -> np.ndarray:
+        """Separation distance between the endpoints."""
+        delta = self.trajectory_a.position_m(time_s) - self.trajectory_b.position_m(time_s)
+        return np.linalg.norm(delta, axis=-1)
+
+    def relative_speed_m_s(self, time_s) -> np.ndarray:
+        """Magnitude of the vector velocity difference."""
+        delta = self.trajectory_a.velocity_m_s(time_s) - self.trajectory_b.velocity_m_s(
+            time_s
+        )
+        return np.linalg.norm(delta, axis=-1)
+
+    def _ensure_grid(self, horizon_s: float) -> None:
+        needed = int(np.ceil(horizon_s / self._step)) + 2
+        current = 0 if self._grid_cumulative is None else len(self._grid_cumulative)
+        if needed <= current:
+            return
+        # Extend incrementally (with slack) so repeated growth stays linear.
+        needed = max(needed, 2 * current)
+        start_index = max(current - 1, 0)
+        times = (start_index + np.arange(needed - start_index)) * self._step
+        speeds = self.relative_speed_m_s(times)
+        increments = 0.5 * (speeds[1:] + speeds[:-1]) * self._step
+        base = 0.0 if current == 0 else float(self._grid_cumulative[-1])
+        extension = base + np.cumsum(increments)
+        if current == 0:
+            self._grid_cumulative = np.concatenate([[0.0], extension])
+        else:
+            self._grid_cumulative = np.concatenate(
+                [self._grid_cumulative, extension]
+            )
+
+    def relative_displacement_m(self, time_s) -> np.ndarray:
+        """Accumulated relative displacement up to the given time(s)."""
+        t = np.asarray(time_s, dtype=float)
+        flat = np.atleast_1d(t).ravel()
+        require(np.all(flat >= 0), "relative displacement is defined for t >= 0")
+        self._ensure_grid(float(flat.max(initial=0.0)))
+        positions = flat / self._step
+        idx = np.clip(positions.astype(int), 0, len(self._grid_cumulative) - 2)
+        frac = positions - idx
+        lo = self._grid_cumulative[idx]
+        hi = self._grid_cumulative[idx + 1]
+        result = (lo + frac * (hi - lo)).reshape(np.shape(t))
+        if np.isscalar(time_s):
+            return float(result)
+        return result

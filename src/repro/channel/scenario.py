@@ -1,0 +1,252 @@
+"""Evaluation scenario presets: V2I/V2V x urban/rural.
+
+The paper evaluates in four environments (Sec. II-B, V-A1).  Each preset
+bundles the channel statistics that distinguish them:
+
+- *Urban*: NLOS, rich multipath (Rayleigh, K = 0), strong fast-decorrelating
+  shadowing, higher path loss exponent, stop-and-go traffic.
+- *Rural*: LOS, a dominant direct path (Rician K > 0), weak slowly-varying
+  shadowing, near-free-space path loss, steady highway speeds.
+- *V2V*: both endpoints moving (higher relative speed, more channel
+  variation, hence the paper's higher key rates); *V2I*: one static
+  roadside endpoint.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.channel.fading import SpatialJakesFading
+from repro.channel.mobility import (
+    RelativeMotion,
+    StaticTrajectory,
+    StopAndGoTrajectory,
+    StraightLineTrajectory,
+    Trajectory,
+)
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.channel.reciprocity import ReciprocalChannel
+from repro.channel.shadowing import GudmundsonShadowing
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import require, require_positive
+
+KMH_TO_MS = 1.0 / 3.6
+
+
+class Environment(enum.Enum):
+    """Propagation environment."""
+
+    URBAN = "urban"
+    RURAL = "rural"
+
+
+class LinkType(enum.Enum):
+    """Which endpoints move."""
+
+    V2V = "v2v"
+    V2I = "v2i"
+
+
+class ScenarioName(enum.Enum):
+    """The four evaluation scenarios of the paper."""
+
+    V2I_URBAN = "v2i-urban"
+    V2I_RURAL = "v2i-rural"
+    V2V_URBAN = "v2v-urban"
+    V2V_RURAL = "v2v-rural"
+
+    @property
+    def environment(self) -> Environment:
+        return Environment.URBAN if "urban" in self.value else Environment.RURAL
+
+    @property
+    def link_type(self) -> LinkType:
+        return LinkType.V2V if self.value.startswith("v2v") else LinkType.V2I
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Channel and mobility statistics for one evaluation scenario.
+
+    Attributes:
+        name: Which of the four scenarios this configures.
+        pathloss_exponent: Log-distance path loss exponent.
+        shadowing_sigma_db: Log-normal shadowing standard deviation.
+        shadowing_decorrelation_m: Gudmundson decorrelation distance.
+        rician_k: Small-scale fading K-factor (0 = Rayleigh).
+        n_paths: Scatterer count for the sum-of-sinusoids fading.
+        alice_speed_kmh: Alice's (the vehicle's) nominal speed.
+        bob_speed_kmh: Bob's nominal speed (0 for V2I).
+        initial_distance_m: Endpoint separation at t = 0.
+        carrier_frequency_hz: LoRa carrier (434 MHz in the paper).
+        stop_and_go: Whether vehicles follow urban stop-and-go traffic.
+    """
+
+    name: ScenarioName
+    pathloss_exponent: float
+    shadowing_sigma_db: float
+    shadowing_decorrelation_m: float
+    rician_k: float
+    n_paths: int
+    alice_speed_kmh: float
+    bob_speed_kmh: float
+    initial_distance_m: float
+    carrier_frequency_hz: float = 434e6
+    stop_and_go: bool = False
+
+    def __post_init__(self) -> None:
+        require_positive(self.initial_distance_m, "initial_distance_m")
+        require(self.alice_speed_kmh >= 0, "alice_speed_kmh must be >= 0")
+        require(self.bob_speed_kmh >= 0, "bob_speed_kmh must be >= 0")
+        if self.name.link_type is LinkType.V2I:
+            require(self.bob_speed_kmh == 0, "V2I scenarios require a static Bob")
+
+    @property
+    def wavelength_m(self) -> float:
+        return 299_792_458.0 / self.carrier_frequency_hz
+
+    def with_speeds(
+        self, alice_speed_kmh: float, bob_speed_kmh: float = None
+    ) -> "ScenarioConfig":
+        """Copy with overridden nominal speeds (used by speed sweeps)."""
+        if bob_speed_kmh is None:
+            bob_speed_kmh = self.bob_speed_kmh
+        return replace(
+            self, alice_speed_kmh=alice_speed_kmh, bob_speed_kmh=bob_speed_kmh
+        )
+
+    def build_trajectories(
+        self, seeds: SeedSequenceFactory
+    ) -> Tuple[Trajectory, Trajectory]:
+        """Realize Alice's and Bob's trajectories for this scenario."""
+        alice = self._build_vehicle(
+            seeds, "alice-mobility", (0.0, 0.0), self.alice_speed_kmh, heading_deg=0.0
+        )
+        if self.name.link_type is LinkType.V2I:
+            bob: Trajectory = StaticTrajectory((self.initial_distance_m, 0.0))
+        else:
+            # Opposing travel directions give a well-defined relative speed
+            # of (v_A + v_B); the paper's vehicles "travel randomly".
+            bob = self._build_vehicle(
+                seeds,
+                "bob-mobility",
+                (self.initial_distance_m, 0.0),
+                self.bob_speed_kmh,
+                heading_deg=180.0,
+            )
+        return alice, bob
+
+    def _build_vehicle(
+        self,
+        seeds: SeedSequenceFactory,
+        stream: str,
+        start: Tuple[float, float],
+        speed_kmh: float,
+        heading_deg: float,
+    ) -> Trajectory:
+        speed = speed_kmh * KMH_TO_MS
+        if speed == 0:
+            return StaticTrajectory(start)
+        if self.stop_and_go:
+            return StopAndGoTrajectory(
+                start,
+                max_speed_m_s=speed,
+                heading_deg=heading_deg,
+                seed=seeds.generator(stream),
+            )
+        return StraightLineTrajectory(start, speed_m_s=speed, heading_deg=heading_deg)
+
+    def build_channel(
+        self, seeds: SeedSequenceFactory, motion: RelativeMotion = None
+    ) -> ReciprocalChannel:
+        """Realize the full reciprocal channel for this scenario.
+
+        A fresh realization is drawn from the factory's ``shadowing`` and
+        ``fading`` streams; pass the same factory to get the same channel.
+        """
+        if motion is None:
+            alice, bob = self.build_trajectories(seeds)
+            motion = RelativeMotion(alice, bob)
+        pathloss = LogDistancePathLoss(
+            exponent=self.pathloss_exponent,
+            carrier_frequency_hz=self.carrier_frequency_hz,
+        )
+        shadowing = GudmundsonShadowing(
+            sigma_db=self.shadowing_sigma_db,
+            decorrelation_distance_m=self.shadowing_decorrelation_m,
+            seed=seeds.generator("shadowing"),
+        )
+        fading = SpatialJakesFading(
+            wavelength_m=self.wavelength_m,
+            n_paths=self.n_paths,
+            rician_k=self.rician_k,
+            seed=seeds.generator("fading"),
+        )
+        return ReciprocalChannel(motion, pathloss, shadowing, fading)
+
+
+_PRESETS: Dict[ScenarioName, ScenarioConfig] = {
+    ScenarioName.V2I_URBAN: ScenarioConfig(
+        name=ScenarioName.V2I_URBAN,
+        pathloss_exponent=3.2,
+        shadowing_sigma_db=7.0,
+        shadowing_decorrelation_m=15.0,
+        rician_k=0.0,
+        n_paths=64,
+        alice_speed_kmh=50.0,
+        bob_speed_kmh=0.0,
+        initial_distance_m=600.0,
+        stop_and_go=True,
+    ),
+    ScenarioName.V2I_RURAL: ScenarioConfig(
+        name=ScenarioName.V2I_RURAL,
+        pathloss_exponent=2.2,
+        shadowing_sigma_db=4.0,
+        shadowing_decorrelation_m=40.0,
+        rician_k=4.0,
+        n_paths=64,
+        alice_speed_kmh=70.0,
+        bob_speed_kmh=0.0,
+        initial_distance_m=1500.0,
+        stop_and_go=False,
+    ),
+    ScenarioName.V2V_URBAN: ScenarioConfig(
+        name=ScenarioName.V2V_URBAN,
+        pathloss_exponent=3.0,
+        shadowing_sigma_db=7.0,
+        shadowing_decorrelation_m=15.0,
+        rician_k=0.0,
+        n_paths=64,
+        alice_speed_kmh=50.0,
+        bob_speed_kmh=40.0,
+        initial_distance_m=500.0,
+        stop_and_go=True,
+    ),
+    ScenarioName.V2V_RURAL: ScenarioConfig(
+        name=ScenarioName.V2V_RURAL,
+        pathloss_exponent=2.2,
+        shadowing_sigma_db=4.0,
+        shadowing_decorrelation_m=40.0,
+        rician_k=4.0,
+        n_paths=64,
+        alice_speed_kmh=75.0,
+        bob_speed_kmh=60.0,
+        initial_distance_m=1200.0,
+        stop_and_go=False,
+    ),
+}
+
+#: All four scenarios in the paper's reporting order.
+ALL_SCENARIOS: Tuple[ScenarioName, ...] = (
+    ScenarioName.V2I_URBAN,
+    ScenarioName.V2I_RURAL,
+    ScenarioName.V2V_URBAN,
+    ScenarioName.V2V_RURAL,
+)
+
+
+def scenario_config(name: ScenarioName) -> ScenarioConfig:
+    """The preset :class:`ScenarioConfig` for one of the four scenarios."""
+    return _PRESETS[name]

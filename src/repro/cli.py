@@ -1,0 +1,129 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro establish --scenario v2v-urban --seed 7
+    python -m repro attack --attacker imitator --scenario v2v-rural
+    python -m repro validate-channel
+    python -m repro experiments fig12-13 --full
+
+``python -m repro experiments ...`` forwards to
+:mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.channel.scenario import ScenarioName
+
+
+def _scenario(value: str) -> ScenarioName:
+    try:
+        return ScenarioName(value)
+    except ValueError:
+        choices = ", ".join(s.value for s in ScenarioName)
+        raise argparse.ArgumentTypeError(f"unknown scenario {value!r}; choose from {choices}")
+
+
+def _cmd_establish(args) -> int:
+    from repro.core.pipeline import VehicleKeyPipeline
+
+    pipeline = VehicleKeyPipeline.for_scenario(args.scenario, seed=args.seed)
+    print(f"training Vehicle-Key for {args.scenario.value} (seed {args.seed}) ...")
+    pipeline.train(
+        n_episodes=args.episodes, epochs=args.epochs, reconciler_epochs=args.epochs // 3
+    )
+    outcome = pipeline.establish_key(episode="cli")
+    session = outcome.session
+    print(f"raw agreement        : {outcome.raw_agreement_rate:.2%}")
+    print(f"reconciled agreement : {outcome.agreement_rate:.2%}")
+    print(f"verified blocks      : {len(session.verified_blocks)}/{session.n_blocks}")
+    print(f"key generation rate  : {outcome.key_generation_rate_bps:.3f} bit/s")
+    if outcome.success:
+        print(f"final 128-bit key    : {outcome.final_key.hex()}")
+        return 0
+    print("final key            : (not enough verified bits this session)")
+    return 1
+
+
+def _cmd_attack(args) -> int:
+    from repro.core.pipeline import VehicleKeyPipeline
+    from repro.security.attacks import run_attack
+
+    pipeline = VehicleKeyPipeline.for_scenario(args.scenario, seed=args.seed)
+    print(f"training Vehicle-Key for {args.scenario.value} ...")
+    pipeline.train(
+        n_episodes=args.episodes, epochs=args.epochs, reconciler_epochs=args.epochs // 3
+    )
+    report = run_attack(pipeline, args.attacker, n_traces=2)
+    print(f"attacker              : {report.attacker}")
+    print(f"legitimate agreement  : {report.legitimate_agreement:.2%}")
+    print(f"attacker agreement    : {report.eve_agreement:.2%}")
+    print(f"attacker raw agreement: {report.eve_raw_agreement:.2%}")
+    print(f"feature correlation   : {report.eve_feature_correlation:.3f}")
+    return 0
+
+
+def _cmd_validate_channel(args) -> int:
+    from repro.channel.validation import validate_all
+
+    reports = validate_all(seed=args.seed)
+    failures = 0
+    for report in reports.values():
+        print(report)
+        failures += not report.passed
+    return 1 if failures else 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    forwarded = list(args.experiment_args)
+    if args.full:
+        forwarded.append("--full")
+    return runner_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI's argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    establish = sub.add_parser("establish", help="train and run one key agreement")
+    establish.add_argument("--scenario", type=_scenario, default=ScenarioName.V2V_URBAN)
+    establish.add_argument("--seed", type=int, default=0)
+    establish.add_argument("--episodes", type=int, default=200)
+    establish.add_argument("--epochs", type=int, default=90)
+    establish.set_defaults(handler=_cmd_establish)
+
+    attack = sub.add_parser("attack", help="evaluate an attacker")
+    attack.add_argument("--attacker", choices=("eavesdropper", "imitator"), required=True)
+    attack.add_argument("--scenario", type=_scenario, default=ScenarioName.V2V_URBAN)
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument("--episodes", type=int, default=200)
+    attack.add_argument("--epochs", type=int, default=90)
+    attack.set_defaults(handler=_cmd_attack)
+
+    validate = sub.add_parser(
+        "validate-channel", help="statistical self-checks of the channel simulator"
+    )
+    validate.add_argument("--seed", type=int, default=0)
+    validate.set_defaults(handler=_cmd_validate_channel)
+
+    experiments = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    experiments.add_argument("experiment_args", nargs="*")
+    experiments.add_argument("--full", action="store_true")
+    experiments.set_defaults(handler=_cmd_experiments)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Adaptive key establishment: probe only as long as needed.
+
+The fixed-length session (:meth:`VehicleKeyPipeline.establish_key`) picks
+a round count up front; on a good channel it over-probes, on a bad one it
+falls short.  The adaptive controller instead probes in bursts, runs the
+agreement after each burst over the pooled traces, and stops as soon as
+the final key's bit budget is verified (or a burst limit is hit).  This
+is the natural deployment loop for an IoV node that wants a key as soon
+as possible and the channel's key-rate is unknown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.session import SessionResult
+from repro.utils.validation import require_positive
+
+
+@dataclass
+class AdaptiveOutcome:
+    """Result of an adaptive establishment run.
+
+    Attributes:
+        session: Final (pooled) session result.
+        bursts_used: Probing bursts consumed.
+        rounds_used: Total probing rounds consumed.
+        probing_time_s: Total probing airtime.
+        key_generation_rate_bps: Verified bits per total protocol second.
+        burst_history: Verified-bit count after each burst.
+    """
+
+    session: SessionResult
+    bursts_used: int
+    rounds_used: int
+    probing_time_s: float
+    key_generation_rate_bps: float
+    burst_history: List[int]
+
+    @property
+    def success(self) -> bool:
+        """Whether a full final key was established."""
+        return self.session.keys_match
+
+    @property
+    def final_key(self) -> Optional[bytes]:
+        """The established key, if any."""
+        return self.session.final_key_alice
+
+
+def establish_key_adaptive(
+    pipeline,
+    burst_rounds: int = 96,
+    max_bursts: int = 8,
+    episode: str = "adaptive",
+) -> AdaptiveOutcome:
+    """Probe in bursts until the final key's bit budget is verified.
+
+    Args:
+        pipeline: A trained :class:`VehicleKeyPipeline`.
+        burst_rounds: Probing rounds per burst.
+        max_bursts: Upper bound on bursts before giving up.
+        episode: Episode label prefix (each burst gets a fresh channel
+            segment, like repeated encounters with the same peer).
+
+    Returns:
+        The :class:`AdaptiveOutcome`; ``success`` is ``False`` when even
+        ``max_bursts`` bursts could not verify enough bits.
+    """
+    require_positive(burst_rounds, "burst_rounds")
+    require_positive(max_bursts, "max_bursts")
+    session = pipeline.build_session()
+    target_bits = pipeline.config.final_key_bits
+
+    traces = []
+    history: List[int] = []
+    result = None
+    for burst in range(max_bursts):
+        traces.append(
+            pipeline.collect_trace(f"{episode}-{burst}", n_rounds=burst_rounds)
+        )
+        result = session.run(traces)
+        history.append(result.agreed_bits)
+        if result.agreed_bits >= target_bits and result.keys_match:
+            break
+
+    probing_time = sum(trace.duration_s for trace in traces)
+    airtime = pipeline.reconciliation_airtime_s(
+        result.reconciliation_messages + 2 * len(traces), result.total_public_bytes
+    )
+    kgr = (
+        result.agreed_bits / (probing_time + airtime)
+        if probing_time + airtime > 0
+        else 0.0
+    )
+    return AdaptiveOutcome(
+        session=result,
+        bursts_used=len(traces),
+        rounds_used=burst_rounds * len(traces),
+        probing_time_s=probing_time,
+        key_generation_rate_bps=kgr,
+        burst_history=history,
+    )

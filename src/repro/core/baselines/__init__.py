@@ -1,0 +1,29 @@
+"""The three state-of-the-art comparison systems (paper Sec. V-F).
+
+All implement :class:`~repro.core.baselines.common.KeyGenSystem` so the
+comparison experiments can run Vehicle-Key and the baselines over the
+*same* probing traces:
+
+- :class:`LoRaKeySystem` -- Xu et al., "LoRa-Key": packet RSSI,
+  guard-band quantization (alpha = 0.8), compressed-sensing
+  reconciliation with a 20 x 64 random matrix.
+- :class:`HanSystem` -- Han et al.: packet RSSI, multi-bit quantization,
+  Cascade reconciliation (group length 3, 4 iterations).
+- :class:`GaoSystem` -- Gao et al.: model-based filtering (interval 20,
+  50 probing rounds per segment), guard-band quantization, CS
+  reconciliation.
+"""
+
+from repro.core.baselines.common import KeyGenSystem, SystemRunResult, VehicleKeySystem
+from repro.core.baselines.lora_key import LoRaKeySystem
+from repro.core.baselines.han import HanSystem
+from repro.core.baselines.gao import GaoSystem
+
+__all__ = [
+    "KeyGenSystem",
+    "SystemRunResult",
+    "VehicleKeySystem",
+    "LoRaKeySystem",
+    "HanSystem",
+    "GaoSystem",
+]

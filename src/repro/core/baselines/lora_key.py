@@ -1,0 +1,52 @@
+"""LoRa-Key baseline (Xu, Jha & Hu, IEEE IoT Journal 2018).
+
+LoRa-Key extracts one *packet RSSI* value per received packet, quantizes
+with a two-threshold guard band (the paper tunes the ratio alpha = 0.8
+for best performance, Sec. V-F) and reconciles with compressed sensing
+over a 20 x 64 random matrix.  Its weakness in IoV, per the paper, is
+exactly the pRSSI feature: at LoRa airtimes the whole-packet average is
+badly asymmetric between the endpoints, so the bit-disagreement rate
+overwhelms the sparse-recovery reconciliation.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines.common import KeyGenSystem, two_sided_quantize
+from repro.probing.trace import ProbeTrace
+from repro.quantization.guard_band import GuardBandQuantizer
+from repro.reconciliation.compressed_sensing import CompressedSensingReconciliation
+
+
+class LoRaKeySystem(KeyGenSystem):
+    """pRSSI + guard-band quantization + CS reconciliation.
+
+    Args:
+        alpha: Guard-band-to-data ratio (paper setting: 0.8).
+        measurements: CS syndrome length (paper setting: 20).
+        window: Samples per quantization window.
+        seed: Public randomness of the CS matrix.
+    """
+
+    name = "LoRa-Key"
+
+    def __init__(
+        self,
+        alpha: float = 0.8,
+        measurements: int = 20,
+        window: int = 32,
+        seed: int = 0,
+    ):
+        self.quantizer = GuardBandQuantizer(alpha=alpha)
+        self.reconciler = CompressedSensingReconciliation(
+            measurements=measurements, block_bits=64, seed=seed
+        )
+        self.window = int(window)
+
+    def extract_streams(self, trace: ProbeTrace):
+        clean = trace.valid_only()
+        alice_series = clean.alice_prssi
+        bob_series = clean.bob_prssi
+        alice_bits, bob_bits, mask_bytes = two_sided_quantize(
+            alice_series, bob_series, self.quantizer, window=self.window
+        )
+        return alice_bits, bob_bits, mask_bytes, 2

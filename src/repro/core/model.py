@@ -1,0 +1,298 @@
+"""The BiLSTM prediction + quantization model (paper Sec. IV-B, Fig. 6).
+
+One network with two heads:
+
+- **Prediction head**: BiLSTM over Alice's arRSSI window, flattened, then
+  a fully connected layer producing the *predicted* arRSSI sequence on
+  Bob's side (regression, MSE).
+- **Quantization head**: a second fully connected layer with sigmoid
+  activation mapping the predicted sequence to the key-bit space
+  (classification against Bob's multi-bit-quantized key, BCE).
+
+The paper's configuration -- one BiLSTM layer (32 time steps, 128 hidden
+units), FC-32 and FC-64-sigmoid, joint loss weight theta = 0.9 -- is the
+default.  Bob does not run the network: his bits come from a conventional
+multi-bit quantizer over his own measurements, which is also how the
+training targets are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import NotTrainedError
+from repro.nn.callbacks import EarlyStopping, History
+from repro.nn.layers.bilstm import BiLSTM
+from repro.nn.layers.dense import Dense
+from repro.nn.losses import JointPredictionQuantizationLoss
+from repro.nn.optimizers import Adam
+from repro.nn.serialization import load_weights, save_weights
+from repro.probing.dataset import KeyGenDataset
+from repro.quantization.multibit import MultiBitQuantizer
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require, require_positive
+
+
+@dataclass
+class TrainingReport:
+    """What :meth:`PredictionQuantizationModel.fit` returns.
+
+    Attributes:
+        history: Per-epoch joint-loss values (train and validation).
+        epochs_run: Actual epochs executed (early stopping may cut short).
+    """
+
+    history: History
+    epochs_run: int
+
+
+class PredictionQuantizationModel:
+    """Simultaneous channel prediction and quantization.
+
+    Args:
+        seq_len: arRSSI window length (BiLSTM steps; paper: 32).
+        hidden_units: BiLSTM hidden width per direction (paper: 128).
+        key_bits: Quantization-head width (paper: 64 = 2 bits/step).
+        theta: Joint loss weight (paper: 0.9).
+        bob_quantizer: Quantizer producing Bob's bits/training targets;
+            defaults to the 2-bit multi-bit quantizer of [Jana et al.].
+        recurrent_cell: Sequence encoder: ``"bilstm"`` (the paper's
+            choice), ``"lstm"`` or ``"gru"`` (ablation arms).
+        seed: Weight-initialization and shuffling randomness.
+    """
+
+    def __init__(
+        self,
+        seq_len: int = 32,
+        hidden_units: int = 128,
+        key_bits: int = 64,
+        theta: float = 0.9,
+        bob_quantizer: Optional[MultiBitQuantizer] = None,
+        recurrent_cell: str = "bilstm",
+        seed: SeedLike = 0,
+    ):
+        require_positive(seq_len, "seq_len")
+        require_positive(hidden_units, "hidden_units")
+        require_positive(key_bits, "key_bits")
+        self.seq_len = int(seq_len)
+        self.hidden_units = int(hidden_units)
+        self.key_bits = int(key_bits)
+        self.bob_quantizer = (
+            bob_quantizer
+            if bob_quantizer is not None
+            else MultiBitQuantizer(2, fixed_thresholds=True)
+        )
+        require(
+            self.key_bits
+            == self.seq_len * self.bob_quantizer.bits_per_sample,
+            "key_bits must equal seq_len * bob_quantizer.bits_per_sample so the "
+            "quantization head aligns with Bob's bit layout",
+        )
+        self._rng = as_generator(seed)
+        require(
+            recurrent_cell in ("bilstm", "lstm", "gru"),
+            f"recurrent_cell must be bilstm/lstm/gru, got {recurrent_cell!r}",
+        )
+        self.recurrent_cell = recurrent_cell
+        if recurrent_cell == "bilstm":
+            self.encoder = BiLSTM(
+                self.hidden_units, return_sequences=True, seed=self._rng
+            )
+        elif recurrent_cell == "lstm":
+            from repro.nn.layers.lstm import LSTM
+
+            self.encoder = LSTM(
+                self.hidden_units, return_sequences=True, seed=self._rng
+            )
+        else:
+            from repro.nn.layers.gru import GRU
+
+            self.encoder = GRU(
+                self.hidden_units, return_sequences=True, seed=self._rng
+            )
+        # Both heads are time-distributed over the BiLSTM's feature matrix:
+        # the prediction head maps each step's features to that step's
+        # predicted arRSSI value, and the quantization head maps the same
+        # features to that step's bits ("the output matrix of the
+        # prediction layer" in the paper's wording).  Weight sharing across
+        # steps is what a sequence output implies, and the rich per-step
+        # features are what makes the Gray-coded middle-band bits linearly
+        # separable -- a scalar input could not express them.
+        self.prediction_head = Dense(1, seed=self._rng, name="predict")
+        self.quantization_head = Dense(
+            self.bob_quantizer.bits_per_sample,
+            activation="sigmoid",
+            seed=self._rng,
+            name="quantize",
+        )
+        self.loss = JointPredictionQuantizationLoss(theta=theta)
+        self._trained = False
+
+    # -- plumbing -------------------------------------------------------------
+    @property
+    def layers(self):
+        """All layers in forward order (for serialization)."""
+        return [self.encoder, self.prediction_head, self.quantization_head]
+
+    def _forward(
+        self, windows: np.ndarray, training: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(predicted arRSSI ``y_hat``, bit probabilities ``z_hat``)."""
+        batch = windows.shape[0]
+        x = windows[..., np.newaxis]  # [batch, seq, 1]
+        features = self.encoder.forward(x, training=training)
+        y_hat = self.prediction_head.forward(features, training=training)[..., 0]
+        z_steps = self.quantization_head.forward(features, training=training)
+        z_hat = z_steps.reshape(batch, self.key_bits)
+        return y_hat, z_hat
+
+    def _backward(self, grad_y: np.ndarray, grad_z: np.ndarray) -> None:
+        batch = grad_y.shape[0]
+        grad_z_steps = grad_z.reshape(
+            batch, self.seq_len, self.bob_quantizer.bits_per_sample
+        )
+        grad_features = self.quantization_head.backward(grad_z_steps)
+        grad_features = grad_features + self.prediction_head.backward(
+            grad_y[..., np.newaxis]
+        )
+        self.encoder.backward(grad_features)
+
+    def _parameter_list(self):
+        pairs = []
+        for layer in self.layers:
+            if layer.parameters:
+                pairs.extend(layer.parameter_list())
+        return pairs
+
+    # -- targets ---------------------------------------------------------------
+    def bob_bits(self, bob_raw_windows: np.ndarray) -> np.ndarray:
+        """Bob's key bits: multi-bit quantization of his own raw windows.
+
+        This is both the training target and Bob's runtime key derivation
+        (Bob never runs the network).
+        """
+        windows = np.atleast_2d(np.asarray(bob_raw_windows, dtype=float))
+        require(windows.shape[1] == self.seq_len, "window length must equal seq_len")
+        return np.stack(
+            [self.bob_quantizer.quantize(row).bits for row in windows]
+        ).astype(np.uint8)
+
+    # -- training ----------------------------------------------------------------
+    def fit(
+        self,
+        train: KeyGenDataset,
+        validation: Optional[KeyGenDataset] = None,
+        epochs: int = 200,
+        batch_size: int = 32,
+        learning_rate: float = 2e-3,
+        early_stopping: Optional[EarlyStopping] = None,
+        verbose: bool = False,
+    ) -> TrainingReport:
+        """Train on Alice->Bob window pairs with the joint loss (Eq. 3)."""
+        require(train.seq_len == self.seq_len, "dataset seq_len mismatch")
+        require_positive(epochs, "epochs")
+        optimizer = Adam(learning_rate=learning_rate)
+        history = History()
+        z_train = self.bob_bits(train.bob_raw).astype(float)
+        if validation is not None and len(validation):
+            z_val = self.bob_bits(validation.bob_raw).astype(float)
+        best_weights = None
+
+        epochs_run = 0
+        for epoch in range(epochs):
+            epochs_run = epoch + 1
+            order = self._rng.permutation(len(train))
+            losses = []
+            for start in range(0, len(train), batch_size):
+                idx = order[start:start + batch_size]
+                y_true = train.bob[idx]
+                z_true = z_train[idx]
+                y_hat, z_hat = self._forward(train.alice[idx], training=True)
+                losses.append(self.loss.value(y_true, y_hat, z_true, z_hat))
+                grad_y, grad_z = self.loss.gradients(y_true, y_hat, z_true, z_hat)
+                self._backward(grad_y, grad_z)
+                optimizer.apply(self._parameter_list())
+            record = {"loss": float(np.mean(losses))}
+            monitored = record["loss"]
+            if validation is not None and len(validation):
+                y_hat, z_hat = self._forward(validation.alice)
+                record["val_loss"] = self.loss.value(
+                    validation.bob, y_hat, z_val, z_hat
+                )
+                monitored = record["val_loss"]
+            history.record(epoch, **record)
+            if verbose:  # pragma: no cover - console output
+                print(f"epoch {epoch}: " + ", ".join(f"{k}={v:.5f}" for k, v in record.items()))
+            if early_stopping is not None:
+                stop = early_stopping.update(epoch, monitored)
+                if early_stopping.best_epoch == epoch and early_stopping.restore_best:
+                    best_weights = [layer.get_weights() for layer in self.layers]
+                if stop:
+                    break
+        if best_weights is not None:
+            for layer, weights in zip(self.layers, best_weights):
+                if layer.parameters:
+                    layer.set_weights(weights)
+        self._trained = True
+        return TrainingReport(history=history, epochs_run=epochs_run)
+
+    # -- inference ------------------------------------------------------------------
+    def _require_trained(self) -> None:
+        if not self._trained:
+            raise NotTrainedError("PredictionQuantizationModel must be fit() first")
+
+    def predict_sequences(self, alice_windows: np.ndarray) -> np.ndarray:
+        """Predicted (normalized) Bob arRSSI sequences for Alice's windows."""
+        self._require_trained()
+        windows = np.atleast_2d(np.asarray(alice_windows, dtype=float))
+        y_hat, _ = self._forward(windows)
+        return y_hat
+
+    def predict_bit_probabilities(self, alice_windows: np.ndarray) -> np.ndarray:
+        """Quantization-head sigmoid outputs in [0, 1]."""
+        self._require_trained()
+        windows = np.atleast_2d(np.asarray(alice_windows, dtype=float))
+        _, z_hat = self._forward(windows)
+        return z_hat
+
+    def alice_bits(self, alice_windows: np.ndarray) -> np.ndarray:
+        """Alice's key bits: thresholded quantization-head outputs."""
+        return (self.predict_bit_probabilities(alice_windows) > 0.5).astype(np.uint8)
+
+    # -- persistence -------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the model weights (architecture is caller-owned)."""
+        self._require_trained()
+        save_weights(self.layers, path)
+
+    def load(self, path: Union[str, Path]) -> None:
+        """Load weights saved by :meth:`save` into a same-shape model."""
+        # Build layers with a dummy pass before loading.
+        self._forward(np.zeros((1, self.seq_len)))
+        load_weights(self.layers, path)
+        self._trained = True
+
+    def clone_architecture(self, seed: SeedLike = None) -> "PredictionQuantizationModel":
+        """A fresh untrained model with identical hyperparameters."""
+        return PredictionQuantizationModel(
+            seq_len=self.seq_len,
+            hidden_units=self.hidden_units,
+            key_bits=self.key_bits,
+            theta=self.loss.theta,
+            bob_quantizer=self.bob_quantizer,
+            recurrent_cell=self.recurrent_cell,
+            seed=seed if seed is not None else self._rng,
+        )
+
+    def copy_weights_from(self, other: "PredictionQuantizationModel") -> None:
+        """Initialize from another trained model (transfer learning)."""
+        other._require_trained()
+        self._forward(np.zeros((1, self.seq_len)))
+        for mine, theirs in zip(self.layers, other.layers):
+            if theirs.parameters:
+                mine.set_weights(theirs.get_weights())
+        self._trained = True

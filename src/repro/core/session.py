@@ -1,0 +1,368 @@
+"""Authenticated two-party key-agreement session (message level).
+
+Runs the key-derivation half of Vehicle-Key over an already-collected
+probing trace:
+
+1. **Windowing** -- both sides extract arRSSI windows.
+2. **Bit extraction** -- Alice runs the prediction/quantization model;
+   Bob runs his guard-banded multi-bit quantizer (paper Sec. IV-B).
+3. **Consensus masking** -- Bob publishes which samples his guard bands
+   kept; Alice publishes which samples her quantization head was
+   confident about (sigmoid output far from 0.5).  Both keep only the
+   intersection -- the standard public index-exchange step of
+   guard-banded quantizers.
+4. **Reconciliation** -- the surviving bits are pooled into fixed-size
+   blocks; for each block Bob sends one autoencoder syndrome plus a MAC
+   (Sec. IV-C).  The MAC doubles as key confirmation: a block whose
+   reconciliation failed, or whose syndrome was tampered with, fails
+   verification and is discarded.
+5. **Privacy amplification** -- verified blocks are hashed into the
+   final 128-bit key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.model import PredictionQuantizationModel
+from repro.exceptions import ProtocolError
+from repro.metrics.agreement import AgreementSummary, agreement_statistics
+from repro.privacy.amplification import amplify_to_bytes
+from repro.probing.dataset import build_dataset
+from repro.probing.features import FeatureConfig, arrssi_sequences
+from repro.probing.trace import ProbeTrace
+from repro.quantization.base import consensus_mask
+from repro.reconciliation.autoencoder import AutoencoderReconciliation
+from repro.reconciliation.mac import MAC_BYTES, compute_mac, verify_mac
+from repro.utils.validation import require, require_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class SyndromeMessage:
+    """What Bob transmits per reconciliation block.
+
+    Attributes:
+        block_index: Which pooled key block this syndrome covers.
+        session_nonce: Fresh per-session nonce (replay protection).
+        syndrome: Bob's encoder output ``y_Bob``.
+        mac: ``MAC(K'_Bob, nonce || block || syndrome)``.
+    """
+
+    block_index: int
+    session_nonce: bytes
+    syndrome: np.ndarray
+    mac: bytes
+
+    def payload_bytes(self) -> int:
+        """Serialized size charged against the LoRa airtime budget."""
+        return 4 + len(self.session_nonce) + 4 * self.syndrome.size + MAC_BYTES
+
+    def body(self) -> bytes:
+        """The MAC'd message body."""
+        return (
+            self.session_nonce
+            + self.block_index.to_bytes(4, "big")
+            + np.asarray(self.syndrome, dtype="<f8").tobytes()
+        )
+
+
+@dataclass
+class ExtractionDetail:
+    """Per-window consensus extraction output (public masks included).
+
+    Attributes:
+        alice_bits: Alice's surviving bit stream.
+        bob_bits: Bob's, aligned with Alice's.
+        masks: Per-window boolean keep-masks (broadcast protocol state).
+        kept_fraction: Fraction of samples surviving the consensus.
+        consensus_bytes: Mask-exchange payload bytes.
+    """
+
+    alice_bits: np.ndarray
+    bob_bits: np.ndarray
+    masks: List[np.ndarray]
+    kept_fraction: float
+    consensus_bytes: int
+
+
+@dataclass
+class SessionResult:
+    """Everything a completed key-agreement session produced.
+
+    Attributes:
+        raw_agreement: Agreement of the consensus-kept bits before
+            reconciliation, summarized per block.
+        reconciled_agreement: Post-reconciliation agreement (no discards).
+        verified_blocks: Block indices that passed MAC verification.
+        n_blocks: Total reconciliation blocks processed.
+        n_windows: arRSSI windows the trace yielded.
+        kept_fraction: Samples surviving the two-sided consensus mask.
+        final_key_alice: Alice's final key bytes (``None`` if too few
+            verified bits).
+        final_key_bob: Bob's final key bytes.
+        agreed_bits: Verified key-material bits before hashing.
+        consensus_bytes: Mask-exchange payload bytes.
+        reconciliation_bytes: Syndrome payload bytes.
+        reconciliation_messages: Syndrome messages exchanged.
+    """
+
+    raw_agreement: AgreementSummary
+    reconciled_agreement: AgreementSummary
+    verified_blocks: List[int]
+    n_blocks: int
+    n_windows: int
+    kept_fraction: float
+    final_key_alice: Optional[bytes]
+    final_key_bob: Optional[bytes]
+    agreed_bits: int
+    consensus_bytes: int
+    reconciliation_bytes: int
+    reconciliation_messages: int
+
+    @property
+    def keys_match(self) -> bool:
+        """Whether both parties hold the same final key."""
+        return (
+            self.final_key_alice is not None
+            and self.final_key_alice == self.final_key_bob
+        )
+
+    @property
+    def total_public_bytes(self) -> int:
+        """All public-channel payload bytes the session consumed."""
+        return self.consensus_bytes + self.reconciliation_bytes
+
+
+class KeyAgreementSession:
+    """One Vehicle-Key key-agreement run over a probing trace.
+
+    Args:
+        model: Trained prediction/quantization model (Alice's side).
+        reconciler: Trained autoencoder reconciliation.
+        feature_config: arRSSI extraction parameters.
+        final_key_bits: Final key length after privacy amplification.
+        alice_confidence_margin: Alice keeps a sample only when every one
+            of its predicted bit probabilities is at least this far from
+            0.5 -- her side of the two-sided guard band.
+        bob_guard_fraction: Guard-band mass fraction of Bob's runtime
+            quantizer (his side of the two-sided guard band).  Training
+            targets always come from the model's guard-free quantizer so
+            the bit layout stays fixed.
+        session_nonce: Fresh public nonce; defaults to a digest of the
+            trace timing (deterministic for reproducibility).
+    """
+
+    def __init__(
+        self,
+        model: PredictionQuantizationModel,
+        reconciler: AutoencoderReconciliation,
+        feature_config: FeatureConfig = FeatureConfig(),
+        final_key_bits: int = 128,
+        alice_confidence_margin: float = 0.15,
+        bob_guard_fraction: float = 0.30,
+        session_nonce: bytes = None,
+    ):
+        require_positive(final_key_bits, "final_key_bits")
+        require_in_range(alice_confidence_margin, 0.0, 0.49, "alice_confidence_margin")
+        require_in_range(bob_guard_fraction, 0.0, 0.49, "bob_guard_fraction")
+        self.model = model
+        self.reconciler = reconciler
+        self.feature_config = feature_config
+        self.final_key_bits = int(final_key_bits)
+        self.alice_confidence_margin = float(alice_confidence_margin)
+        from repro.quantization.multibit import MultiBitQuantizer
+
+        self.bob_quantizer = MultiBitQuantizer(
+            bits_per_sample=model.bob_quantizer.bits_per_sample,
+            guard_band_fraction=bob_guard_fraction,
+            fixed_thresholds=model.bob_quantizer.fixed_thresholds,
+        )
+        self.session_nonce = session_nonce
+
+    # -- per-side bit extraction -----------------------------------------------
+    def alice_keep_mask(self, probabilities: np.ndarray) -> np.ndarray:
+        """Alice's per-sample confidence mask over one window's outputs."""
+        bits_per_sample = self.model.bob_quantizer.bits_per_sample
+        margins = np.abs(probabilities - 0.5).reshape(-1, bits_per_sample)
+        return margins.min(axis=1) >= self.alice_confidence_margin
+
+    def extract_detail(self, dataset) -> "ExtractionDetail":
+        """Consensus extraction with per-window masks (public protocol state).
+
+        The masks are what both parties broadcast during index
+        reconciliation, so attack harnesses legitimately see them too.
+        """
+        bits_per_sample = self.model.bob_quantizer.bits_per_sample
+        alice_probs = self.model.predict_bit_probabilities(dataset.alice)
+        alice_bits = (alice_probs > 0.5).astype(np.uint8)
+
+        alice_stream: List[np.ndarray] = []
+        bob_stream: List[np.ndarray] = []
+        masks: List[np.ndarray] = []
+        kept = 0
+        total = 0
+        consensus_bytes = 0
+        for index in range(len(dataset)):
+            bob_result = self.bob_quantizer.quantize(dataset.bob_raw[index])
+            alice_keep = self.alice_keep_mask(alice_probs[index])
+            keep = consensus_mask(bob_result.kept, alice_keep)
+            masks.append(keep)
+            total += keep.size
+            kept += int(keep.sum())
+            # Each side publishes its mask: one bit per sample, both ways.
+            consensus_bytes += 2 * ((keep.size + 7) // 8)
+            if not keep.any():
+                continue
+            bob_stream.append(
+                self.bob_quantizer.quantize_with_mask(dataset.bob_raw[index], keep)
+            )
+            groups = alice_bits[index].reshape(-1, bits_per_sample)
+            alice_stream.append(groups[keep].reshape(-1))
+        alice_all = (
+            np.concatenate(alice_stream) if alice_stream else np.zeros(0, np.uint8)
+        )
+        bob_all = np.concatenate(bob_stream) if bob_stream else np.zeros(0, np.uint8)
+        kept_fraction = kept / total if total else 0.0
+        return ExtractionDetail(
+            alice_bits=alice_all,
+            bob_bits=bob_all,
+            masks=masks,
+            kept_fraction=kept_fraction,
+            consensus_bytes=consensus_bytes,
+        )
+
+    def _extract_streams(self, dataset):
+        detail = self.extract_detail(dataset)
+        return (
+            detail.alice_bits,
+            detail.bob_bits,
+            detail.kept_fraction,
+            detail.consensus_bytes,
+        )
+
+    # -- the session -------------------------------------------------------------
+    def run(self, trace, tamper=None) -> SessionResult:
+        """Execute the session.
+
+        Args:
+            trace: A completed probing trace, or a sequence of traces whose
+                surviving bits are pooled (key establishment may span
+                several probing bursts before enough verified bits exist).
+            tamper: Optional fault-injection hook mapping a
+                :class:`SyndromeMessage` to a (possibly modified) message;
+                used by the MITM tests.
+        """
+        traces = [trace] if isinstance(trace, ProbeTrace) else list(trace)
+        require(bool(traces), "need at least one probing trace")
+        nonce = self.session_nonce
+        if nonce is None:
+            nonce = hashlib.sha256(
+                np.ascontiguousarray(traces[0].round_start_s).tobytes()
+            ).digest()[:8]
+
+        alice_parts, bob_parts = [], []
+        kept_fractions = []
+        consensus_bytes = 0
+        n_windows = 0
+        for part in traces:
+            bob_seq, alice_seq = arrssi_sequences(part, self.feature_config)
+            if len(alice_seq) < self.model.seq_len:
+                continue
+            dataset = build_dataset(alice_seq, bob_seq, seq_len=self.model.seq_len)
+            n_windows += len(dataset)
+            alice_bits, bob_bits, kept, mask_bytes = self._extract_streams(dataset)
+            alice_parts.append(alice_bits)
+            bob_parts.append(bob_bits)
+            kept_fractions.append(kept)
+            consensus_bytes += mask_bytes
+        alice_all = (
+            np.concatenate(alice_parts) if alice_parts else np.zeros(0, np.uint8)
+        )
+        bob_all = np.concatenate(bob_parts) if bob_parts else np.zeros(0, np.uint8)
+        kept_fraction = float(np.mean(kept_fractions)) if kept_fractions else 0.0
+        block_bits = self.reconciler.key_bits
+        n_blocks = alice_all.size // block_bits
+
+        corrected_blocks: List[np.ndarray] = []
+        alice_blocks: List[np.ndarray] = []
+        bob_blocks: List[np.ndarray] = []
+        verified: List[int] = []
+        reconciliation_bytes = 0
+        messages = 0
+
+        for block in range(n_blocks):
+            lo, hi = block * block_bits, (block + 1) * block_bits
+            alice_key = alice_all[lo:hi]
+            bob_key = bob_all[lo:hi]
+            alice_blocks.append(alice_key)
+            bob_blocks.append(bob_key)
+
+            # --- Bob's side.
+            syndrome = self.reconciler.bob_syndrome(bob_key)
+            bob_transformed = self.reconciler.bloom.transform(bob_key)
+            body = (
+                nonce
+                + block.to_bytes(4, "big")
+                + np.asarray(syndrome, dtype="<f8").tobytes()
+            )
+            message = SyndromeMessage(
+                block_index=block,
+                session_nonce=nonce,
+                syndrome=syndrome,
+                mac=compute_mac(bob_transformed, body),
+            )
+            if tamper is not None:
+                message = tamper(message)
+            messages += 1
+            reconciliation_bytes += message.payload_bytes()
+
+            # --- Alice's side.
+            if message.session_nonce != nonce:
+                raise ProtocolError("session nonce mismatch: possible replay")
+            corrected = self.reconciler.alice_correct(alice_key, message.syndrome)
+            corrected_blocks.append(corrected)
+            alice_transformed = self.reconciler.bloom.transform(corrected)
+            if verify_mac(alice_transformed, message.body(), message.mac):
+                verified.append(block)
+
+        if n_blocks:
+            raw = agreement_statistics(alice_blocks, bob_blocks)
+            reconciled = agreement_statistics(corrected_blocks, bob_blocks)
+        else:
+            raw = AgreementSummary(mean=0.0, std=0.0, n_pairs=0)
+            reconciled = AgreementSummary(mean=0.0, std=0.0, n_pairs=0)
+
+        verified_alice = (
+            np.concatenate([corrected_blocks[i] for i in verified])
+            if verified
+            else np.zeros(0, dtype=np.uint8)
+        )
+        verified_bob = (
+            np.concatenate([bob_blocks[i] for i in verified])
+            if verified
+            else np.zeros(0, dtype=np.uint8)
+        )
+        if verified_alice.size >= self.final_key_bits:
+            final_alice = amplify_to_bytes(verified_alice, self.final_key_bits)
+            final_bob = amplify_to_bytes(verified_bob, self.final_key_bits)
+        else:
+            final_alice = final_bob = None
+
+        return SessionResult(
+            raw_agreement=raw,
+            reconciled_agreement=reconciled,
+            verified_blocks=verified,
+            n_blocks=n_blocks,
+            n_windows=n_windows,
+            kept_fraction=kept_fraction,
+            final_key_alice=final_alice,
+            final_key_bob=final_bob,
+            agreed_bits=int(verified_alice.size),
+            consensus_bytes=consensus_bytes,
+            reconciliation_bytes=reconciliation_bytes,
+            reconciliation_messages=messages,
+        )

@@ -1,0 +1,134 @@
+"""Cross-scenario transfer learning (paper Sec. V-G, Fig. 14).
+
+A model trained in one scenario (e.g. M1 = V2I-Urban) is fine-tuned with
+a small fraction of data from a new scenario and compared against a model
+trained from scratch there.  The paper's finding: transfer-10% reaches
+traditionally-trained accuracy with 10% of the data and a tenth of the
+epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.model import PredictionQuantizationModel
+from repro.probing.dataset import DatasetSplits, KeyGenDataset, split_dataset
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require, require_in_range, require_positive
+
+
+@dataclass
+class TransferResult:
+    """Agreement of one fine-tuning configuration on the target test set.
+
+    Attributes:
+        label: e.g. ``"transfer-10%"`` or ``"scratch"``.
+        fraction: Fraction of target-scenario training data used.
+        epochs: Fine-tuning epochs run.
+        agreement: Mean bit agreement on the target scenario's test split.
+    """
+
+    label: str
+    fraction: float
+    epochs: int
+    agreement: float
+
+
+def evaluate_agreement(
+    model: PredictionQuantizationModel, dataset: KeyGenDataset
+) -> float:
+    """Mean Alice-vs-Bob bit agreement of ``model`` on ``dataset``."""
+    require(len(dataset) > 0, "cannot evaluate on an empty dataset")
+    alice = model.alice_bits(dataset.alice)
+    bob = model.bob_bits(dataset.bob_raw)
+    return float(np.mean(alice == bob))
+
+
+def fine_tune(
+    base_model: PredictionQuantizationModel,
+    target_splits: DatasetSplits,
+    fraction: float = 0.10,
+    epochs: int = 20,
+    learning_rate: float = 5e-4,
+    seed: SeedLike = 0,
+) -> TransferResult:
+    """Fine-tune a copy of ``base_model`` on a fraction of target data.
+
+    Args:
+        base_model: Trained source-scenario model (M1 in the paper).
+        target_splits: Target-scenario train/val/test datasets.
+        fraction: Fraction of the target train split used (paper: 10%,
+            50%, 100%).
+        epochs: Fine-tuning epochs (paper: 20).
+        learning_rate: Lower than from-scratch training, as usual for
+            fine-tuning.
+        seed: Subset selection and shuffling randomness.
+    """
+    require_in_range(fraction, 0.0, 1.0, "fraction")
+    require_positive(epochs, "epochs")
+    rng = as_generator(seed)
+    tuned = base_model.clone_architecture(seed=rng)
+    tuned.copy_weights_from(base_model)
+    subset = target_splits.train.take_fraction(fraction, seed=rng)
+    tuned.fit(
+        subset,
+        target_splits.validation,
+        epochs=epochs,
+        learning_rate=learning_rate,
+    )
+    agreement = evaluate_agreement(tuned, target_splits.test)
+    return TransferResult(
+        label=f"transfer-{int(round(100 * fraction))}%",
+        fraction=fraction,
+        epochs=epochs,
+        agreement=agreement,
+    )
+
+
+def train_from_scratch(
+    reference: PredictionQuantizationModel,
+    target_splits: DatasetSplits,
+    epochs: int,
+    seed: SeedLike = 0,
+) -> TransferResult:
+    """The traditional-training comparison arm of Fig. 14."""
+    require_positive(epochs, "epochs")
+    model = reference.clone_architecture(seed=as_generator(seed))
+    model.fit(target_splits.train, target_splits.validation, epochs=epochs)
+    return TransferResult(
+        label="scratch",
+        fraction=1.0,
+        epochs=epochs,
+        agreement=evaluate_agreement(model, target_splits.test),
+    )
+
+
+def transfer_study(
+    base_model: PredictionQuantizationModel,
+    target_dataset: KeyGenDataset,
+    fractions: List[float] = (0.10, 0.50, 1.00),
+    fine_tune_epochs: int = 20,
+    scratch_epochs: int = 20,
+    seed: SeedLike = 0,
+) -> Dict[str, TransferResult]:
+    """Fig. 14's comparison for one source->target scenario pair.
+
+    Returns results keyed by label, including the ``"scratch"`` arm
+    trained for the same (small) epoch budget -- the regime where the
+    paper shows transfer winning.
+    """
+    splits = split_dataset(target_dataset, seed=as_generator(seed))
+    results: Dict[str, TransferResult] = {}
+    for fraction in fractions:
+        result = fine_tune(
+            base_model, splits, fraction=fraction, epochs=fine_tune_epochs, seed=seed
+        )
+        results[result.label] = result
+    scratch = train_from_scratch(
+        base_model, splits, epochs=scratch_epochs, seed=seed
+    )
+    results[scratch.label] = scratch
+    return results

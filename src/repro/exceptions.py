@@ -1,0 +1,30 @@
+"""Exception hierarchy for the Vehicle-Key reproduction.
+
+Every exception raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except ReproError`` while letting programming errors propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or combination of parameters was supplied."""
+
+
+class ProtocolError(ReproError):
+    """A key-agreement protocol message was malformed or out of order."""
+
+
+class AuthenticationError(ProtocolError):
+    """A MAC check failed: the message was tampered with or forged."""
+
+
+class ReconciliationFailure(ReproError):
+    """Reconciliation could not correct the mismatches between the keys."""
+
+
+class NotTrainedError(ReproError):
+    """A learned component was used before it was trained or loaded."""

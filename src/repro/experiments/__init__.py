@@ -1,0 +1,23 @@
+"""Experiment modules: one per table/figure of the paper's evaluation.
+
+Every module exposes ``run(quick=True, seed=0) -> ExperimentResult``; the
+``quick`` flag trades training scale and repetition count for runtime and
+is what the benchmark harness uses.  ``repro.experiments.runner`` runs
+everything and prints the paper-style tables.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    get_scale,
+    get_trained_pipeline,
+    clear_pipeline_cache,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Scale",
+    "get_scale",
+    "get_trained_pipeline",
+    "clear_pipeline_cache",
+]

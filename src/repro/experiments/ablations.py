@@ -1,0 +1,221 @@
+"""Ablations of Vehicle-Key's design choices (DESIGN.md section 5).
+
+Not figures from the paper, but checks of the design decisions the paper
+asserts without ablation:
+
+- **theta** (joint loss weight): quantization-head quality across the
+  MSE/BCE balance; theta = 1 removes the BCE term entirely and the
+  quantization head never learns.
+- **Bloom filter**: reconciliation behaviour is unchanged (position
+  preservation) while the syndrome stops being a fixed linear sketch of
+  the raw key.
+- **Bob's quantizer**: multi-bit vs mean-threshold extraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.scenario import ScenarioName, scenario_config
+from repro.core.model import PredictionQuantizationModel
+from repro.core.pipeline import PipelineConfig, VehicleKeyPipeline
+from repro.experiments.common import ExperimentResult
+from repro.probing.dataset import split_dataset
+from repro.probing.features import FeatureConfig
+from repro.quantization.mean_threshold import MeanThresholdQuantizer
+from repro.quantization.multibit import MultiBitQuantizer
+from repro.reconciliation.autoencoder import AutoencoderReconciliation
+from repro.utils.bits import flip_bits, random_bits
+
+THETAS = (0.5, 0.7, 0.9, 1.0)
+
+
+def _dataset(quick: bool, seed: int):
+    config = PipelineConfig(
+        scenario=scenario_config(ScenarioName.V2I_URBAN),
+        feature_config=FeatureConfig(window_fraction=0.10, values_per_packet=2),
+        hidden_units=24,
+    )
+    pipeline = VehicleKeyPipeline(config, seed=seed)
+    dataset = pipeline.collect_dataset(n_episodes=60 if quick else 200)
+    return split_dataset(dataset, seed=seed)
+
+
+def run_theta(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Joint-loss weight sweep."""
+    splits = _dataset(quick, seed)
+    epochs = 40 if quick else 120
+    result = ExperimentResult(
+        experiment_id="ablation-theta",
+        title="joint loss weight theta vs quantization-head agreement",
+        columns=["theta", "kar"],
+        notes=(
+            "theta=1 removes the BCE term: the quantization head never "
+            "trains and agreement collapses to chance"
+        ),
+    )
+    for theta in THETAS:
+        model = PredictionQuantizationModel(
+            seq_len=32, hidden_units=24, key_bits=64, theta=theta, seed=seed
+        )
+        model.fit(splits.train, splits.validation, epochs=epochs, batch_size=64)
+        alice = model.alice_bits(splits.test.alice)
+        bob = model.bob_bits(splits.test.bob_raw)
+        result.add_row(theta=theta, kar=float(np.mean(alice == bob)))
+    return result
+
+
+def run_bloom(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Bloom filter on/off: correction unchanged, syndrome de-structured."""
+    n_keys = 40 if quick else 150
+    train_kwargs = dict(
+        n_samples=12000 if quick else 40000,
+        epochs=25 if quick else 60,
+        mismatch_rate_range=(0.0, 0.08),
+    )
+    result = ExperimentResult(
+        experiment_id="ablation-bloom",
+        title="position-preserving Bloom filter on/off",
+        columns=["variant", "reconciled_agreement", "syndrome_key_correlation"],
+        notes=(
+            "agreement should match; without the filter the syndrome is a "
+            "fixed function of the raw key bits (higher linear correlation "
+            "with them)"
+        ),
+    )
+    for variant, salt in (("with-bloom", b"session-salt"), ("no-bloom", None)):
+        reconciler = AutoencoderReconciliation(
+            key_bits=64, code_dim=48, decoder_units=128, seed=seed,
+            salt=salt if salt is not None else b"x",
+        )
+        if salt is None:
+            # Disable the transform: identity permutation, zero pad.
+            reconciler.bloom._permutation = np.arange(64)
+            reconciler.bloom._inverse_permutation = np.arange(64)
+            reconciler.bloom._pad = np.zeros(64, dtype=np.uint8)
+        reconciler.fit(**train_kwargs)
+        agreements = []
+        syndromes = []
+        keys = []
+        for index in range(n_keys):
+            bob = random_bits(64, seed * 1000 + index)
+            positions = np.random.default_rng(index).choice(64, size=2, replace=False)
+            alice = flip_bits(bob, positions)
+            agreements.append(reconciler.reconcile(alice, bob).agreement)
+            syndromes.append(reconciler.bob_syndrome(bob))
+            keys.append(bob)
+        syndromes = np.stack(syndromes)
+        keys = np.stack(keys).astype(float)
+        # Max |correlation| between any syndrome coordinate and any raw key bit.
+        centered_s = syndromes - syndromes.mean(0)
+        centered_k = keys - keys.mean(0)
+        numerator = np.abs(centered_s.T @ centered_k)
+        denominator = np.outer(
+            np.linalg.norm(centered_s, axis=0), np.linalg.norm(centered_k, axis=0)
+        )
+        correlation = float(np.max(numerator / np.maximum(denominator, 1e-12)))
+        result.add_row(
+            variant=variant,
+            reconciled_agreement=float(np.mean(agreements)),
+            syndrome_key_correlation=correlation,
+        )
+    return result
+
+
+def run_architecture(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Recurrent-cell choice: BiLSTM (paper) vs LSTM vs GRU."""
+    splits = _dataset(quick, seed)
+    epochs = 40 if quick else 120
+    result = ExperimentResult(
+        experiment_id="ablation-architecture",
+        title="sequence encoder: BiLSTM vs LSTM vs GRU",
+        columns=["cell", "kar", "parameters"],
+        notes=(
+            "the paper's BiLSTM sees both past and future context; the "
+            "unidirectional cells are the cheaper what-ifs"
+        ),
+    )
+    for cell in ("bilstm", "lstm", "gru"):
+        model = PredictionQuantizationModel(
+            seq_len=32,
+            hidden_units=24,
+            key_bits=64,
+            recurrent_cell=cell,
+            seed=seed,
+        )
+        model.fit(splits.train, splits.validation, epochs=epochs, batch_size=64)
+        alice = model.alice_bits(splits.test.alice)
+        bob = model.bob_bits(splits.test.bob_raw)
+        n_parameters = sum(
+            value.size
+            for layer in model.layers
+            for value in layer.parameters.values()
+        )
+        result.add_row(
+            cell=cell, kar=float(np.mean(alice == bob)), parameters=n_parameters
+        )
+    return result
+
+
+def run_quantizer(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Bob-side quantizer choice: multi-bit vs mean threshold."""
+    splits = _dataset(quick, seed)
+    result = ExperimentResult(
+        experiment_id="ablation-quantizer",
+        title="Bob's quantizer: agreement and bits per window",
+        columns=["quantizer", "kar", "bits_per_window"],
+        notes="multi-bit doubles the rate at a modest agreement cost",
+    )
+    test = splits.test
+    for label, quantizer in (
+        ("mean-threshold", MeanThresholdQuantizer()),
+        ("multi-bit-2", MultiBitQuantizer(2, fixed_thresholds=True)),
+    ):
+        rates = []
+        bits = None
+        for alice_raw, bob_raw in zip(test.alice_raw, test.bob_raw):
+            result_a = quantizer.quantize(alice_raw)
+            result_b = quantizer.quantize(bob_raw)
+            rates.append(float(np.mean(result_a.bits == result_b.bits)))
+            bits = result_b.bits.size
+        result.add_row(
+            quantizer=label, kar=float(np.mean(rates)), bits_per_window=bits
+        )
+    return result
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """All ablations merged into one table."""
+    merged = ExperimentResult(
+        experiment_id="ablations",
+        title="design-choice ablations",
+        columns=["ablation", "setting", "metric", "value"],
+    )
+    theta = run_theta(quick, seed)
+    for row in theta.rows:
+        merged.add_row(
+            ablation="theta", setting=str(row["theta"]), metric="kar", value=row["kar"]
+        )
+    bloom = run_bloom(quick, seed)
+    for row in bloom.rows:
+        merged.add_row(
+            ablation="bloom",
+            setting=row["variant"],
+            metric="agreement",
+            value=row["reconciled_agreement"],
+        )
+        merged.add_row(
+            ablation="bloom",
+            setting=row["variant"],
+            metric="syndrome-key-corr",
+            value=row["syndrome_key_correlation"],
+        )
+    quantizer = run_quantizer(quick, seed)
+    for row in quantizer.rows:
+        merged.add_row(
+            ablation="quantizer",
+            setting=row["quantizer"],
+            metric="kar",
+            value=row["kar"],
+        )
+    return merged

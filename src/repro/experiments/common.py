@@ -1,0 +1,135 @@
+"""Shared experiment infrastructure: results, scales, pipeline cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.channel.scenario import ScenarioName
+from repro.core.pipeline import PipelineConfig, VehicleKeyPipeline
+from repro.utils.validation import require
+
+
+@dataclass
+class ExperimentResult:
+    """One table/figure's regenerated data.
+
+    Attributes:
+        experiment_id: Paper reference, e.g. ``"fig12"`` or ``"table1"``.
+        title: Human-readable description.
+        columns: Column names, defining row ordering.
+        rows: One dict per reported row/series point.
+        notes: Substitutions, caveats, paper-vs-measured commentary.
+    """
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values) -> None:
+        """Append one row; keys must cover the declared columns."""
+        missing = [c for c in self.columns if c not in values]
+        require(not missing, f"row is missing columns {missing}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def to_table(self) -> str:
+        """Render rows as an aligned text table (the paper-style output)."""
+        def fmt(value):
+            if isinstance(value, float):
+                return f"{value:.4f}"
+            return str(value)
+
+        widths = {
+            c: max(len(c), *(len(fmt(row[c])) for row in self.rows)) if self.rows else len(c)
+            for c in self.columns
+        }
+        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        lines = [f"== {self.experiment_id}: {self.title} ==", header,
+                 "  ".join("-" * widths[c] for c in self.columns)]
+        for row in self.rows:
+            lines.append("  ".join(fmt(row[c]).ljust(widths[c]) for c in self.columns))
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing knobs.
+
+    ``quick`` targets benchmark runtimes (tens of seconds per
+    experiment); ``full`` approaches paper scale.
+    """
+
+    train_episodes: int
+    train_epochs: int
+    reconciler_epochs: int
+    session_rounds: int
+    n_sessions: int
+    n_seeds: int
+
+
+_QUICK = Scale(
+    train_episodes=220,
+    train_epochs=90,
+    reconciler_epochs=30,
+    session_rounds=256,
+    n_sessions=3,
+    n_seeds=2,
+)
+_FULL = Scale(
+    train_episodes=400,
+    train_epochs=200,
+    reconciler_epochs=60,
+    session_rounds=512,
+    n_sessions=8,
+    n_seeds=4,
+)
+
+
+def get_scale(quick: bool) -> Scale:
+    """The sizing preset for quick or full runs."""
+    return _QUICK if quick else _FULL
+
+
+_PIPELINE_CACHE: Dict[Tuple, VehicleKeyPipeline] = {}
+
+
+def get_trained_pipeline(
+    scenario: ScenarioName,
+    seed: int = 0,
+    quick: bool = True,
+    config: Optional[PipelineConfig] = None,
+    cache_key_extra: str = "",
+) -> VehicleKeyPipeline:
+    """A trained pipeline for a scenario, cached across experiments.
+
+    Training dominates every learned experiment's runtime; Fig. 10, 12,
+    13, 15 and the tables can share one trained pipeline per scenario.
+    """
+    key = (scenario, seed, quick, cache_key_extra)
+    if key in _PIPELINE_CACHE:
+        return _PIPELINE_CACHE[key]
+    scale = get_scale(quick)
+    if config is None:
+        pipeline = VehicleKeyPipeline.for_scenario(scenario, seed=seed)
+    else:
+        pipeline = VehicleKeyPipeline(config, seed=seed)
+    pipeline.train(
+        n_episodes=scale.train_episodes,
+        epochs=scale.train_epochs,
+        reconciler_epochs=scale.reconciler_epochs,
+    )
+    _PIPELINE_CACHE[key] = pipeline
+    return pipeline
+
+
+def clear_pipeline_cache() -> None:
+    """Drop all cached pipelines (frees memory between experiment sets)."""
+    _PIPELINE_CACHE.clear()

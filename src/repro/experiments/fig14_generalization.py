@@ -1,0 +1,56 @@
+"""Fig. 14: cross-scenario generalization via fine-tuning.
+
+Paper claims: fine-tuning the V2I-Urban model (M1) with 10% of a new
+scenario's data for 20 epochs matches or beats training from scratch
+with the full data and the same epoch budget, across M1->M2/M3/M4.
+"""
+
+from __future__ import annotations
+
+from repro.channel.scenario import ScenarioName
+from repro.core.transfer import transfer_study
+from repro.experiments.common import ExperimentResult, get_scale, get_trained_pipeline
+
+TARGETS = (
+    ScenarioName.V2I_RURAL,
+    ScenarioName.V2V_URBAN,
+    ScenarioName.V2V_RURAL,
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Regenerate the M1->{M2,M3,M4} transfer comparison."""
+    scale = get_scale(quick)
+    epochs = 10 if quick else 20
+    base = get_trained_pipeline(ScenarioName.V2I_URBAN, seed=seed, quick=quick)
+    result = ExperimentResult(
+        experiment_id="fig14",
+        title="transfer learning from M1 (V2I-Urban)",
+        columns=["target", "arm", "fraction", "agreement"],
+        notes=(
+            "paper shape: transfer-10% with a small epoch budget matches "
+            "or beats from-scratch training with the same budget"
+        ),
+    )
+    for target in TARGETS:
+        target_pipeline = get_trained_pipeline(target, seed=seed, quick=quick)
+        dataset = target_pipeline.collect_dataset(
+            n_episodes=max(20, scale.train_episodes // 4),
+            episode_prefix="transfer-target",
+        )
+        study = transfer_study(
+            base.model,
+            dataset,
+            fractions=[0.10, 0.50, 1.00],
+            fine_tune_epochs=epochs,
+            scratch_epochs=epochs,
+            seed=seed,
+        )
+        for label, arm in study.items():
+            result.add_row(
+                target=target.value,
+                arm=label,
+                fraction=arm.fraction,
+                agreement=arm.agreement,
+            )
+    return result

@@ -1,0 +1,78 @@
+"""Run every experiment and print the paper-style tables.
+
+Usage::
+
+    python -m repro.experiments.runner            # quick mode
+    python -m repro.experiments.runner --full     # paper-scale
+    python -m repro.experiments.runner fig10 fig12-13
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    duty_cycle,
+    fig02_feasibility,
+    fig03_prssi_vs_rrssi,
+    fig04_register_trace,
+    fig09_arrssi_window,
+    fig10_prediction,
+    fig11_reconciliation,
+    fig12_13_comparison,
+    fig14_generalization,
+    fig15_security,
+    fig16_eve_trace,
+    table1_robustness,
+    table2_nist,
+    table3_power,
+)
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig02": fig02_feasibility.run,
+    "fig03": fig03_prssi_vs_rrssi.run,
+    "fig04": fig04_register_trace.run,
+    "fig09": fig09_arrssi_window.run,
+    "fig10": fig10_prediction.run,
+    "fig11": fig11_reconciliation.run,
+    "fig12-13": fig12_13_comparison.run,
+    "fig14": fig14_generalization.run,
+    "fig15": fig15_security.run,
+    "fig16": fig16_eve_trace.run,
+    "table1": table1_robustness.run,
+    "table2": table2_nist.run,
+    "table3": table3_power.run,
+    "ablations": ablations.run,
+    "duty-cycle": duty_cycle.run,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="subset of experiment ids")
+    parser.add_argument("--full", action="store_true", help="paper-scale runs")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}")
+
+    for name in selected:
+        start = time.time()
+        result = EXPERIMENTS[name](quick=not args.full, seed=args.seed)
+        elapsed = time.time() - start
+        print(result.to_table())
+        print(f"({name} regenerated in {elapsed:.1f} s)\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

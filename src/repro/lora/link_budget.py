@@ -1,0 +1,94 @@
+"""Link budget: transmit power and path gain to received power.
+
+Converts the channel simulator's path gain (dB) into the RSSI a LoRa
+receiver would report, and provides the LoRa sensitivity/noise-floor
+figures needed to decide whether a probe is decodable at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lora.airtime import LoRaPHYConfig
+from repro.utils.validation import require, require_positive
+
+#: Minimum SNR (dB) demodulable at each spreading factor (Semtech datasheet).
+_SNR_LIMIT_DB = {
+    6: -5.0,
+    7: -7.5,
+    8: -10.0,
+    9: -12.5,
+    10: -15.0,
+    11: -17.5,
+    12: -20.0,
+}
+
+#: Typical SX127x receiver noise figure in dB.
+DEFAULT_NOISE_FIGURE_DB = 6.0
+
+
+def noise_floor_dbm(bandwidth_hz: float, noise_figure_db: float = DEFAULT_NOISE_FIGURE_DB) -> float:
+    """Thermal noise floor: ``-174 + 10 log10(BW) + NF`` dBm."""
+    require_positive(bandwidth_hz, "bandwidth_hz")
+    import math
+
+    return -174.0 + 10.0 * math.log10(bandwidth_hz) + noise_figure_db
+
+
+def sensitivity_dbm(
+    spreading_factor: int,
+    bandwidth_hz: float,
+    noise_figure_db: float = DEFAULT_NOISE_FIGURE_DB,
+) -> float:
+    """Receiver sensitivity: noise floor plus the SF's SNR demodulation limit."""
+    require(
+        spreading_factor in _SNR_LIMIT_DB,
+        f"spreading_factor must be in {sorted(_SNR_LIMIT_DB)}, got {spreading_factor}",
+    )
+    return noise_floor_dbm(bandwidth_hz, noise_figure_db) + _SNR_LIMIT_DB[spreading_factor]
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Static link parameters for one direction of a LoRa link.
+
+    Attributes:
+        tx_power_dbm: Transmit power at the antenna connector.
+        tx_antenna_gain_dbi: Transmitter antenna gain.
+        rx_antenna_gain_dbi: Receiver antenna gain.
+        cable_loss_db: Total feed-line loss, both ends.
+    """
+
+    tx_power_dbm: float = 14.0
+    tx_antenna_gain_dbi: float = 2.0
+    rx_antenna_gain_dbi: float = 2.0
+    cable_loss_db: float = 0.5
+
+    @property
+    def eirp_dbm(self) -> float:
+        """Effective isotropically radiated power."""
+        return self.tx_power_dbm + self.tx_antenna_gain_dbi - self.cable_loss_db
+
+    def received_power_dbm(self, path_gain_db: float) -> float:
+        """RSSI implied by a (negative) path gain in dB.
+
+        ``path_gain_db`` is the channel simulator's total gain: negative
+        path loss plus shadowing plus small-scale fading, all in dB.
+        """
+        return self.eirp_dbm + path_gain_db + self.rx_antenna_gain_dbi
+
+    def snr_db(self, path_gain_db: float, phy: LoRaPHYConfig) -> float:
+        """Signal-to-noise ratio of a received probe."""
+        return self.received_power_dbm(path_gain_db) - noise_floor_dbm(phy.bandwidth_hz)
+
+    def is_decodable(self, path_gain_db: float, phy: LoRaPHYConfig) -> bool:
+        """Whether a packet at this path gain is above the SF's SNR limit."""
+        return self.snr_db(path_gain_db, phy) >= _SNR_LIMIT_DB[phy.spreading_factor]
+
+    def max_path_loss_db(self, phy: LoRaPHYConfig) -> float:
+        """Largest tolerable path loss (positive dB) before decoding fails."""
+        return (
+            self.eirp_dbm
+            + self.rx_antenna_gain_dbi
+            - sensitivity_dbm(phy.spreading_factor, phy.bandwidth_hz)
+        )

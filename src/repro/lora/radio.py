@@ -1,0 +1,113 @@
+"""Transceiver hardware models.
+
+The paper evaluates three devices (Table I): an Arduino Uno with a Dragino
+LoRa Shield (SX1278), a MultiTech xDot (SX1272) and a MultiTech mDot
+(SX1272).  Hardware imperfection is one of the four reciprocity-breaking
+effects listed in Sec. II-A; we model it as a per-device RSSI offset, a
+per-device measurement noise level, the 1 dB RSSI register resolution of
+the SX127x family, and the host's processing delay between receiving a
+probe and emitting the response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class TransceiverModel:
+    """A LoRa transceiver plus its host microcontroller.
+
+    Attributes:
+        name: Marketing name used in the paper's Table I.
+        chip: Semtech radio chip (SX1272/SX1278).
+        rssi_offset_db: Systematic RSSI calibration offset of this unit.
+        rssi_noise_std_db: Standard deviation of the additive measurement
+            noise on each register-RSSI sample.
+        rssi_resolution_db: Granularity of the RSSI register (1 dB on the
+            SX127x family).
+        rssi_floor_dbm: Lowest reportable RSSI.
+        processing_delay_s: Host turnaround time between finishing the
+            reception of a probe and starting the response transmission
+            ("operation delay" in Sec. II-A, milliseconds in practice).
+        tx_power_dbm: Transmit power used for probes.
+        rssi_smoothing_alpha: Exponential-average coefficient of the RSSI
+            register.  The SX127x RSSI register is a smoothed estimate of
+            recent signal power, not an instantaneous sample; each symbol's
+            register read is ``(1 - alpha) * previous + alpha * current``.
+            1.0 disables smoothing.
+    """
+
+    name: str
+    chip: str
+    rssi_offset_db: float = 0.0
+    rssi_noise_std_db: float = 1.0
+    rssi_resolution_db: float = 1.0
+    rssi_floor_dbm: float = -137.0
+    processing_delay_s: float = 5e-3
+    tx_power_dbm: float = 14.0
+    rssi_smoothing_alpha: float = 0.45
+    #: Extra error on the chip's whole-packet RSSI report.  The SX127x
+    #: PacketRssi register is a separately calibrated estimate with a
+    #: +/-3 dB accuracy spec; systems built on pRSSI inherit this error,
+    #: while register-RSSI pipelines do not.
+    packet_rssi_noise_std_db: float = 1.2
+
+    def __post_init__(self) -> None:
+        require_positive(self.rssi_resolution_db, "rssi_resolution_db")
+        if self.rssi_noise_std_db < 0:
+            raise ConfigurationError("rssi_noise_std_db must be >= 0")
+        if self.processing_delay_s < 0:
+            raise ConfigurationError("processing_delay_s must be >= 0")
+        if not 0.0 < self.rssi_smoothing_alpha <= 1.0:
+            raise ConfigurationError("rssi_smoothing_alpha must be in (0, 1]")
+
+
+#: Arduino Uno + Dragino LoRa Shield (SX1278).  The slowest host (16 MHz
+#: AVR) and hence the largest turnaround delay, but a well-calibrated radio.
+DRAGINO_LORA_SHIELD = TransceiverModel(
+    name="Dragino LoRa Shield",
+    chip="SX1278",
+    rssi_offset_db=0.0,
+    rssi_noise_std_db=0.9,
+    processing_delay_s=8e-3,
+)
+
+#: MultiTech xDot (ARM Cortex-M3, SX1272).
+MULTITECH_XDOT = TransceiverModel(
+    name="MultiTech xDot",
+    chip="SX1272",
+    rssi_offset_db=1.5,
+    rssi_noise_std_db=1.1,
+    processing_delay_s=4e-3,
+)
+
+#: MultiTech mDot (ARM Cortex-M3, SX1272).
+MULTITECH_MDOT = TransceiverModel(
+    name="MultiTech mDot",
+    chip="SX1272",
+    rssi_offset_db=-1.0,
+    rssi_noise_std_db=1.1,
+    processing_delay_s=4e-3,
+)
+
+ALL_DEVICES: Tuple[TransceiverModel, ...] = (
+    DRAGINO_LORA_SHIELD,
+    MULTITECH_XDOT,
+    MULTITECH_MDOT,
+)
+
+_DEVICES_BY_NAME: Dict[str, TransceiverModel] = {d.name: d for d in ALL_DEVICES}
+
+
+def device_by_name(name: str) -> TransceiverModel:
+    """Look up one of the paper's three evaluation devices by name."""
+    try:
+        return _DEVICES_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_DEVICES_BY_NAME))
+        raise ConfigurationError(f"unknown device {name!r}; known devices: {known}")

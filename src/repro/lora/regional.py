@@ -1,0 +1,126 @@
+"""Regional regulatory constraints on LoRa transmissions.
+
+The paper probes back-to-back at 434 MHz and reports key rates that
+ignore regulatory duty cycles; real deployments cannot.  This module
+models the common regional plans and converts a transmission schedule
+into its legally-paced equivalent, which the duty-cycle analysis
+experiment uses to show how interactive reconciliation (Cascade) becomes
+impractical under a 1% budget -- the quantitative form of the paper's
+communication-overhead critique.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class RegionalPlan:
+    """One region's transmission rules for the relevant band.
+
+    Attributes:
+        name: Human-readable plan name.
+        duty_cycle: Allowed fraction of airtime per averaging window
+            (1.0 = unrestricted).
+        dwell_limit_s: Maximum single-transmission airtime, or ``None``.
+        averaging_window_s: Window over which the duty cycle is assessed.
+    """
+
+    name: str
+    duty_cycle: float
+    dwell_limit_s: Optional[float] = None
+    averaging_window_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        require(0.0 < self.duty_cycle <= 1.0, "duty_cycle must be in (0, 1]")
+        require_positive(self.averaging_window_s, "averaging_window_s")
+        if self.dwell_limit_s is not None:
+            require_positive(self.dwell_limit_s, "dwell_limit_s")
+
+    def min_gap_after(self, airtime_s: float) -> float:
+        """Silence required after a transmission of the given airtime.
+
+        The standard per-device pacing rule: after transmitting for T,
+        stay silent for ``T * (1/duty - 1)``.
+        """
+        require(airtime_s >= 0, "airtime_s must be >= 0")
+        return airtime_s * (1.0 / self.duty_cycle - 1.0)
+
+    def allows_airtime(self, airtime_s: float) -> bool:
+        """Whether a single transmission of this airtime is permitted."""
+        return self.dwell_limit_s is None or airtime_s <= self.dwell_limit_s
+
+
+#: EU 433.05-434.79 MHz ISM band (ERC 70-03): 10% duty cycle.  This is
+#: the band the paper's 434 MHz experiments sit in.
+EU433 = RegionalPlan(name="EU 433 MHz (10%)", duty_cycle=0.10)
+
+#: EU 868 MHz general sub-band: 1% duty cycle.
+EU868 = RegionalPlan(name="EU 868 MHz (1%)", duty_cycle=0.01)
+
+#: US 902-928 MHz under FCC part 15: no duty cycle, 400 ms dwell limit.
+US915 = RegionalPlan(name="US 915 MHz (dwell)", duty_cycle=1.0, dwell_limit_s=0.4)
+
+#: No regulatory constraint (the paper's implicit assumption).
+UNRESTRICTED = RegionalPlan(name="unrestricted", duty_cycle=1.0)
+
+ALL_PLANS: Tuple[RegionalPlan, ...] = (UNRESTRICTED, EU433, EU868, US915)
+
+
+class DutyCycleBudget:
+    """Tracks a device's airtime budget over a sliding window.
+
+    Feed it every transmission; it answers when the next one may start.
+    """
+
+    def __init__(self, plan: RegionalPlan):
+        self.plan = plan
+        self._history: Deque[Tuple[float, float]] = deque()  # (start, airtime)
+
+    def _trim(self, now_s: float) -> None:
+        horizon = now_s - self.plan.averaging_window_s
+        while self._history and self._history[0][0] < horizon:
+            self._history.popleft()
+
+    def airtime_used_s(self, now_s: float) -> float:
+        """Airtime consumed within the current averaging window."""
+        self._trim(now_s)
+        return sum(airtime for _, airtime in self._history)
+
+    def earliest_start(self, desired_start_s: float, airtime_s: float) -> float:
+        """When a transmission of the given airtime may legally begin."""
+        require(
+            self.plan.allows_airtime(airtime_s),
+            f"airtime {airtime_s:.3f}s exceeds the plan's dwell limit",
+        )
+        if self.plan.duty_cycle >= 1.0:
+            return desired_start_s
+        if not self._history:
+            return desired_start_s
+        last_start, last_airtime = self._history[-1]
+        pacing = last_start + last_airtime + self.plan.min_gap_after(last_airtime)
+        return max(desired_start_s, pacing)
+
+    def record(self, start_s: float, airtime_s: float) -> None:
+        """Register a transmission that actually happened."""
+        require(airtime_s >= 0, "airtime_s must be >= 0")
+        self._history.append((start_s, airtime_s))
+
+
+def paced_duration_s(
+    n_messages: int, airtime_per_message_s: float, plan: RegionalPlan
+) -> float:
+    """Wall-clock time for a message sequence under a regional plan.
+
+    Each message is followed by the plan's mandatory silence except the
+    last; this is the lower bound a polite device achieves.
+    """
+    require(n_messages >= 0, "n_messages must be >= 0")
+    if n_messages == 0:
+        return 0.0
+    gap = plan.min_gap_after(airtime_per_message_s)
+    return n_messages * airtime_per_message_s + (n_messages - 1) * gap

@@ -1,0 +1,115 @@
+"""RSSI measurement model: register RSSI versus packet RSSI.
+
+The paper's key empirical observation (Sec. II-C) is that the SX127x
+exposes two RSSI readings:
+
+- *packet RSSI* (pRSSI): the RSSI averaged over the whole packet
+  reception -- hundreds of milliseconds at low data rates, during which
+  the vehicular channel changes completely; and
+- *register RSSI* (rRSSI): the instantaneous RSSI register, which firmware
+  can poll once per symbol during reception.
+
+This module turns a continuous received-power trajectory into the
+register-RSSI sample vector a real SX127x host would log: one sample per
+symbol, quantized to the register's 1 dB resolution, biased by the unit's
+calibration offset and corrupted by measurement noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.lora.airtime import LoRaPHYConfig
+from repro.lora.radio import TransceiverModel
+from repro.utils.rng import SeedLike, as_generator
+
+
+def packet_rssi(register_samples: np.ndarray, resolution_db: float = 1.0) -> float:
+    """Averaged packet RSSI from register samples, re-quantized like the chip.
+
+    The SX127x reports packet RSSI as an integer dBm value; we reproduce
+    that by rounding the mean of the per-symbol samples to the register
+    resolution.
+    """
+    samples = np.asarray(register_samples, dtype=float)
+    if samples.size == 0:
+        raise ConfigurationError("cannot average an empty register-RSSI vector")
+    mean = float(np.mean(samples))
+    return round(mean / resolution_db) * resolution_db
+
+
+@dataclass(frozen=True)
+class RegisterRssiSampler:
+    """Samples the RSSI register once per symbol during packet reception.
+
+    Attributes:
+        phy: LoRa PHY configuration (sets the symbol time and symbol count).
+        device: Transceiver model (sets offset, noise, resolution, floor).
+    """
+
+    phy: LoRaPHYConfig
+    device: TransceiverModel
+
+    @property
+    def n_samples(self) -> int:
+        """Register samples per packet: one per symbol."""
+        return self.phy.total_symbols
+
+    def sample_times(self, reception_start_s: float) -> np.ndarray:
+        """Absolute times of the register reads during one reception.
+
+        Reads occur at the end of each symbol, starting at
+        ``reception_start_s``.
+        """
+        symbol = self.phy.symbol_time_s
+        return reception_start_s + symbol * (1.0 + np.arange(self.n_samples))
+
+    def sample(
+        self,
+        received_power_dbm: Callable[[np.ndarray], np.ndarray],
+        reception_start_s: float,
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """Register-RSSI vector for one packet reception.
+
+        Args:
+            received_power_dbm: Vectorized function mapping absolute times
+                (seconds) to the true received power in dBm.
+            reception_start_s: When the reception began.
+            seed: Randomness for the measurement noise.
+
+        Returns:
+            ``n_samples`` register readings in dBm, quantized and clamped
+            the way the chip reports them.
+        """
+        rng = as_generator(seed)
+        times = self.sample_times(reception_start_s)
+        truth = np.asarray(received_power_dbm(times), dtype=float)
+        if truth.shape != times.shape:
+            raise ConfigurationError(
+                "received_power_dbm must return one power value per sample time"
+            )
+        alpha = self.device.rssi_smoothing_alpha
+        if alpha < 1.0:
+            # The RSSI register is an exponential average of recent symbol
+            # powers; the filter state starts at the first symbol's power.
+            smoothed = np.empty_like(truth)
+            state = truth[0]
+            for index, value in enumerate(truth):
+                state = (1.0 - alpha) * state + alpha * value
+                smoothed[index] = state
+            truth = smoothed
+        noisy = (
+            truth
+            + self.device.rssi_offset_db
+            + rng.normal(0.0, self.device.rssi_noise_std_db, size=truth.shape)
+        )
+        quantized = (
+            np.round(noisy / self.device.rssi_resolution_db)
+            * self.device.rssi_resolution_db
+        )
+        return np.maximum(quantized, self.device.rssi_floor_dbm)

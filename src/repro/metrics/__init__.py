@@ -1,0 +1,31 @@
+"""Evaluation metrics: correlation, agreement, key rate, entropy."""
+
+from repro.metrics.correlation import (
+    pearson_correlation,
+    detrend,
+    detrended_correlation,
+    detrend_window_from_distance,
+)
+from repro.metrics.agreement import (
+    key_agreement_rate,
+    bit_disagreement_rate,
+    agreement_statistics,
+    AgreementSummary,
+)
+from repro.metrics.generation import key_generation_rate
+from repro.metrics.entropy import shannon_entropy, bit_entropy, min_entropy
+
+__all__ = [
+    "pearson_correlation",
+    "detrend",
+    "detrended_correlation",
+    "detrend_window_from_distance",
+    "key_agreement_rate",
+    "bit_disagreement_rate",
+    "agreement_statistics",
+    "AgreementSummary",
+    "key_generation_rate",
+    "shannon_entropy",
+    "bit_entropy",
+    "min_entropy",
+]

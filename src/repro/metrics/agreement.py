@@ -1,0 +1,68 @@
+"""Key agreement metrics.
+
+*Key agreement rate* (KAR) is the fraction of matching bits between the
+two parties' keys at a given pipeline stage; the paper reports it in
+percent with a standard deviation across sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.bits import bit_agreement
+from repro.utils.validation import require
+
+
+def key_agreement_rate(key_a: Sequence[int], key_b: Sequence[int]) -> float:
+    """Fraction of agreeing bits between two equal-length keys (0..1)."""
+    return bit_agreement(key_a, key_b)
+
+
+def bit_disagreement_rate(key_a: Sequence[int], key_b: Sequence[int]) -> float:
+    """Fraction of mismatching bits -- the reconciliation workload."""
+    return 1.0 - key_agreement_rate(key_a, key_b)
+
+
+@dataclass(frozen=True)
+class AgreementSummary:
+    """Mean/std agreement over a batch of key pairs, paper-style.
+
+    Attributes:
+        mean: Average agreement rate in [0, 1].
+        std: Standard deviation across key pairs.
+        n_pairs: Number of key pairs summarized.
+    """
+
+    mean: float
+    std: float
+    n_pairs: int
+
+    @property
+    def mean_percent(self) -> float:
+        """Mean agreement as a percentage, the paper's reporting unit."""
+        return 100.0 * self.mean
+
+    @property
+    def std_percent(self) -> float:
+        """Standard deviation in percentage points."""
+        return 100.0 * self.std
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean_percent:.2f}% +/- {self.std_percent:.2f}% (n={self.n_pairs})"
+
+
+def agreement_statistics(
+    keys_a: Sequence[Sequence[int]], keys_b: Sequence[Sequence[int]]
+) -> AgreementSummary:
+    """Mean and standard deviation of agreement over paired key batches."""
+    require(len(keys_a) == len(keys_b), "key batches must pair up")
+    require(len(keys_a) > 0, "need at least one key pair")
+    rates = np.array(
+        [key_agreement_rate(a, b) for a, b in zip(keys_a, keys_b)], dtype=float
+    )
+    return AgreementSummary(
+        mean=float(rates.mean()), std=float(rates.std()), n_pairs=len(rates)
+    )

@@ -1,0 +1,82 @@
+"""Correlation metrics between channel-measurement series.
+
+The paper quantifies reciprocity with the Pearson correlation coefficient
+between Alice's and Bob's measurement series.  Over a long drive the raw
+series share an enormous common path-loss trend that would hide the
+reciprocity-breaking effects under study, so correlations are evaluated on
+*detrended* series: the local (moving-average) mean is removed, leaving
+exactly the fluctuations the quantizers turn into key bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require, require_positive
+
+
+def pearson_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Plain Pearson correlation coefficient of two equal-length series.
+
+    Returns 0.0 when either series is constant (the coefficient is
+    undefined there, and "no usable correlation" is the right reading for
+    a key-generation pipeline).
+    """
+    x = np.asarray(a, dtype=float)
+    y = np.asarray(b, dtype=float)
+    require(x.shape == y.shape, "series must have equal length")
+    require(x.ndim == 1, "series must be 1-D")
+    require(x.size >= 2, "need at least two samples")
+    if np.std(x) == 0 or np.std(y) == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def detrend(series: np.ndarray, window: int = 16) -> np.ndarray:
+    """Remove the centered moving-average trend from a series.
+
+    Args:
+        series: 1-D measurement series.
+        window: Moving-average span in samples.  Spans larger than the
+            series fall back to removing the global mean.
+    """
+    x = np.asarray(series, dtype=float)
+    require(x.ndim == 1, "series must be 1-D")
+    require_positive(window, "window")
+    if window >= x.size:
+        return x - x.mean()
+    kernel = np.ones(window) / window
+    # Convolve against an edge-padded copy so the trend is defined everywhere.
+    pad = window // 2
+    padded = np.concatenate([np.full(pad, x[0]), x, np.full(window - pad - 1, x[-1])])
+    trend = np.convolve(padded, kernel, mode="valid")
+    return x - trend
+
+
+def detrend_window_from_distance(
+    span_m: float, speed_m_s: float, sample_period_s: float, minimum: int = 6
+) -> int:
+    """Detrend window (in samples) covering a fixed *travelled distance*.
+
+    Shadowing is a spatial process, so reciprocity experiments hold the
+    detrend span fixed in meters: ``span_m / (speed * sample_period)``
+    samples, floored at ``minimum``.  A static link (zero speed) has no
+    spatial trend to remove; a huge window is returned so detrending
+    reduces to mean removal.
+    """
+    require_positive(span_m, "span_m")
+    require_positive(sample_period_s, "sample_period_s")
+    require(speed_m_s >= 0, "speed_m_s must be >= 0")
+    if speed_m_s == 0:
+        return 1_000_000
+    return max(minimum, int(round(span_m / (speed_m_s * sample_period_s))))
+
+
+def detrended_correlation(a: np.ndarray, b: np.ndarray, window: int = 16) -> float:
+    """Pearson correlation of the moving-average-detrended series.
+
+    This is the reciprocity metric used throughout the experiments: it
+    measures how well the *fluctuations* (the component key bits are
+    extracted from) agree between the two sides.
+    """
+    return pearson_correlation(detrend(a, window), detrend(b, window))

@@ -1,0 +1,43 @@
+"""Entropy estimates for generated keys."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import require, require_positive
+
+
+def shannon_entropy(symbols: Sequence) -> float:
+    """Empirical Shannon entropy (bits/symbol) of a symbol sequence."""
+    symbols = list(symbols)
+    require(len(symbols) > 0, "need at least one symbol")
+    counts = np.array(list(Counter(symbols).values()), dtype=float)
+    probabilities = counts / counts.sum()
+    return float(-(probabilities * np.log2(probabilities)).sum())
+
+
+def bit_entropy(bits: Sequence[int]) -> float:
+    """Shannon entropy of a bit sequence (1.0 = perfectly balanced)."""
+    return shannon_entropy([int(b) for b in bits])
+
+
+def min_entropy(bits: Sequence[int], block_bits: int = 4) -> float:
+    """Min-entropy per bit estimated over non-overlapping blocks.
+
+    Splits the sequence into ``block_bits``-wide symbols and computes
+    ``-log2(p_max) / block_bits``; a conservative lower bound on
+    per-bit unpredictability.
+    """
+    bits = [int(b) for b in bits]
+    require_positive(block_bits, "block_bits")
+    require(len(bits) >= block_bits, "sequence shorter than one block")
+    n_blocks = len(bits) // block_bits
+    blocks = [
+        tuple(bits[i * block_bits:(i + 1) * block_bits]) for i in range(n_blocks)
+    ]
+    counts = Counter(blocks)
+    p_max = max(counts.values()) / n_blocks
+    return float(-np.log2(p_max) / block_bits)

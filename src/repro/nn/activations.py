@@ -1,0 +1,106 @@
+"""Activation functions with derivatives expressed via their outputs.
+
+Each activation exposes ``forward(x)`` and ``derivative_from_output(y)``
+where ``y = forward(x)``; sigmoid and tanh derivatives are cheapest in
+terms of the cached output, and ReLU's output sign carries the same
+information as its input sign.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class Activation(abc.ABC):
+    """Elementwise activation with an output-based derivative."""
+
+    name: str = "activation"
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the activation elementwise."""
+
+    @abc.abstractmethod
+    def derivative_from_output(self, y: np.ndarray) -> np.ndarray:
+        """d(activation)/dx expressed as a function of the *output* y."""
+
+
+class Identity(Activation):
+    """No-op activation (linear layer)."""
+
+    name = "linear"
+
+    def forward(self, x):
+        return x
+
+    def derivative_from_output(self, y):
+        return np.ones_like(y)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid, computed in a numerically stable split form."""
+
+    name = "sigmoid"
+
+    def forward(self, x):
+        out = np.empty_like(x, dtype=float)
+        positive = x >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        exp_x = np.exp(x[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        return out
+
+    def derivative_from_output(self, y):
+        return y * (1.0 - y)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent."""
+
+    name = "tanh"
+
+    def forward(self, x):
+        return np.tanh(x)
+
+    def derivative_from_output(self, y):
+        return 1.0 - y**2
+
+
+class ReLU(Activation):
+    """Rectified linear unit."""
+
+    name = "relu"
+
+    def forward(self, x):
+        return np.maximum(x, 0.0)
+
+    def derivative_from_output(self, y):
+        return (y > 0).astype(float)
+
+
+_BY_NAME = {
+    "linear": Identity,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "relu": ReLU,
+}
+
+
+def get_activation(spec) -> Activation:
+    """Resolve ``None`` / name / instance into an :class:`Activation`."""
+    if spec is None:
+        return Identity()
+    if isinstance(spec, Activation):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _BY_NAME[spec]()
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown activation {spec!r}; known: {sorted(_BY_NAME)}"
+            )
+    raise ConfigurationError(f"cannot interpret activation spec {spec!r}")

@@ -1,0 +1,61 @@
+"""Training callbacks: history recording and early stopping."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.utils.validation import require_positive
+
+
+class History:
+    """Records per-epoch metrics during :meth:`Model.fit`."""
+
+    def __init__(self):
+        self.epochs: List[int] = []
+        self.metrics: Dict[str, List[float]] = {}
+
+    def record(self, epoch: int, **values: float) -> None:
+        """Append one epoch's metric values."""
+        self.epochs.append(epoch)
+        for key, value in values.items():
+            self.metrics.setdefault(key, []).append(float(value))
+
+    def last(self, key: str) -> float:
+        """Most recent value of a metric."""
+        return self.metrics[key][-1]
+
+    def best(self, key: str) -> float:
+        """Minimum value of a metric over training."""
+        return float(np.min(self.metrics[key]))
+
+
+class EarlyStopping:
+    """Stop training when a monitored loss stops improving.
+
+    Args:
+        patience: Epochs without improvement tolerated before stopping.
+        min_delta: Required improvement to reset the patience counter.
+        restore_best: Whether :meth:`Model.fit` should restore the weights
+            from the best epoch after stopping.
+    """
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0, restore_best: bool = True):
+        require_positive(patience, "patience")
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.restore_best = bool(restore_best)
+        self.best_value: Optional[float] = None
+        self.best_epoch: int = -1
+        self._stale_epochs = 0
+
+    def update(self, epoch: int, value: float) -> bool:
+        """Record an epoch's monitored value; return ``True`` to stop."""
+        if self.best_value is None or value < self.best_value - self.min_delta:
+            self.best_value = value
+            self.best_epoch = epoch
+            self._stale_epochs = 0
+            return False
+        self._stale_epochs += 1
+        return self._stale_epochs >= self.patience

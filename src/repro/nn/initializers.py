@@ -1,0 +1,61 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require
+
+
+class Initializer(abc.ABC):
+    """Produces an initial weight array of a given shape."""
+
+    @abc.abstractmethod
+    def __call__(self, shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        """Return a float64 array of ``shape``."""
+
+
+class Zeros(Initializer):
+    """All-zero initialization (biases)."""
+
+    def __call__(self, shape, rng):
+        return np.zeros(shape)
+
+
+class GlorotUniform(Initializer):
+    """Glorot/Xavier uniform: U(-L, L) with ``L = sqrt(6 / (fan_in + fan_out))``."""
+
+    def __call__(self, shape, rng):
+        require(len(shape) >= 1, "GlorotUniform needs a non-scalar shape")
+        if len(shape) == 1:
+            fan_in = fan_out = shape[0]
+        else:
+            fan_in, fan_out = shape[0], shape[-1]
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        return rng.uniform(-limit, limit, size=shape)
+
+
+class Orthogonal(Initializer):
+    """Orthogonal initialization for recurrent kernels (Saxe et al.)."""
+
+    def __init__(self, gain: float = 1.0):
+        self.gain = float(gain)
+
+    def __call__(self, shape, rng):
+        require(len(shape) == 2, "Orthogonal initializer needs a 2-D shape")
+        rows, cols = shape
+        size = max(rows, cols)
+        matrix = rng.standard_normal((size, size))
+        q, r = np.linalg.qr(matrix)
+        # Fix the signs so the distribution is uniform over orthogonal matrices.
+        q *= np.sign(np.diag(r))
+        return self.gain * q[:rows, :cols]
+
+
+def default_rng(seed: SeedLike) -> np.random.Generator:
+    """Shared helper so layers can accept ``int | Generator | None`` seeds."""
+    return as_generator(seed)

@@ -1,0 +1,88 @@
+"""Layer interface.
+
+A layer owns named parameter arrays and their gradient accumulators.
+``forward`` caches whatever the matching ``backward`` needs; ``backward``
+consumes the upstream gradient, fills ``self.gradients`` and returns the
+gradient with respect to the layer input.  Layers are single-use per
+forward/backward pair (the standard training-loop discipline).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotTrainedError
+
+
+class Layer(abc.ABC):
+    """Base class for all layers."""
+
+    def __init__(self, name: str = None):
+        self.name = name if name is not None else type(self).__name__.lower()
+        self.built = False
+        self.parameters: Dict[str, np.ndarray] = {}
+        self.gradients: Dict[str, np.ndarray] = {}
+
+    # -- construction -----------------------------------------------------
+    def build(self, input_shape: Tuple[int, ...]) -> None:
+        """Allocate parameters for the given input shape (batch axis first).
+
+        The default implementation marks the layer built; parameterized
+        layers override and call ``super().build(...)`` last.
+        """
+        self.built = True
+
+    def ensure_built(self, input_shape: Tuple[int, ...]) -> None:
+        """Build on first use."""
+        if not self.built:
+            self.build(input_shape)
+
+    # -- computation ------------------------------------------------------
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output, caching what backward needs."""
+
+    @abc.abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate: fill ``self.gradients`` and return dL/d(input)."""
+
+    # -- parameter plumbing -------------------------------------------------
+    def zero_gradients(self) -> None:
+        """Reset all gradient accumulators to zero."""
+        for key, param in self.parameters.items():
+            self.gradients[key] = np.zeros_like(param)
+
+    def parameter_list(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """(parameter, gradient) pairs in stable (sorted-name) order."""
+        pairs = []
+        for key in sorted(self.parameters):
+            if key not in self.gradients:
+                raise NotTrainedError(
+                    f"layer {self.name!r} has no gradient for {key!r}; "
+                    "run backward() before optimizing"
+                )
+            pairs.append((self.parameters[key], self.gradients[key]))
+        return pairs
+
+    def get_weights(self) -> Dict[str, np.ndarray]:
+        """Copies of the parameter arrays, keyed by name."""
+        return {key: value.copy() for key, value in self.parameters.items()}
+
+    def set_weights(self, weights: Dict[str, np.ndarray]) -> None:
+        """Load parameter arrays previously produced by :meth:`get_weights`."""
+        if set(weights) != set(self.parameters):
+            raise ConfigurationError(
+                f"layer {self.name!r} expects weights {sorted(self.parameters)}, "
+                f"got {sorted(weights)}"
+            )
+        for key, value in weights.items():
+            if value.shape != self.parameters[key].shape:
+                raise ConfigurationError(
+                    f"weight {key!r} of layer {self.name!r}: shape "
+                    f"{value.shape} != expected {self.parameters[key].shape}"
+                )
+            self.parameters[key] = value.astype(float).copy()
+        self.gradients = {}

@@ -1,0 +1,135 @@
+"""Bidirectional LSTM: the paper's sequence encoder (Sec. IV-B).
+
+Wraps a forward and a backward :class:`~repro.nn.layers.lstm.LSTM` over
+the same input and concatenates their time-aligned outputs, so each
+timestep's feature vector sees both past and future channel context --
+the property the paper leans on for predicting Bob's measurements from
+Alice's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.lstm import LSTM
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require
+
+
+class BiLSTM(Layer):
+    """Bidirectional LSTM with concatenated outputs.
+
+    Args:
+        units: Hidden width *per direction*; output features are ``2 * units``.
+        return_sequences: If ``True`` output is ``[batch, time, 2H]``;
+            otherwise the two final states concatenated, ``[batch, 2H]``.
+        seed: Weight-initialization randomness (split between directions).
+    """
+
+    def __init__(
+        self,
+        units: int,
+        return_sequences: bool = True,
+        seed: SeedLike = None,
+        name=None,
+    ):
+        super().__init__(name=name)
+        rng = as_generator(seed)
+        self.units = int(units)
+        self.return_sequences = bool(return_sequences)
+        self.forward_lstm = LSTM(
+            units,
+            return_sequences=return_sequences,
+            go_backwards=False,
+            seed=rng,
+            name=f"{self.name}-fwd",
+        )
+        self.backward_lstm = LSTM(
+            units,
+            return_sequences=return_sequences,
+            go_backwards=True,
+            seed=rng,
+            name=f"{self.name}-bwd",
+        )
+
+    def build(self, input_shape: Tuple[int, ...]) -> None:
+        self.forward_lstm.build(input_shape)
+        self.backward_lstm.build(input_shape)
+        super().build(input_shape)
+
+    # Parameters live in the sub-layers; expose them with prefixed names so
+    # serialization and the optimizer see one flat dict.
+    @property
+    def parameters(self) -> Dict[str, np.ndarray]:  # type: ignore[override]
+        merged = {f"fwd/{k}": v for k, v in self.forward_lstm.parameters.items()}
+        merged.update(
+            {f"bwd/{k}": v for k, v in self.backward_lstm.parameters.items()}
+        )
+        return merged
+
+    @parameters.setter
+    def parameters(self, value: Dict[str, np.ndarray]) -> None:
+        # Assigned by Layer.__init__ with {} before sub-layers exist; real
+        # parameter state is delegated, so only non-empty loads are routed.
+        if value:
+            self._route(value, target="parameters")
+
+    @property
+    def gradients(self) -> Dict[str, np.ndarray]:  # type: ignore[override]
+        merged = {f"fwd/{k}": v for k, v in self.forward_lstm.gradients.items()}
+        merged.update(
+            {f"bwd/{k}": v for k, v in self.backward_lstm.gradients.items()}
+        )
+        return merged
+
+    @gradients.setter
+    def gradients(self, value: Dict[str, np.ndarray]) -> None:
+        if not hasattr(self, "forward_lstm"):
+            # Layer.__init__ assigns {} before the sub-layers exist.
+            return
+        if value:
+            self._route(value, target="gradients")
+        else:
+            self.forward_lstm.gradients = {}
+            self.backward_lstm.gradients = {}
+
+    def _route(self, value: Dict[str, np.ndarray], target: str) -> None:
+        fwd = {k[4:]: v for k, v in value.items() if k.startswith("fwd/")}
+        bwd = {k[4:]: v for k, v in value.items() if k.startswith("bwd/")}
+        require(
+            len(fwd) + len(bwd) == len(value),
+            "BiLSTM weight keys must be prefixed with fwd/ or bwd/",
+        )
+        setattr(self.forward_lstm, target, fwd)
+        setattr(self.backward_lstm, target, bwd)
+
+    def set_weights(self, weights: Dict[str, np.ndarray]) -> None:
+        fwd = {k[4:]: v for k, v in weights.items() if k.startswith("fwd/")}
+        bwd = {k[4:]: v for k, v in weights.items() if k.startswith("bwd/")}
+        require(
+            len(fwd) + len(bwd) == len(weights),
+            "BiLSTM weight keys must be prefixed with fwd/ or bwd/",
+        )
+        self.forward_lstm.set_weights(fwd)
+        self.backward_lstm.set_weights(bwd)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self.ensure_built(x.shape)
+        fwd_out = self.forward_lstm.forward(x, training=training)
+        bwd_out = self.backward_lstm.forward(x, training=training)
+        return np.concatenate([fwd_out, bwd_out], axis=-1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        h = self.units
+        grad_fwd = grad_output[..., :h]
+        grad_bwd = grad_output[..., h:]
+        return self.forward_lstm.backward(grad_fwd) + self.backward_lstm.backward(
+            grad_bwd
+        )
+
+    def zero_gradients(self) -> None:
+        self.forward_lstm.zero_gradients()
+        self.backward_lstm.zero_gradients()

@@ -1,0 +1,38 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require_in_range
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only when ``training=True``.
+
+    Kept activations are scaled by ``1 / (1 - rate)`` so inference needs
+    no rescaling.
+    """
+
+    def __init__(self, rate: float, seed: SeedLike = None, name=None):
+        super().__init__(name=name)
+        require_in_range(rate, 0.0, 0.999, "rate")
+        self.rate = float(rate)
+        self._rng = as_generator(seed)
+        self._mask: np.ndarray = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self.ensure_built(x.shape)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.uniform(size=x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask

@@ -1,0 +1,106 @@
+"""Loss functions, including the paper's joint prediction+quantization loss.
+
+Each loss exposes ``value(y_true, y_pred)`` and
+``gradient(y_true, y_pred)`` = dL/d(y_pred), both averaged over the batch
+axis so learning rates are batch-size independent.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import require, require_in_range
+
+_EPS = 1e-12
+
+
+class Loss(abc.ABC):
+    """Scalar training objective with an analytic gradient."""
+
+    @abc.abstractmethod
+    def value(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        """Mean loss over the batch."""
+
+    @abc.abstractmethod
+    def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        """dL/d(y_pred), same shape as ``y_pred``."""
+
+
+def _check_shapes(y_true: np.ndarray, y_pred: np.ndarray) -> None:
+    require(
+        y_true.shape == y_pred.shape,
+        f"y_true {y_true.shape} and y_pred {y_pred.shape} must match",
+    )
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error over all elements (paper Eq. 4)."""
+
+    def value(self, y_true, y_pred):
+        _check_shapes(y_true, y_pred)
+        return float(np.mean((y_true - y_pred) ** 2))
+
+    def gradient(self, y_true, y_pred):
+        _check_shapes(y_true, y_pred)
+        return 2.0 * (y_pred - y_true) / y_pred.size
+
+
+class BinaryCrossEntropy(Loss):
+    """Binary cross-entropy on probabilities in (0, 1) (paper Eq. 5).
+
+    Predictions are clipped away from {0, 1} for numerical stability; the
+    gradient is the clipped analytic one.
+    """
+
+    def value(self, y_true, y_pred):
+        _check_shapes(y_true, y_pred)
+        p = np.clip(y_pred, _EPS, 1.0 - _EPS)
+        per_element = -(y_true * np.log(p) + (1.0 - y_true) * np.log(1.0 - p))
+        return float(per_element.sum() / y_pred.shape[0])
+
+    def gradient(self, y_true, y_pred):
+        _check_shapes(y_true, y_pred)
+        p = np.clip(y_pred, _EPS, 1.0 - _EPS)
+        return (p - y_true) / (p * (1.0 - p)) / y_pred.shape[0]
+
+
+class JointPredictionQuantizationLoss:
+    """The paper's Eq. 3: ``theta * MSE(y, y_hat) + (1-theta) * BCE(z, z_hat)``.
+
+    Operates on the two-headed output of the prediction/quantization model:
+    a regression head (predicted arRSSI sequence) and a classification head
+    (predicted key bits).
+    """
+
+    def __init__(self, theta: float = 0.9):
+        require_in_range(theta, 0.0, 1.0, "theta")
+        self.theta = float(theta)
+        self._mse = MeanSquaredError()
+        self._bce = BinaryCrossEntropy()
+
+    def value(
+        self,
+        y_true: np.ndarray,
+        y_pred: np.ndarray,
+        z_true: np.ndarray,
+        z_pred: np.ndarray,
+    ) -> float:
+        """Weighted sum of the two head losses."""
+        return self.theta * self._mse.value(y_true, y_pred) + (
+            1.0 - self.theta
+        ) * self._bce.value(z_true, z_pred)
+
+    def gradients(
+        self,
+        y_true: np.ndarray,
+        y_pred: np.ndarray,
+        z_true: np.ndarray,
+        z_pred: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-head gradients ``(dL/dy_pred, dL/dz_pred)``."""
+        grad_y = self.theta * self._mse.gradient(y_true, y_pred)
+        grad_z = (1.0 - self.theta) * self._bce.gradient(z_true, z_pred)
+        return grad_y, grad_z

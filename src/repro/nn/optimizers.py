@@ -1,0 +1,102 @@
+"""First-order optimizers: SGD (with momentum) and Adam.
+
+Optimizers update parameter arrays *in place*.  Per-parameter state (Adam
+moments, SGD velocity) is keyed by the parameter array's identity, so the
+same optimizer instance can drive several layers -- or, as in the paper's
+autoencoder, several cooperating networks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.utils.validation import require, require_in_range, require_positive
+
+ParamGrad = Tuple[np.ndarray, np.ndarray]
+
+
+class Optimizer(abc.ABC):
+    """Base class: applies gradients to parameters in place."""
+
+    def __init__(self, learning_rate: float):
+        require_positive(learning_rate, "learning_rate")
+        self.learning_rate = float(learning_rate)
+        self.iterations = 0
+
+    def apply(self, params_and_grads: Iterable[ParamGrad]) -> None:
+        """One update step over all (parameter, gradient) pairs."""
+        self.iterations += 1
+        for param, grad in params_and_grads:
+            require(
+                param.shape == grad.shape,
+                f"gradient shape {grad.shape} != parameter shape {param.shape}",
+            )
+            self._update(param, grad)
+
+    @abc.abstractmethod
+    def _update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        """Apply one parameter's update in place."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0):
+        super().__init__(learning_rate)
+        require_in_range(momentum, 0.0, 0.999, "momentum")
+        self.momentum = float(momentum)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _update(self, param, grad):
+        if self.momentum == 0.0:
+            param -= self.learning_rate * grad
+            return
+        key = id(param)
+        velocity = self._velocity.get(key)
+        if velocity is None:
+            velocity = np.zeros_like(param)
+        velocity = self.momentum * velocity - self.learning_rate * grad
+        self._velocity[key] = velocity
+        param += velocity
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta_1: float = 0.9,
+        beta_2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        require_in_range(beta_1, 0.0, 0.9999, "beta_1")
+        require_in_range(beta_2, 0.0, 0.9999, "beta_2")
+        require_positive(epsilon, "epsilon")
+        self.beta_1 = float(beta_1)
+        self.beta_2 = float(beta_2)
+        self.epsilon = float(epsilon)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t: Dict[int, int] = {}
+
+    def _update(self, param, grad):
+        key = id(param)
+        m = self._m.get(key)
+        if m is None:
+            m = np.zeros_like(param)
+            self._v[key] = np.zeros_like(param)
+            self._t[key] = 0
+        v = self._v[key]
+        self._t[key] += 1
+        t = self._t[key]
+        m = self.beta_1 * m + (1.0 - self.beta_1) * grad
+        v = self.beta_2 * v + (1.0 - self.beta_2) * grad**2
+        self._m[key], self._v[key] = m, v
+        m_hat = m / (1.0 - self.beta_1**t)
+        v_hat = v / (1.0 - self.beta_2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

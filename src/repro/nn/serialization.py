@@ -1,0 +1,57 @@
+"""Weight persistence for layer stacks.
+
+Weights are stored in a single ``.npz`` with keys
+``<layer_index>:<layer_name>/<param_name>`` so load-time mismatches are
+caught explicitly rather than silently reordered.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers.base import Layer
+
+
+def save_weights(layers: Sequence[Layer], path: Union[str, Path]) -> None:
+    """Write all layers' parameters to ``path`` (``.npz``)."""
+    arrays = {}
+    for index, layer in enumerate(layers):
+        if not layer.built:
+            raise ConfigurationError(
+                f"layer {layer.name!r} is not built; run a forward pass first"
+            )
+        for key, value in layer.parameters.items():
+            arrays[f"{index}:{layer.name}/{key}"] = value
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_weights(layers: Sequence[Layer], path: Union[str, Path]) -> None:
+    """Load parameters written by :func:`save_weights` into ``layers``.
+
+    Layers must already be built with matching shapes (run one forward
+    pass on dummy data first, or build explicitly).
+    """
+    with np.load(Path(path)) as data:
+        stored = dict(data)
+    for index, layer in enumerate(layers):
+        prefix = f"{index}:{layer.name}/"
+        weights = {
+            key[len(prefix):]: value
+            for key, value in stored.items()
+            if key.startswith(prefix)
+        }
+        if not layer.parameters:
+            if weights:
+                raise ConfigurationError(
+                    f"stored weights exist for parameterless layer {layer.name!r}"
+                )
+            continue
+        if not weights:
+            raise ConfigurationError(
+                f"no stored weights found for layer {index}:{layer.name!r}"
+            )
+        layer.set_weights(weights)

@@ -1,0 +1,5 @@
+"""Privacy amplification (paper Sec. IV-C, last paragraph)."""
+
+from repro.privacy.amplification import amplify, amplify_to_bytes
+
+__all__ = ["amplify", "amplify_to_bytes"]

@@ -1,0 +1,61 @@
+"""Hash-based privacy amplification.
+
+Reconciliation leaks syndrome/parity information over the public channel;
+privacy amplification compresses the reconciled bits through a hash so
+the leaked bits carry no information about the final key.  The paper
+applies "SHA-128"; we use SHA-256 truncated to the requested output width
+(128 bits for the AES-128 use case), in counter mode for longer outputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.utils.bits import bits_to_bytes, bytes_to_bits
+from repro.utils.validation import require, require_positive
+
+
+def amplify_to_bytes(
+    reconciled_bits: np.ndarray,
+    output_bits: int = 128,
+    salt: bytes = b"vehicle-key-pa",
+) -> bytes:
+    """Derive ``output_bits`` of final key material from reconciled bits.
+
+    Args:
+        reconciled_bits: The agreed bit string after reconciliation.
+        output_bits: Final key length; must be a multiple of 8 and not
+            exceed the input length (hashing cannot create entropy).
+        salt: Public domain-separation salt.
+    """
+    bits = np.asarray(reconciled_bits, dtype=np.uint8)
+    require(bits.ndim == 1, "reconciled_bits must be 1-D")
+    require_positive(output_bits, "output_bits")
+    require(output_bits % 8 == 0, "output_bits must be a multiple of 8")
+    require(
+        output_bits <= bits.size,
+        f"cannot amplify {bits.size} bits up to {output_bits} bits",
+    )
+    padded = bits
+    if bits.size % 8:
+        padded = np.concatenate([bits, np.zeros(8 - bits.size % 8, dtype=np.uint8)])
+    material = bits_to_bytes(padded)
+
+    output = b""
+    counter = 0
+    while len(output) < output_bits // 8:
+        block = hashlib.sha256(salt + counter.to_bytes(4, "big") + material).digest()
+        output += block
+        counter += 1
+    return output[: output_bits // 8]
+
+
+def amplify(
+    reconciled_bits: np.ndarray,
+    output_bits: int = 128,
+    salt: bytes = b"vehicle-key-pa",
+) -> np.ndarray:
+    """:func:`amplify_to_bytes` returning a 0/1 bit array."""
+    return bytes_to_bits(amplify_to_bytes(reconciled_bits, output_bits, salt))

@@ -1,0 +1,251 @@
+"""Probe/response exchange simulation.
+
+One probing round:
+
+1. Alice transmits a probe; Bob's radio samples its RSSI register once per
+   symbol over the packet airtime.
+2. Bob turns the link around after his host's processing delay and
+   transmits the response; Alice samples likewise.
+3. The next round starts after Alice's processing delay plus an optional
+   pacing gap (duty-cycle budget).
+
+Because the airtime of the paper's SF12 configuration is three orders of
+magnitude larger than the propagation delay, propagation is ignored
+(Sec. II-A makes the same argument).  Any eavesdroppers receive both
+transmissions through their *own* channels, sampled at exactly the same
+instants as the legitimate receivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.channel.reciprocity import ReciprocalChannel
+from repro.lora.airtime import LoRaPHYConfig
+from repro.lora.link_budget import LinkBudget
+from repro.lora.radio import TransceiverModel
+from repro.lora.rssi import RegisterRssiSampler
+from repro.probing.trace import EveTrace, ProbeTrace
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class EavesdropperSetup:
+    """An eavesdropper's receive channels from each legitimate node.
+
+    Attributes:
+        label: Name used to key this attacker's trace.
+        device: Eve's transceiver.
+        channel_from_alice: Channel Eve hears Alice's transmissions through.
+        channel_from_bob: Channel Eve hears Bob's transmissions through.
+    """
+
+    label: str
+    device: TransceiverModel
+    channel_from_alice: ReciprocalChannel
+    channel_from_bob: ReciprocalChannel
+
+
+class ProbingProtocol:
+    """Runs probing rounds over a reciprocal channel.
+
+    Args:
+        channel: The Alice<->Bob reciprocal channel.
+        phy: LoRa configuration for the probe packets.
+        alice_device: Alice's transceiver model.
+        bob_device: Bob's transceiver model.
+        link_budget: Shared link budget (TX powers are symmetric in the
+            paper's setup).
+        inter_round_gap_s: Extra pacing between rounds, e.g. for regional
+            duty-cycle compliance.  Zero by default: the paper probes
+            back-to-back.
+        interference: Optional interference sources; each receiver picks
+            them up through its own position, so the corruption is
+            asymmetric between the endpoints (paper Sec. II-A, effect 4).
+    """
+
+    def __init__(
+        self,
+        channel: ReciprocalChannel,
+        phy: LoRaPHYConfig,
+        alice_device: TransceiverModel,
+        bob_device: TransceiverModel,
+        link_budget: LinkBudget = None,
+        inter_round_gap_s: float = 0.0,
+        interference: Sequence = (),
+    ):
+        require(inter_round_gap_s >= 0, "inter_round_gap_s must be >= 0")
+        self.channel = channel
+        self.phy = phy
+        self.alice_device = alice_device
+        self.bob_device = bob_device
+        self.link_budget = link_budget if link_budget is not None else LinkBudget()
+        self.inter_round_gap_s = float(inter_round_gap_s)
+        self.interference = list(interference)
+
+    def round_period_s(self) -> float:
+        """Duration of one complete probe/response round."""
+        return (
+            2.0 * self.phy.airtime_s
+            + self.bob_device.processing_delay_s
+            + self.alice_device.processing_delay_s
+            + self.inter_round_gap_s
+        )
+
+    def run(
+        self,
+        n_rounds: int,
+        seeds: SeedSequenceFactory,
+        eavesdroppers: Sequence[EavesdropperSetup] = (),
+        start_time_s: float = 0.0,
+    ) -> ProbeTrace:
+        """Execute ``n_rounds`` probe/response rounds.
+
+        Args:
+            n_rounds: Rounds to attempt.
+            seeds: Seed factory; measurement-noise streams are drawn from
+                the ``alice-rssi-noise``, ``bob-rssi-noise`` and
+                ``eve-<label>-rssi-noise`` streams.
+            eavesdroppers: Attackers overhearing the exchange.
+            start_time_s: Protocol start time on the channel's clock.
+
+        Returns:
+            The complete :class:`ProbeTrace`, including per-round validity
+            (both directions above sensitivity) and eavesdropper traces.
+        """
+        require_positive(n_rounds, "n_rounds")
+        airtime = self.phy.airtime_s
+
+        alice_sampler = RegisterRssiSampler(self.phy, self.alice_device)
+        bob_sampler = RegisterRssiSampler(self.phy, self.bob_device)
+        eve_samplers = {
+            setup.label: RegisterRssiSampler(self.phy, setup.device)
+            for setup in eavesdroppers
+        }
+        alice_noise = seeds.generator("alice-rssi-noise")
+        bob_noise = seeds.generator("bob-rssi-noise")
+        eve_noise = {
+            setup.label: seeds.generator(f"eve-{setup.label}-rssi-noise")
+            for setup in eavesdroppers
+        }
+
+        n_samples = alice_sampler.n_samples
+        alice_rssi = np.empty((n_rounds, n_samples))
+        bob_rssi = np.empty((n_rounds, n_samples))
+        alice_prssi = np.empty(n_rounds)
+        bob_prssi = np.empty(n_rounds)
+        round_start = np.empty(n_rounds)
+        valid = np.ones(n_rounds, dtype=bool)
+        eve_of_alice: Dict[str, np.ndarray] = {
+            s.label: np.empty((n_rounds, n_samples)) for s in eavesdroppers
+        }
+        eve_of_bob: Dict[str, np.ndarray] = {
+            s.label: np.empty((n_rounds, n_samples)) for s in eavesdroppers
+        }
+
+        def receiver_power(trajectory):
+            def power(times: np.ndarray) -> np.ndarray:
+                total = self.link_budget.received_power_dbm(
+                    self.channel.path_gain_db(times)
+                )
+                if self.interference:
+                    from repro.channel.interference import combine_power_dbm
+
+                    positions = trajectory.position_m(times)
+                    for source in self.interference:
+                        total = combine_power_dbm(
+                            total, source.power_dbm(times, positions)
+                        )
+                return total
+
+            return power
+
+        alice_power = receiver_power(self.channel.motion.trajectory_a)
+        bob_power = receiver_power(self.channel.motion.trajectory_b)
+
+        cursor = float(start_time_s)
+        for k in range(n_rounds):
+            round_start[k] = cursor
+            # --- Alice's probe, received by Bob (and overheard by Eve).
+            bob_rssi[k] = bob_sampler.sample(bob_power, cursor, seed=bob_noise)
+            bob_prssi[k] = self._packet_rssi(
+                bob_rssi[k], self.bob_device, bob_noise
+            )
+            for setup in eavesdroppers:
+                power = self._eve_power(setup.channel_from_alice)
+                eve_of_alice[setup.label][k] = eve_samplers[setup.label].sample(
+                    power, cursor, seed=eve_noise[setup.label]
+                )
+            mid_probe = cursor + airtime / 2.0
+            if not self.link_budget.is_decodable(
+                self.channel.path_gain_db(mid_probe), self.phy
+            ):
+                valid[k] = False
+
+            # --- Bob's response after his turnaround delay.
+            response_start = cursor + airtime + self.bob_device.processing_delay_s
+            alice_rssi[k] = alice_sampler.sample(
+                alice_power, response_start, seed=alice_noise
+            )
+            alice_prssi[k] = self._packet_rssi(
+                alice_rssi[k], self.alice_device, alice_noise
+            )
+            for setup in eavesdroppers:
+                power = self._eve_power(setup.channel_from_bob)
+                eve_of_bob[setup.label][k] = eve_samplers[setup.label].sample(
+                    power, response_start, seed=eve_noise[setup.label]
+                )
+            mid_response = response_start + airtime / 2.0
+            if not self.link_budget.is_decodable(
+                self.channel.path_gain_db(mid_response), self.phy
+            ):
+                valid[k] = False
+
+            cursor = (
+                response_start
+                + airtime
+                + self.alice_device.processing_delay_s
+                + self.inter_round_gap_s
+            )
+
+        eve_traces = {
+            label: EveTrace(of_alice_rssi=eve_of_alice[label], of_bob_rssi=eve_of_bob[label])
+            for label in eve_of_alice
+        }
+        return ProbeTrace(
+            phy=self.phy,
+            alice_rssi=alice_rssi,
+            bob_rssi=bob_rssi,
+            round_start_s=round_start,
+            valid=valid,
+            eve=eve_traces,
+            alice_prssi=alice_prssi,
+            bob_prssi=bob_prssi,
+        )
+
+    def _packet_rssi(
+        self,
+        register_samples: np.ndarray,
+        device: TransceiverModel,
+        rng: np.random.Generator,
+    ) -> float:
+        """The chip's whole-packet RSSI report for one reception.
+
+        Mean of the register samples plus the PacketRssi register's own
+        calibration error, quantized to the register resolution.
+        """
+        value = float(np.mean(register_samples))
+        value += float(rng.normal(0.0, device.packet_rssi_noise_std_db))
+        return round(value / device.rssi_resolution_db) * device.rssi_resolution_db
+
+    def _eve_power(self, channel: ReciprocalChannel):
+        budget = self.link_budget
+
+        def power(times: np.ndarray) -> np.ndarray:
+            return budget.received_power_dbm(channel.path_gain_db(times))
+
+        return power

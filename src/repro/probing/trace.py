@@ -1,0 +1,182 @@
+"""Containers for probing-session measurements.
+
+A probing session produces, per round, one register-RSSI vector at each
+legitimate endpoint (Bob measures Alice's probe, Alice measures Bob's
+response) and optionally one pair per eavesdropper.  Matrices are indexed
+``[round, symbol]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional  # noqa: F401 (Optional used in annotations)
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.lora.airtime import LoRaPHYConfig
+
+
+@dataclass
+class EveTrace:
+    """An eavesdropper's view of one probing session.
+
+    Attributes:
+        of_alice_rssi: Eve's register RSSI while Alice was transmitting,
+            ``[round, symbol]`` -- the role-mirror of Bob's measurements.
+        of_bob_rssi: Eve's register RSSI while Bob was transmitting -- the
+            role-mirror of Alice's measurements.
+    """
+
+    of_alice_rssi: np.ndarray
+    of_bob_rssi: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.of_alice_rssi.shape != self.of_bob_rssi.shape:
+            raise ConfigurationError("Eve's two matrices must have matching shapes")
+
+
+@dataclass
+class ProbeTrace:
+    """All measurements from one probing session.
+
+    Attributes:
+        phy: The LoRa configuration probes were sent with.
+        alice_rssi: Alice's register RSSI of Bob's responses, ``[round, symbol]``.
+        bob_rssi: Bob's register RSSI of Alice's probes, ``[round, symbol]``.
+        round_start_s: Transmission start time of each round's probe.
+        valid: Per-round flag; ``False`` where either direction was below
+            the receiver's sensitivity (packet loss).
+        eve: Optional eavesdropper traces keyed by attacker label.
+    """
+
+    phy: LoRaPHYConfig
+    alice_rssi: np.ndarray
+    bob_rssi: np.ndarray
+    round_start_s: np.ndarray
+    valid: np.ndarray
+    eve: Dict[str, EveTrace] = field(default_factory=dict)
+    alice_prssi: Optional[np.ndarray] = None
+    bob_prssi: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        n_rounds = self.alice_rssi.shape[0]
+        if self.bob_rssi.shape != self.alice_rssi.shape:
+            raise ConfigurationError("alice_rssi and bob_rssi shapes must match")
+        if self.round_start_s.shape != (n_rounds,):
+            raise ConfigurationError("round_start_s must have one entry per round")
+        if self.valid.shape != (n_rounds,):
+            raise ConfigurationError("valid must have one entry per round")
+        if self.alice_prssi is None:
+            # Fallback: derive packet RSSI from the register samples (no
+            # separate packet-register error).
+            self.alice_prssi = self.alice_rssi.mean(axis=1).round()
+        if self.bob_prssi is None:
+            self.bob_prssi = self.bob_rssi.mean(axis=1).round()
+        if self.alice_prssi.shape != (n_rounds,) or self.bob_prssi.shape != (n_rounds,):
+            raise ConfigurationError("packet-RSSI series must have one entry per round")
+
+    @property
+    def n_rounds(self) -> int:
+        """Total rounds attempted (including lost ones)."""
+        return int(self.alice_rssi.shape[0])
+
+    @property
+    def n_valid_rounds(self) -> int:
+        """Rounds where both directions decoded."""
+        return int(np.count_nonzero(self.valid))
+
+    @property
+    def samples_per_packet(self) -> int:
+        """Register-RSSI samples recorded per packet."""
+        return int(self.alice_rssi.shape[1])
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock time the session occupied (for key-rate accounting)."""
+        if self.n_rounds == 0:
+            return 0.0
+        last_round_end = (
+            float(self.round_start_s[-1])
+            + 2.0 * self.phy.airtime_s
+        )
+        return last_round_end - float(self.round_start_s[0])
+
+    def save(self, path) -> None:
+        """Persist the trace (including eavesdropper recordings) to ``.npz``."""
+        from pathlib import Path
+
+        arrays = {
+            "alice_rssi": self.alice_rssi,
+            "bob_rssi": self.bob_rssi,
+            "round_start_s": self.round_start_s,
+            "valid": self.valid,
+            "alice_prssi": self.alice_prssi,
+            "bob_prssi": self.bob_prssi,
+            "phy_sf": np.array([self.phy.spreading_factor]),
+            "phy_bw": np.array([self.phy.bandwidth_hz]),
+            "phy_cr": np.array([self.phy.coding_rate.value]),
+            "phy_f0": np.array([self.phy.carrier_frequency_hz]),
+            "phy_payload": np.array([self.phy.payload_bytes]),
+        }
+        for label, eve in self.eve.items():
+            arrays[f"eve:{label}:of_alice"] = eve.of_alice_rssi
+            arrays[f"eve:{label}:of_bob"] = eve.of_bob_rssi
+        np.savez_compressed(Path(path), **arrays)
+
+    @classmethod
+    def load(cls, path) -> "ProbeTrace":
+        """Load a trace written by :meth:`save`."""
+        from pathlib import Path
+
+        from repro.lora.airtime import CodingRate
+
+        with np.load(Path(path)) as data:
+            phy = LoRaPHYConfig(
+                spreading_factor=int(data["phy_sf"][0]),
+                bandwidth_hz=float(data["phy_bw"][0]),
+                coding_rate=CodingRate(int(data["phy_cr"][0])),
+                carrier_frequency_hz=float(data["phy_f0"][0]),
+                payload_bytes=int(data["phy_payload"][0]),
+            )
+            eve = {}
+            labels = {
+                key.split(":")[1]
+                for key in data.files
+                if key.startswith("eve:")
+            }
+            for label in labels:
+                eve[label] = EveTrace(
+                    of_alice_rssi=data[f"eve:{label}:of_alice"],
+                    of_bob_rssi=data[f"eve:{label}:of_bob"],
+                )
+            return cls(
+                phy=phy,
+                alice_rssi=data["alice_rssi"],
+                bob_rssi=data["bob_rssi"],
+                round_start_s=data["round_start_s"],
+                valid=data["valid"],
+                eve=eve,
+                alice_prssi=data["alice_prssi"],
+                bob_prssi=data["bob_prssi"],
+            )
+
+    def valid_only(self) -> "ProbeTrace":
+        """A copy with lost rounds removed (Eve's rounds filtered identically)."""
+        mask = self.valid.astype(bool)
+        return ProbeTrace(
+            phy=self.phy,
+            alice_rssi=self.alice_rssi[mask],
+            bob_rssi=self.bob_rssi[mask],
+            round_start_s=self.round_start_s[mask],
+            valid=self.valid[mask],
+            eve={
+                label: EveTrace(
+                    of_alice_rssi=trace.of_alice_rssi[mask],
+                    of_bob_rssi=trace.of_bob_rssi[mask],
+                )
+                for label, trace in self.eve.items()
+            },
+            alice_prssi=self.alice_prssi[mask],
+            bob_prssi=self.bob_prssi[mask],
+        )

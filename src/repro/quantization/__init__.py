@@ -1,0 +1,30 @@
+"""RSSI quantizers: measurement values to key bits.
+
+Three classic schemes, each used somewhere in the evaluation:
+
+- :class:`MeanThresholdQuantizer` -- one bit per sample against the window
+  mean; the simplest baseline.
+- :class:`MultiBitQuantizer` -- the Jana et al. multi-bit quantizer the
+  paper assigns to Bob's side of the prediction/quantization model
+  (equal-probability bins, Gray coding, optional guard bands).
+- :class:`GuardBandQuantizer` -- the two-threshold single-bit quantizer
+  with guard-band ratio alpha used by the LoRa-Key baseline.
+
+Quantizers that drop samples return a keep-mask; both parties publicly
+intersect their masks (:func:`consensus_mask`) before concatenating bits,
+exactly as the original protocols do.
+"""
+
+from repro.quantization.base import QuantizationResult, Quantizer, consensus_mask
+from repro.quantization.mean_threshold import MeanThresholdQuantizer
+from repro.quantization.multibit import MultiBitQuantizer
+from repro.quantization.guard_band import GuardBandQuantizer
+
+__all__ = [
+    "QuantizationResult",
+    "Quantizer",
+    "consensus_mask",
+    "MeanThresholdQuantizer",
+    "MultiBitQuantizer",
+    "GuardBandQuantizer",
+]

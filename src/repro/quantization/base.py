@@ -1,0 +1,81 @@
+"""Quantizer interface and the two-party keep-mask consensus."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class QuantizationResult:
+    """Output of quantizing one measurement window.
+
+    Attributes:
+        bits: 0/1 ``uint8`` array of extracted key bits, in sample order
+            (``bits_per_sample`` bits per kept sample).
+        kept: Boolean mask over the *input samples*; ``False`` where the
+            sample fell in a guard band and produced no bits.
+        bits_per_sample: Bits contributed by each kept sample.
+    """
+
+    bits: np.ndarray
+    kept: np.ndarray
+    bits_per_sample: int
+
+    def __post_init__(self) -> None:
+        require(self.bits.ndim == 1, "bits must be 1-D")
+        require(self.kept.ndim == 1, "kept must be 1-D")
+        require(
+            self.bits.size == self.bits_per_sample * int(np.count_nonzero(self.kept)),
+            "bits length must equal bits_per_sample * kept count",
+        )
+
+    @property
+    def n_kept(self) -> int:
+        """Number of samples that produced bits."""
+        return int(np.count_nonzero(self.kept))
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of input samples that survived guard-banding."""
+        return self.n_kept / self.kept.size if self.kept.size else 0.0
+
+
+class Quantizer(abc.ABC):
+    """Maps a window of real-valued measurements to key bits."""
+
+    @abc.abstractmethod
+    def quantize(self, values: np.ndarray) -> QuantizationResult:
+        """Quantize a 1-D measurement window."""
+
+    def quantize_with_mask(self, values: np.ndarray, keep: np.ndarray) -> np.ndarray:
+        """Bits for an externally agreed keep-mask (consensus round).
+
+        After the two parties intersect their masks, each re-extracts bits
+        for exactly the agreed samples.  The default implementation re-runs
+        :meth:`quantize` and filters its per-sample bit groups down to the
+        agreed mask.
+        """
+        result = self.quantize(values)
+        keep = np.asarray(keep, dtype=bool)
+        require(keep.shape == result.kept.shape, "mask must cover all samples")
+        require(
+            bool(np.all(result.kept[keep])),
+            "agreed mask keeps a sample this side dropped; intersect masks first",
+        )
+        groups = result.bits.reshape(result.n_kept, result.bits_per_sample)
+        kept_indices = np.flatnonzero(result.kept)
+        selected = np.isin(kept_indices, np.flatnonzero(keep))
+        return groups[selected].reshape(-1)
+
+
+def consensus_mask(mask_a: np.ndarray, mask_b: np.ndarray) -> np.ndarray:
+    """Samples kept by *both* parties (the public index-exchange step)."""
+    a = np.asarray(mask_a, dtype=bool)
+    b = np.asarray(mask_b, dtype=bool)
+    require(a.shape == b.shape, "masks must have identical shapes")
+    return a & b

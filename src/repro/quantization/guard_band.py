@@ -1,0 +1,39 @@
+"""Two-threshold guard-band quantizer (LoRa-Key's scheme).
+
+Samples above ``mean + delta`` become 1, below ``mean - delta`` become 0,
+and the band in between is discarded.  The band half-width ``delta`` is
+``alpha / 2`` standard deviations; the paper tunes the LoRa-Key baseline
+with ``alpha = 0.8`` (Sec. V-F).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantization.base import QuantizationResult, Quantizer
+from repro.utils.validation import require, require_in_range
+
+
+class GuardBandQuantizer(Quantizer):
+    """Single-bit quantization with a +/- ``alpha/2`` sigma guard band.
+
+    Args:
+        alpha: Guard-band-to-data ratio; the discard band spans
+            ``mean +/- (alpha / 2) * std``.
+    """
+
+    def __init__(self, alpha: float = 0.8):
+        require_in_range(alpha, 0.0, 4.0, "alpha")
+        self.alpha = float(alpha)
+
+    def quantize(self, values: np.ndarray) -> QuantizationResult:
+        window = np.asarray(values, dtype=float)
+        require(window.ndim == 1, "values must be 1-D")
+        require(window.size > 0, "cannot quantize an empty window")
+        mean = window.mean()
+        half_band = (self.alpha / 2.0) * window.std()
+        upper = window > mean + half_band
+        lower = window < mean - half_band
+        kept = upper | lower
+        bits = upper[kept].astype(np.uint8)
+        return QuantizationResult(bits=bits, kept=kept, bits_per_sample=1)

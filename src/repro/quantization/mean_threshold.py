@@ -1,0 +1,25 @@
+"""Single-threshold quantizer: one bit per sample against the window mean."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantization.base import QuantizationResult, Quantizer
+from repro.utils.validation import require
+
+
+class MeanThresholdQuantizer(Quantizer):
+    """``bit = value > mean(window)``.
+
+    Keeps every sample; the crudest scheme, used as a reference point and
+    in ablations.
+    """
+
+    def quantize(self, values: np.ndarray) -> QuantizationResult:
+        window = np.asarray(values, dtype=float)
+        require(window.ndim == 1, "values must be 1-D")
+        require(window.size > 0, "cannot quantize an empty window")
+        bits = (window > window.mean()).astype(np.uint8)
+        return QuantizationResult(
+            bits=bits, kept=np.ones(window.size, dtype=bool), bits_per_sample=1
+        )

@@ -1,0 +1,84 @@
+"""Position-preserving adapted Bloom filter (InaudibleKey, IPSN 2021).
+
+The paper passes both keys through an "adapted Bloom filter ... that can
+retain position information, which means that its output can retain the
+same number of mismatched bits as the input key" before encoding, so the
+public syndrome reveals the difference of *transformed* keys rather than
+of the keys themselves.
+
+We realize that contract as a salted bijection on bit positions plus a
+salted XOR pad: mismatch positions map one-to-one and the mismatch count
+is exactly preserved, while the transformed key differs from the raw key
+in every statistical sense unless the session salt is fixed.  The salt is
+public protocol state (a fresh session nonce), so both parties compute
+the same transform without any pre-shared secret.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.utils.validation import require, require_positive
+
+
+class PositionPreservingBloomFilter:
+    """Salted permute-and-pad transform over fixed-length bit arrays.
+
+    Args:
+        n_bits: Key length the filter operates on.
+        salt: Public per-session salt; both parties must use the same one.
+    """
+
+    def __init__(self, n_bits: int, salt: bytes = b"vehicle-key"):
+        require_positive(n_bits, "n_bits")
+        self.n_bits = int(n_bits)
+        self.salt = bytes(salt)
+        seed_material = hashlib.sha256(
+            self.salt + self.n_bits.to_bytes(4, "big")
+        ).digest()
+        rng = np.random.default_rng(np.frombuffer(seed_material, dtype=np.uint64))
+        self._permutation = rng.permutation(self.n_bits)
+        self._inverse_permutation = np.argsort(self._permutation)
+        self._pad = rng.integers(0, 2, size=self.n_bits, dtype=np.uint8)
+
+    def transform(self, bits: np.ndarray) -> np.ndarray:
+        """Apply the filter: permute positions, XOR the salted pad."""
+        key = np.asarray(bits, dtype=np.uint8)
+        require(key.shape == (self.n_bits,), f"expected {self.n_bits} bits, got {key.shape}")
+        return key[self._permutation] ^ self._pad
+
+    def inverse(self, bits: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform`."""
+        key = np.asarray(bits, dtype=np.uint8)
+        require(key.shape == (self.n_bits,), f"expected {self.n_bits} bits, got {key.shape}")
+        return (key ^ self._pad)[self._inverse_permutation]
+
+    def transform_batch(self, bits: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`transform` over a ``[batch, n_bits]`` matrix."""
+        keys = np.asarray(bits, dtype=np.uint8)
+        require(
+            keys.ndim == 2 and keys.shape[1] == self.n_bits,
+            f"expected [batch, {self.n_bits}] bits, got {keys.shape}",
+        )
+        return keys[:, self._permutation] ^ self._pad
+
+    def map_difference_batch(self, differences: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`map_difference` over a ``[batch, n_bits]`` matrix."""
+        deltas = np.asarray(differences, dtype=np.uint8)
+        require(
+            deltas.ndim == 2 and deltas.shape[1] == self.n_bits,
+            f"expected [batch, {self.n_bits}] bits, got {deltas.shape}",
+        )
+        return deltas[:, self._permutation]
+
+    def map_difference(self, difference: np.ndarray) -> np.ndarray:
+        """Where a raw-domain difference pattern lands in the filtered domain.
+
+        XOR pads cancel in differences, so only the permutation acts; this
+        is the position-preservation property the paper relies on.
+        """
+        delta = np.asarray(difference, dtype=np.uint8)
+        require(delta.shape == (self.n_bits,), f"expected {self.n_bits} bits")
+        return delta[self._permutation]

@@ -1,0 +1,128 @@
+"""FIPS 140-2 randomness battery (monobit, poker, runs, long run).
+
+The classic power-on self-test battery for hardware key generators:
+unlike the NIST suite's p-values, FIPS 140-2 defines hard accept/reject
+intervals on a single 20,000-bit sample.  Useful as a cheap online check
+a deployed Vehicle-Key node can run on its own key material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.validation import require
+
+SAMPLE_BITS = 20_000
+
+#: Accept interval for the monobit count of ones.
+MONOBIT_RANGE = (9_725, 10_275)
+#: Accept interval for the poker statistic.
+POKER_RANGE = (2.16, 46.17)
+#: Accept intervals for run lengths 1..5 and >= 6 (per bit value).
+RUN_RANGES = {
+    1: (2_315, 2_685),
+    2: (1_114, 1_386),
+    3: (527, 723),
+    4: (240, 384),
+    5: (103, 209),
+    6: (103, 209),
+}
+#: Any run of 26 or more identical bits fails the long-run test.
+LONG_RUN_LIMIT = 26
+
+
+@dataclass(frozen=True)
+class FipsResult:
+    """One FIPS 140-2 check's outcome.
+
+    Attributes:
+        name: Test name.
+        statistic: The measured value (for runs: worst offending count).
+        passed: Whether the accept criterion held.
+    """
+
+    name: str
+    statistic: float
+    passed: bool
+
+
+def _sample(bits) -> np.ndarray:
+    arr = np.asarray(bits, dtype=np.int8)
+    require(arr.ndim == 1, "bit sequence must be 1-D")
+    require(
+        arr.size >= SAMPLE_BITS,
+        f"FIPS 140-2 operates on {SAMPLE_BITS} bits, got {arr.size}",
+    )
+    require(bool(np.all((arr == 0) | (arr == 1))), "sequence must be 0/1")
+    return arr[:SAMPLE_BITS]
+
+
+def monobit_test(bits) -> FipsResult:
+    """Count of ones must fall in (9725, 10275)."""
+    ones = int(_sample(bits).sum())
+    low, high = MONOBIT_RANGE
+    return FipsResult("monobit", float(ones), low < ones < high)
+
+
+def poker_test(bits) -> FipsResult:
+    """Chi-square-like statistic over 5000 non-overlapping nibbles."""
+    sample = _sample(bits)
+    nibbles = sample.reshape(5_000, 4)
+    codes = (nibbles << np.arange(3, -1, -1)).sum(axis=1)
+    counts = np.bincount(codes, minlength=16).astype(float)
+    statistic = float(16.0 / 5_000.0 * np.sum(counts**2) - 5_000.0)
+    low, high = POKER_RANGE
+    return FipsResult("poker", statistic, low < statistic < high)
+
+
+def _run_lengths(sample: np.ndarray):
+    """(value, length) pairs for every maximal run."""
+    changes = np.flatnonzero(np.diff(sample)) + 1
+    boundaries = np.concatenate([[0], changes, [sample.size]])
+    for start, end in zip(boundaries[:-1], boundaries[1:]):
+        yield int(sample[start]), int(end - start)
+
+
+def runs_test(bits) -> FipsResult:
+    """Run-length histogram must fall in the per-length accept intervals."""
+    sample = _sample(bits)
+    counts = {value: {length: 0 for length in RUN_RANGES} for value in (0, 1)}
+    for value, length in _run_lengths(sample):
+        counts[value][min(length, 6)] += 1
+    worst = 0.0
+    passed = True
+    for value in (0, 1):
+        for length, (low, high) in RUN_RANGES.items():
+            observed = counts[value][length]
+            if not low <= observed <= high:
+                passed = False
+                worst = max(worst, float(observed))
+    return FipsResult("runs", worst, passed)
+
+
+def long_run_test(bits) -> FipsResult:
+    """No run of LONG_RUN_LIMIT or more identical bits may occur."""
+    sample = _sample(bits)
+    longest = max(length for _, length in _run_lengths(sample))
+    return FipsResult("long-run", float(longest), longest < LONG_RUN_LIMIT)
+
+
+def run_fips_battery(bits) -> Dict[str, FipsResult]:
+    """All four FIPS 140-2 tests on the first 20,000 bits."""
+    return {
+        result.name: result
+        for result in (
+            monobit_test(bits),
+            poker_test(bits),
+            runs_test(bits),
+            long_run_test(bits),
+        )
+    }
+
+
+def fips_pass(bits) -> bool:
+    """Whether all four tests accept."""
+    return all(result.passed for result in run_fips_battery(bits).values())

@@ -1,0 +1,20 @@
+"""Shared input handling for the NIST tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+def as_bits(sequence, minimum_length: int) -> np.ndarray:
+    """Validate and coerce a 0/1 sequence for a NIST test."""
+    bits = np.asarray(sequence, dtype=np.int8)
+    require(bits.ndim == 1, "bit sequence must be 1-D")
+    require(
+        bits.size >= minimum_length,
+        f"sequence of {bits.size} bits is shorter than the test's minimum "
+        f"of {minimum_length}",
+    )
+    require(bool(np.all((bits == 0) | (bits == 1))), "sequence must be 0/1")
+    return bits

@@ -1,0 +1,34 @@
+"""Approximate entropy test, SP 800-22 section 2.12."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaincc
+
+from repro.security.nist._common import as_bits
+from repro.utils.validation import require_positive
+
+
+def _phi(bits: np.ndarray, m: int) -> float:
+    """log-sum statistic over overlapping m-bit patterns (wrapped)."""
+    n = bits.size
+    if m == 0:
+        return 0.0
+    extended = np.concatenate([bits, bits[: m - 1]]) if m > 1 else bits
+    # Encode each overlapping m-bit window as an integer.
+    codes = np.zeros(n, dtype=np.int64)
+    for offset in range(m):
+        codes = (codes << 1) | extended[offset:offset + n]
+    counts = np.bincount(codes, minlength=2**m).astype(float)
+    probabilities = counts[counts > 0] / n
+    return float(np.sum(probabilities * np.log(probabilities)))
+
+
+def approximate_entropy_test(sequence, m: int = 2) -> float:
+    """p-value comparing m- and (m+1)-pattern regularity."""
+    require_positive(m, "m")
+    bits = as_bits(sequence, minimum_length=2 ** (m + 2))
+    n = bits.size
+    ap_en = _phi(bits, m) - _phi(bits, m + 1)
+    chi_squared = 2.0 * n * (np.log(2.0) - ap_en)
+    return float(gammaincc(2 ** (m - 1), chi_squared / 2.0))

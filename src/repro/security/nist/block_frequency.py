@@ -1,0 +1,21 @@
+"""Block frequency test, SP 800-22 section 2.2."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaincc
+
+from repro.security.nist._common import as_bits
+from repro.utils.validation import require, require_positive
+
+
+def block_frequency_test(sequence, block_size: int = 128) -> float:
+    """p-value for per-block balance of ones (chi-square over blocks)."""
+    require_positive(block_size, "block_size")
+    bits = as_bits(sequence, minimum_length=block_size)
+    n_blocks = bits.size // block_size
+    require(n_blocks >= 1, "need at least one full block")
+    trimmed = bits[: n_blocks * block_size].reshape(n_blocks, block_size)
+    proportions = trimmed.mean(axis=1)
+    chi_squared = 4.0 * block_size * np.sum((proportions - 0.5) ** 2)
+    return float(gammaincc(n_blocks / 2.0, chi_squared / 2.0))

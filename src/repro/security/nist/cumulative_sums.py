@@ -1,0 +1,37 @@
+"""Cumulative sums (cusum) test, SP 800-22 section 2.13."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.security.nist._common import as_bits
+from repro.utils.validation import require_one_of
+
+
+def cumulative_sums_test(sequence, mode: str = "forward") -> float:
+    """p-value for the maximum excursion of the +/-1 random walk."""
+    require_one_of(mode, ("forward", "backward"), "mode")
+    bits = as_bits(sequence, minimum_length=8)
+    steps = 2.0 * bits.astype(float) - 1.0
+    if mode == "backward":
+        steps = steps[::-1]
+    walk = np.cumsum(steps)
+    z = float(np.max(np.abs(walk)))
+    n = bits.size
+    if z == 0:
+        return 0.0
+
+    sqrt_n = np.sqrt(n)
+    k_start = int((-n / z + 1) // 4)
+    k_end = int((n / z - 1) // 4)
+    first = sum(
+        norm.cdf((4 * k + 1) * z / sqrt_n) - norm.cdf((4 * k - 1) * z / sqrt_n)
+        for k in range(k_start, k_end + 1)
+    )
+    k_start2 = int((-n / z - 3) // 4)
+    second = sum(
+        norm.cdf((4 * k + 3) * z / sqrt_n) - norm.cdf((4 * k + 1) * z / sqrt_n)
+        for k in range(k_start2, k_end + 1)
+    )
+    return float(1.0 - first + second)

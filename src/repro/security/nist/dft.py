@@ -1,0 +1,23 @@
+"""Discrete Fourier transform (spectral) test, SP 800-22 section 2.6."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erfc
+
+from repro.security.nist._common import as_bits
+
+
+def dft_test(sequence) -> float:
+    """p-value for excess low-magnitude periodicities in the spectrum."""
+    bits = as_bits(sequence, minimum_length=64)
+    n = bits.size
+    signal = 2.0 * bits.astype(float) - 1.0
+    magnitudes = np.abs(np.fft.fft(signal))[: n // 2]
+    threshold = np.sqrt(np.log(1.0 / 0.05) * n)
+    expected_below = 0.95 * n / 2.0
+    observed_below = float(np.count_nonzero(magnitudes < threshold))
+    difference = (observed_below - expected_below) / np.sqrt(
+        n * 0.95 * 0.05 / 4.0
+    )
+    return float(erfc(abs(difference) / np.sqrt(2.0)))

@@ -1,0 +1,16 @@
+"""Frequency (monobit) test, SP 800-22 section 2.1."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erfc
+
+from repro.security.nist._common import as_bits
+
+
+def frequency_test(sequence) -> float:
+    """p-value for the hypothesis that ones and zeros are equally likely."""
+    bits = as_bits(sequence, minimum_length=8)
+    partial_sum = np.sum(2 * bits.astype(float) - 1.0)
+    statistic = abs(partial_sum) / np.sqrt(bits.size)
+    return float(erfc(statistic / np.sqrt(2.0)))

@@ -1,0 +1,83 @@
+"""Linear complexity test, SP 800-22 section 2.10.
+
+Uses the Berlekamp-Massey algorithm to find the shortest LFSR generating
+each block; a truly random block's complexity concentrates tightly around
+M/2 with a known discrete distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaincc
+
+from repro.security.nist._common import as_bits
+from repro.utils.validation import require, require_positive
+
+_CATEGORY_PROBABILITIES = np.array(
+    [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833]
+)
+
+
+def berlekamp_massey(bits: np.ndarray) -> int:
+    """Length of the shortest LFSR generating ``bits`` (over GF(2))."""
+    sequence = np.asarray(bits, dtype=np.int8)
+    n = sequence.size
+    connection = np.zeros(n + 1, dtype=np.int8)
+    backup = np.zeros(n + 1, dtype=np.int8)
+    connection[0] = backup[0] = 1
+    complexity = 0
+    last_change = -1
+    for position in range(n):
+        discrepancy = int(sequence[position])
+        if complexity > 0:
+            window = sequence[position - complexity:position][::-1]
+            discrepancy ^= int(
+                np.bitwise_and(connection[1:complexity + 1], window).sum() & 1
+            )
+        if discrepancy == 0:
+            continue
+        candidate = connection.copy()
+        offset = position - last_change
+        length = min(n + 1 - offset, n + 1)
+        connection[offset:offset + length] ^= backup[:length]
+        if 2 * complexity <= position:
+            complexity = position + 1 - complexity
+            last_change = position
+            backup = candidate
+    return complexity
+
+
+def linear_complexity_test(sequence, block_size: int = 500) -> float:
+    """p-value for the per-block linear complexity distribution."""
+    require_positive(block_size, "block_size")
+    bits = as_bits(sequence, minimum_length=block_size)
+    n_blocks = bits.size // block_size
+    require(n_blocks >= 1, "need at least one full block")
+    blocks = bits[: n_blocks * block_size].reshape(n_blocks, block_size)
+
+    m = block_size
+    mean = (
+        m / 2.0
+        + (9.0 + (-1.0) ** (m + 1)) / 36.0
+        - (m / 3.0 + 2.0 / 9.0) / 2.0**m
+    )
+    counts = np.zeros(7)
+    for block in blocks:
+        t = (-1.0) ** m * (berlekamp_massey(block) - mean) + 2.0 / 9.0
+        if t <= -2.5:
+            counts[0] += 1
+        elif t <= -1.5:
+            counts[1] += 1
+        elif t <= -0.5:
+            counts[2] += 1
+        elif t <= 0.5:
+            counts[3] += 1
+        elif t <= 1.5:
+            counts[4] += 1
+        elif t <= 2.5:
+            counts[5] += 1
+        else:
+            counts[6] += 1
+    expected = n_blocks * _CATEGORY_PROBABILITIES
+    chi_squared = float(np.sum((counts - expected) ** 2 / expected))
+    return float(gammaincc(3.0, chi_squared / 2.0))

@@ -1,0 +1,51 @@
+"""Longest run of ones in a block, SP 800-22 section 2.4."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaincc
+
+from repro.security.nist._common import as_bits
+from repro.utils.validation import require
+
+# (block size M, category upper edges, category probabilities) per the
+# SP 800-22 tables, chosen by sequence length.
+_CONFIGS = (
+    (128, 8, (1, 2, 3), (0.2148, 0.3672, 0.2305, 0.1875)),
+    (6272, 128, (4, 5, 6, 7, 8), (0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124)),
+    (
+        750000,
+        10000,
+        (10, 11, 12, 13, 14, 15),
+        (0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727),
+    ),
+)
+
+
+def _longest_run_of_ones(block: np.ndarray) -> int:
+    longest = current = 0
+    for bit in block:
+        current = current + 1 if bit else 0
+        longest = max(longest, current)
+    return longest
+
+
+def longest_run_test(sequence) -> float:
+    """p-value for the distribution of per-block longest runs of ones."""
+    bits = as_bits(sequence, minimum_length=128)
+    # Pick the largest configuration whose minimum length the sequence meets.
+    applicable = [cfg for cfg in _CONFIGS if bits.size >= cfg[0]]
+    require(bool(applicable), "sequence too short for the longest-run test")
+    _, block_size, edges, probabilities = applicable[-1]
+    n_blocks = bits.size // block_size
+    blocks = bits[: n_blocks * block_size].reshape(n_blocks, block_size)
+    counts = np.zeros(len(edges) + 1)
+    low = edges[0]
+    high = edges[-1]
+    for block in blocks:
+        run = _longest_run_of_ones(block)
+        category = int(np.clip(run, low, high + 1)) - low
+        counts[category] += 1
+    expected = n_blocks * np.asarray(probabilities)
+    chi_squared = float(np.sum((counts - expected) ** 2 / expected))
+    return float(gammaincc(len(edges) / 2.0, chi_squared / 2.0))

@@ -1,0 +1,60 @@
+"""Binary matrix rank test, SP 800-22 section 2.5."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaincc
+
+from repro.security.nist._common import as_bits
+from repro.utils.validation import require
+
+_M = 32  # matrix rows
+_Q = 32  # matrix columns
+
+# P(rank = 32), P(rank = 31), P(rank <= 30) for random 32x32 GF(2) matrices.
+_RANK_PROBABILITIES = (0.2888, 0.5776, 0.1336)
+
+
+def gf2_rank(matrix: np.ndarray) -> int:
+    """Rank of a 0/1 matrix over GF(2) (Gaussian elimination)."""
+    work = matrix.copy().astype(np.int8)
+    rows, cols = work.shape
+    rank = 0
+    pivot_row = 0
+    for col in range(cols):
+        pivot = None
+        for row in range(pivot_row, rows):
+            if work[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        work[[pivot_row, pivot]] = work[[pivot, pivot_row]]
+        for row in range(rows):
+            if row != pivot_row and work[row, col]:
+                work[row] ^= work[pivot_row]
+        pivot_row += 1
+        rank += 1
+        if pivot_row == rows:
+            break
+    return rank
+
+
+def matrix_rank_test(sequence) -> float:
+    """p-value for the rank distribution of 32x32 bit matrices."""
+    bits = as_bits(sequence, minimum_length=_M * _Q)
+    n_matrices = bits.size // (_M * _Q)
+    require(n_matrices >= 4, "need at least four 32x32 matrices (4096+ bits)")
+    counts = np.zeros(3)
+    for index in range(n_matrices):
+        block = bits[index * _M * _Q:(index + 1) * _M * _Q]
+        rank = gf2_rank(block.reshape(_M, _Q))
+        if rank == _M:
+            counts[0] += 1
+        elif rank == _M - 1:
+            counts[1] += 1
+        else:
+            counts[2] += 1
+    expected = n_matrices * np.asarray(_RANK_PROBABILITIES)
+    chi_squared = float(np.sum((counts - expected) ** 2 / expected))
+    return float(gammaincc(1.0, chi_squared / 2.0))

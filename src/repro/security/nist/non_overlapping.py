@@ -1,0 +1,45 @@
+"""Non-overlapping template matching test, SP 800-22 section 2.7."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaincc
+
+from repro.security.nist._common import as_bits
+from repro.utils.validation import require
+
+#: The standard aperiodic template used when none is supplied.
+DEFAULT_TEMPLATE = (0, 0, 0, 0, 0, 0, 0, 0, 1)
+
+
+def _count_non_overlapping(block: np.ndarray, template: np.ndarray) -> int:
+    m = template.size
+    count = 0
+    position = 0
+    while position <= block.size - m:
+        if np.array_equal(block[position:position + m], template):
+            count += 1
+            position += m
+        else:
+            position += 1
+    return count
+
+
+def non_overlapping_template_test(
+    sequence, template=DEFAULT_TEMPLATE, n_blocks: int = 8
+) -> float:
+    """p-value for the occurrence count of an aperiodic template."""
+    template_bits = np.asarray(template, dtype=np.int8)
+    require(template_bits.ndim == 1 and template_bits.size >= 2, "template too short")
+    m = template_bits.size
+    bits = as_bits(sequence, minimum_length=n_blocks * 8 * m)
+    block_size = bits.size // n_blocks
+    blocks = bits[: n_blocks * block_size].reshape(n_blocks, block_size)
+
+    mean = (block_size - m + 1) / 2.0**m
+    variance = block_size * (1.0 / 2.0**m - (2.0 * m - 1.0) / 2.0 ** (2 * m))
+    counts = np.array(
+        [_count_non_overlapping(block, template_bits) for block in blocks], dtype=float
+    )
+    chi_squared = float(np.sum((counts - mean) ** 2 / variance))
+    return float(gammaincc(n_blocks / 2.0, chi_squared / 2.0))

@@ -1,0 +1,67 @@
+"""Overlapping template matching test, SP 800-22 section 2.8."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import gammaincc
+
+from repro.security.nist._common import as_bits
+from repro.utils.validation import require
+
+#: Default template: a run of ones of length 9 (the SP 800-22 example).
+DEFAULT_TEMPLATE = (1,) * 9
+
+_CATEGORY_COUNT = 6
+
+
+def _pi_probabilities(eta: float) -> np.ndarray:
+    """Category probabilities P(occurrences = k), k = 0..4, and P(>= 5).
+
+    Uses the SP 800-22 recurrence based on the Polya-Aeppli law.
+    """
+    probabilities = np.zeros(_CATEGORY_COUNT)
+    probabilities[0] = math.exp(-eta)
+    # P(U = u) for u >= 1 via the series expansion.
+    for u in range(1, _CATEGORY_COUNT - 1):
+        total = 0.0
+        for ell in range(1, u + 1):
+            total += (
+                math.exp(-eta)
+                * 2.0**-u
+                * eta**ell
+                / math.factorial(ell)
+                * math.comb(u - 1, ell - 1)
+            )
+        probabilities[u] = total
+    probabilities[-1] = 1.0 - probabilities[:-1].sum()
+    return probabilities
+
+
+def overlapping_template_test(
+    sequence, template=DEFAULT_TEMPLATE, block_size: int = 1032
+) -> float:
+    """p-value for overlapping occurrences of a template per block."""
+    template_bits = np.asarray(template, dtype=np.int8)
+    m = template_bits.size
+    require(m >= 2, "template too short")
+    bits = as_bits(sequence, minimum_length=block_size)
+    n_blocks = bits.size // block_size
+    require(n_blocks >= 1, "need at least one full block")
+
+    counts = np.zeros(_CATEGORY_COUNT)
+    for index in range(n_blocks):
+        block = bits[index * block_size:(index + 1) * block_size]
+        occurrences = 0
+        for position in range(block_size - m + 1):
+            if np.array_equal(block[position:position + m], template_bits):
+                occurrences += 1
+        counts[min(occurrences, _CATEGORY_COUNT - 1)] += 1
+
+    lam = (block_size - m + 1) / 2.0**m
+    eta = lam / 2.0
+    probabilities = _pi_probabilities(eta)
+    expected = n_blocks * probabilities
+    chi_squared = float(np.sum((counts - expected) ** 2 / expected))
+    return float(gammaincc((_CATEGORY_COUNT - 1) / 2.0, chi_squared / 2.0))

@@ -1,0 +1,27 @@
+"""Runs test, SP 800-22 section 2.3."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erfc
+
+from repro.security.nist._common import as_bits
+
+
+def runs_test(sequence) -> float:
+    """p-value for the total number of runs (maximal same-bit blocks).
+
+    Applies the standard prerequisite: if the frequency test would fail
+    decisively (|pi - 1/2| too large) the p-value is 0 by definition.
+    """
+    bits = as_bits(sequence, minimum_length=16)
+    n = bits.size
+    proportion = bits.mean()
+    if abs(proportion - 0.5) >= 2.0 / np.sqrt(n):
+        return 0.0
+    observed_runs = 1 + int(np.count_nonzero(bits[1:] != bits[:-1]))
+    expected = 2.0 * n * proportion * (1.0 - proportion)
+    statistic = abs(observed_runs - expected) / (
+        2.0 * np.sqrt(2.0 * n) * proportion * (1.0 - proportion)
+    )
+    return float(erfc(statistic / np.sqrt(2.0)))

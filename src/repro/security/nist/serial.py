@@ -1,0 +1,39 @@
+"""Serial test, SP 800-22 section 2.11."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.special import gammaincc
+
+from repro.security.nist._common import as_bits
+from repro.utils.validation import require, require_positive
+
+
+def _psi_squared(bits: np.ndarray, m: int) -> float:
+    """``psi^2_m`` statistic over overlapping wrapped m-bit patterns."""
+    if m <= 0:
+        return 0.0
+    n = bits.size
+    extended = np.concatenate([bits, bits[: m - 1]]) if m > 1 else bits
+    codes = np.zeros(n, dtype=np.int64)
+    for offset in range(m):
+        codes = (codes << 1) | extended[offset:offset + n]
+    counts = np.bincount(codes, minlength=2**m).astype(float)
+    return float((2.0**m / n) * np.sum(counts**2) - n)
+
+
+def serial_test(sequence, m: int = 4) -> Tuple[float, float]:
+    """Both serial-test p-values ``(p1, p2)`` for pattern length m."""
+    require_positive(m, "m")
+    bits = as_bits(sequence, minimum_length=2 ** (m + 2))
+    require(m >= 2, "serial test needs m >= 2")
+    psi_m = _psi_squared(bits, m)
+    psi_m1 = _psi_squared(bits, m - 1)
+    psi_m2 = _psi_squared(bits, m - 2)
+    delta1 = psi_m - psi_m1
+    delta2 = psi_m - 2.0 * psi_m1 + psi_m2
+    p1 = float(gammaincc(2.0 ** (m - 2), delta1 / 2.0))
+    p2 = float(gammaincc(2.0 ** (m - 3), delta2 / 2.0))
+    return p1, p2

@@ -1,0 +1,77 @@
+"""Maurer's universal statistical test, SP 800-22 section 2.9."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import erfc
+
+from repro.security.nist._common import as_bits
+from repro.utils.validation import require
+
+#: (block length L) -> (expected value, variance) per the SP 800-22 table.
+_EXPECTATIONS = {
+    2: (1.5374383, 1.338),
+    3: (2.4016068, 1.901),
+    4: (3.3112247, 2.358),
+    5: (4.2534266, 2.705),
+    6: (5.2177052, 2.954),
+    7: (6.1962507, 3.125),
+    8: (7.1836656, 3.238),
+    9: (8.1764248, 3.311),
+    10: (9.1723243, 3.356),
+}
+
+
+def _choose_block_length(n: int) -> int:
+    """Largest table L such that n leaves enough init and test blocks.
+
+    Practical rule: Q = 10 * 2^L initialization blocks plus at least 1000
+    test blocks, each of L bits.
+    """
+    for length in sorted(_EXPECTATIONS, reverse=True):
+        if n >= (10 * 2**length + 1000) * length:
+            return length
+    return 2
+
+
+def universal_test(sequence, block_length: int = None) -> float:
+    """p-value of Maurer's compressibility statistic.
+
+    Args:
+        sequence: The 0/1 sequence under test.
+        block_length: L; chosen from the sequence length when omitted.
+    """
+    bits = as_bits(sequence, minimum_length=4000)
+    length = block_length if block_length is not None else _choose_block_length(bits.size)
+    require(length in _EXPECTATIONS, f"block_length must be in {sorted(_EXPECTATIONS)}")
+    init_blocks = 10 * 2**length
+    total_blocks = bits.size // length
+    test_blocks = total_blocks - init_blocks
+    require(
+        test_blocks >= 100,
+        f"sequence too short for L={length}: needs more than "
+        f"{init_blocks * length} bits",
+    )
+
+    codes = np.zeros(total_blocks, dtype=np.int64)
+    trimmed = bits[: total_blocks * length].reshape(total_blocks, length)
+    for offset in range(length):
+        codes = (codes << 1) | trimmed[:, offset]
+
+    last_seen = np.zeros(2**length, dtype=np.int64)
+    for index in range(init_blocks):
+        last_seen[codes[index]] = index + 1
+
+    total = 0.0
+    for index in range(init_blocks, total_blocks):
+        position = index + 1
+        total += math.log2(position - last_seen[codes[index]])
+        last_seen[codes[index]] = position
+    statistic = total / test_blocks
+
+    expected, variance = _EXPECTATIONS[length]
+    c = 0.7 - 0.8 / length + (4.0 + 32.0 / length) * test_blocks ** (-3.0 / length) / 15.0
+    sigma = c * math.sqrt(variance / test_blocks)
+    return float(erfc(abs(statistic - expected) / (math.sqrt(2.0) * sigma)))

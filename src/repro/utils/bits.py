@@ -1,0 +1,144 @@
+"""Bit-array helpers.
+
+Keys flow through the library as numpy ``uint8`` arrays of 0/1 values (one
+bit per element).  This module centralises conversions between that
+representation and bytes/integers, plus the small amount of coding theory
+(Gray codes, parity, Hamming distance) the quantizers and reconciliation
+methods need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+def _as_bit_array(bits: Sequence[int]) -> np.ndarray:
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.ndim != 1:
+        raise ConfigurationError(f"expected a 1-D bit array, got shape {arr.shape}")
+    if arr.size and not np.all((arr == 0) | (arr == 1)):
+        raise ConfigurationError("bit arrays may only contain 0 and 1")
+    return arr
+
+
+def bits_to_bytes(bits: Sequence[int]) -> bytes:
+    """Pack a 0/1 array into bytes (big-endian within each byte).
+
+    The bit length must be a multiple of 8.
+    """
+    arr = _as_bit_array(bits)
+    if arr.size % 8 != 0:
+        raise ConfigurationError(
+            f"bit length {arr.size} is not a multiple of 8; pad before packing"
+        )
+    return np.packbits(arr).tobytes()
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Unpack bytes into a 0/1 ``uint8`` array (big-endian within bytes)."""
+    return np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Interpret a 0/1 array as a big-endian unsigned integer."""
+    arr = _as_bit_array(bits)
+    value = 0
+    for bit in arr:
+        value = (value << 1) | int(bit)
+    return value
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Big-endian binary expansion of ``value`` into ``width`` bits."""
+    if value < 0:
+        raise ConfigurationError("only non-negative integers can be bit-expanded")
+    if width <= 0:
+        raise ConfigurationError("width must be positive")
+    if value >= (1 << width):
+        raise ConfigurationError(f"{value} does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8)
+
+
+def hamming_distance(a: Sequence[int], b: Sequence[int]) -> int:
+    """Number of positions where the two equal-length bit arrays differ."""
+    arr_a = _as_bit_array(a)
+    arr_b = _as_bit_array(b)
+    if arr_a.size != arr_b.size:
+        raise ConfigurationError(
+            f"bit arrays differ in length: {arr_a.size} vs {arr_b.size}"
+        )
+    return int(np.count_nonzero(arr_a != arr_b))
+
+
+def bit_agreement(a: Sequence[int], b: Sequence[int]) -> float:
+    """Fraction of positions where the two equal-length bit arrays agree.
+
+    An empty pair of arrays agrees perfectly by convention.
+    """
+    arr_a = _as_bit_array(a)
+    if arr_a.size == 0:
+        _as_bit_array(b)
+        return 1.0
+    return 1.0 - hamming_distance(a, b) / arr_a.size
+
+
+def parity(bits: Sequence[int]) -> int:
+    """Even parity (XOR) of the bit array."""
+    return int(np.bitwise_xor.reduce(_as_bit_array(bits))) if len(bits) else 0
+
+
+def gray_encode(value: int) -> int:
+    """Binary-reflected Gray code of a non-negative integer."""
+    if value < 0:
+        raise ConfigurationError("Gray coding is defined for non-negative integers")
+    return value ^ (value >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Inverse of :func:`gray_encode`."""
+    if code < 0:
+        raise ConfigurationError("Gray coding is defined for non-negative integers")
+    value = code
+    shift = 1
+    while (code >> shift) > 0:
+        value ^= code >> shift
+        shift += 1
+    return value
+
+
+def gray_code_table(bits_per_symbol: int) -> np.ndarray:
+    """All ``2**bits_per_symbol`` Gray codewords as a bit matrix.
+
+    Row ``i`` is the Gray codeword for level ``i``, so adjacent quantization
+    levels differ in exactly one bit -- the property multi-bit quantizers
+    rely on to keep small RSSI disagreements to single-bit errors.
+    """
+    if bits_per_symbol <= 0:
+        raise ConfigurationError("bits_per_symbol must be positive")
+    levels = 1 << bits_per_symbol
+    return np.stack(
+        [int_to_bits(gray_encode(level), bits_per_symbol) for level in range(levels)]
+    )
+
+
+def random_bits(n: int, seed: SeedLike = None) -> np.ndarray:
+    """Uniform random 0/1 array of length ``n``."""
+    if n < 0:
+        raise ConfigurationError("cannot generate a negative number of bits")
+    rng = as_generator(seed)
+    return rng.integers(0, 2, size=n, dtype=np.uint8)
+
+
+def flip_bits(bits: Sequence[int], positions: Iterable[int]) -> np.ndarray:
+    """Return a copy of ``bits`` with the given positions flipped."""
+    arr = _as_bit_array(bits).copy()
+    for pos in positions:
+        if not 0 <= pos < arr.size:
+            raise ConfigurationError(f"flip position {pos} out of range for {arr.size} bits")
+        arr[pos] ^= 1
+    return arr

@@ -1,0 +1,72 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library takes either an integer seed or a
+:class:`numpy.random.Generator`.  Experiments that need many independent
+streams (Alice's hardware noise, Bob's hardware noise, the fading process,
+the training shuffle, ...) derive them from a single root seed through
+:class:`SeedSequenceFactory`, so a whole experiment is reproducible from one
+integer while its sub-streams stay statistically independent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a non-deterministic generator; an ``int`` seeds a fresh
+    PCG64 generator; an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class SeedSequenceFactory:
+    """Derives named, independent random streams from a single root seed.
+
+    Streams are keyed by string so that adding a new consumer does not
+    perturb the streams handed to existing consumers (unlike positional
+    ``spawn`` chains).  The same ``(root_seed, name)`` pair always produces
+    the same stream.
+
+    Example::
+
+        factory = SeedSequenceFactory(42)
+        fading_rng = factory.generator("fading")
+        noise_rng = factory.generator("alice-noise")
+    """
+
+    def __init__(self, root_seed: Optional[int] = None):
+        self._root_seed = root_seed
+        self._root = np.random.SeedSequence(root_seed)
+
+    @property
+    def root_seed(self) -> Optional[int]:
+        """The root integer seed this factory was built from."""
+        return self._root_seed
+
+    def seed_for(self, name: str) -> np.random.SeedSequence:
+        """Return a :class:`numpy.random.SeedSequence` for stream ``name``."""
+        key = np.frombuffer(name.encode("utf-8"), dtype=np.uint8)
+        return np.random.SeedSequence(
+            entropy=self._root.entropy, spawn_key=tuple(int(b) for b in key)
+        )
+
+    def generator(self, name: str) -> np.random.Generator:
+        """Return an independent generator for stream ``name``."""
+        return np.random.default_rng(self.seed_for(name))
+
+    def child(self, name: str) -> "SeedSequenceFactory":
+        """Return a factory whose streams are independent of this factory's.
+
+        The child is deterministic in ``(root_seed, name)``.
+        """
+        child_seed = int(self.generator(name).integers(0, 2**63 - 1))
+        return SeedSequenceFactory(child_seed)

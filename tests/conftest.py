@@ -1,0 +1,42 @@
+"""Shared fixtures: a tiny trained pipeline reused across core tests.
+
+Training even a small BiLSTM takes seconds, so the expensive fixtures are
+session-scoped and deliberately undersized (8 hidden units, 16-step
+windows, 32-bit blocks).  Tests assert behaviours and invariants, not
+paper-grade accuracy -- that is what the benchmarks are for.
+"""
+
+import pytest
+
+from repro.channel.scenario import ScenarioName, scenario_config
+from repro.core.pipeline import PipelineConfig, VehicleKeyPipeline
+from repro.probing.features import FeatureConfig
+
+
+TINY_KWARGS = dict(
+    feature_config=FeatureConfig(window_fraction=0.10, values_per_packet=2),
+    seq_len=16,
+    hidden_units=16,
+    key_bits=32,
+    code_dim=24,
+    decoder_units=64,
+    rounds_per_episode=48,
+    session_rounds=256,
+    final_key_bits=64,
+    alice_confidence_margin=0.12,
+    bob_guard_fraction=0.30,
+)
+
+
+def make_tiny_pipeline(scenario=ScenarioName.V2I_URBAN, seed=11) -> VehicleKeyPipeline:
+    """An untrained, small-everything pipeline."""
+    config = PipelineConfig(scenario=scenario_config(scenario), **TINY_KWARGS)
+    return VehicleKeyPipeline(config, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline() -> VehicleKeyPipeline:
+    """A trained tiny pipeline (one per test session)."""
+    pipeline = make_tiny_pipeline()
+    pipeline.train(n_episodes=100, epochs=60, reconciler_epochs=15)
+    return pipeline

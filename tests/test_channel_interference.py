@@ -1,0 +1,96 @@
+"""Tests for the asymmetric interference model."""
+
+import numpy as np
+import pytest
+
+from repro.channel.interference import InterferenceSource, combine_power_dbm
+from repro.channel.mobility import RelativeMotion, StaticTrajectory, StraightLineTrajectory
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.channel.reciprocity import ReciprocalChannel
+from repro.exceptions import ConfigurationError
+from repro.lora.airtime import LoRaPHYConfig
+from repro.lora.radio import DRAGINO_LORA_SHIELD
+from repro.probing.protocol import ProbingProtocol
+from repro.utils.rng import SeedSequenceFactory
+
+
+class TestCombinePower:
+    def test_equal_powers_add_3db(self):
+        assert combine_power_dbm(-90.0, -90.0) == pytest.approx(-87.0, abs=0.05)
+
+    def test_silent_interference_is_identity(self):
+        assert combine_power_dbm(-90.0, -np.inf) == pytest.approx(-90.0)
+
+    def test_dominant_interference_wins(self):
+        assert combine_power_dbm(-120.0, -60.0) == pytest.approx(-60.0, abs=0.01)
+
+
+class TestInterferenceSource:
+    def test_activity_is_deterministic(self):
+        times = np.linspace(0, 100, 200)
+        a = InterferenceSource((0, 0), seed=5).active(times)
+        b = InterferenceSource((0, 0), seed=5).active(times)
+        np.testing.assert_array_equal(a, b)
+
+    def test_duty_fraction_tracks_means(self):
+        source = InterferenceSource((0, 0), mean_on_s=1.0, mean_off_s=9.0, seed=1)
+        activity = source.active(np.linspace(0, 5000, 20000))
+        assert 0.05 < activity.mean() < 0.16
+
+    def test_power_decays_with_distance(self):
+        source = InterferenceSource((0, 0), mean_on_s=1e6, mean_off_s=1e-6, seed=2)
+        times = np.array([1.0, 1.0])
+        positions = np.array([[100.0, 0.0], [1000.0, 0.0]])
+        near, far = source.power_dbm(times, positions)
+        assert near > far
+
+    def test_off_means_minus_infinity(self):
+        source = InterferenceSource((0, 0), mean_on_s=1e-6, mean_off_s=1e9, seed=3)
+        power = source.power_dbm(np.array([50.0]), np.array([[10.0, 0.0]]))
+        assert power[0] == -np.inf
+
+    def test_mismatched_positions_rejected(self):
+        source = InterferenceSource((0, 0), seed=4)
+        with pytest.raises(ConfigurationError):
+            source.power_dbm(np.array([1.0, 2.0]), np.array([[0.0, 0.0]]))
+
+
+class TestProtocolIntegration:
+    def _protocol(self, interference):
+        motion = RelativeMotion(
+            StraightLineTrajectory((0, 0), 10.0), StaticTrajectory((800, 0))
+        )
+        channel = ReciprocalChannel(motion, LogDistancePathLoss(exponent=2.2))
+        return ProbingProtocol(
+            channel,
+            LoRaPHYConfig(),
+            DRAGINO_LORA_SHIELD,
+            DRAGINO_LORA_SHIELD,
+            interference=interference,
+        )
+
+    def test_interference_near_one_end_is_asymmetric(self):
+        # A strong, always-on jammer parked next to Bob corrupts Bob's
+        # readings but barely touches Alice's.
+        jammer = InterferenceSource(
+            (810.0, 0.0), eirp_dbm=5.0, mean_on_s=1e6, mean_off_s=1e-6, seed=0
+        )
+        clean = self._protocol([]).run(6, SeedSequenceFactory(3))
+        jammed = self._protocol([jammer]).run(6, SeedSequenceFactory(3))
+        bob_shift = np.mean(jammed.bob_rssi) - np.mean(clean.bob_rssi)
+        alice_shift = np.mean(jammed.alice_rssi) - np.mean(clean.alice_rssi)
+        assert bob_shift > alice_shift + 3.0
+
+    def test_interference_degrades_reciprocity(self):
+        jammer = InterferenceSource(
+            (790.0, 0.0), eirp_dbm=0.0, mean_on_s=0.3, mean_off_s=1.0, seed=1
+        )
+        clean = self._protocol([]).run(40, SeedSequenceFactory(4))
+        jammed = self._protocol([jammer]).run(40, SeedSequenceFactory(4))
+
+        def correlation(trace):
+            a = trace.alice_rssi.mean(axis=1)
+            b = trace.bob_rssi.mean(axis=1)
+            return np.corrcoef(np.diff(a), np.diff(b))[0, 1]
+
+        assert correlation(jammed) < correlation(clean)

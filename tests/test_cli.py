@@ -1,0 +1,39 @@
+"""Tests for the command-line interface (fast paths only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_establish_defaults(self):
+        args = build_parser().parse_args(["establish"])
+        assert args.scenario.value == "v2v-urban"
+        assert args.episodes == 200
+
+    def test_scenario_parsing(self):
+        args = build_parser().parse_args(["establish", "--scenario", "v2i-rural"])
+        assert args.scenario.value == "v2i-rural"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["establish", "--scenario", "v2x-mars"])
+
+    def test_attack_requires_attacker(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack"])
+
+
+class TestCommands:
+    def test_validate_channel_passes(self, capsys):
+        assert main(["validate-channel", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "rayleigh" in out
+
+    def test_experiments_forwarding(self, capsys):
+        assert main(["experiments", "fig04"]) == 0
+        assert "fig04" in capsys.readouterr().out

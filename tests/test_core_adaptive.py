@@ -1,0 +1,44 @@
+"""Tests for the adaptive key-establishment controller."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveOutcome, establish_key_adaptive
+from repro.exceptions import ConfigurationError
+
+
+class TestAdaptiveEstablishment:
+    @pytest.fixture(scope="class")
+    def outcome(self, tiny_pipeline):
+        return establish_key_adaptive(
+            tiny_pipeline, burst_rounds=64, max_bursts=6, episode="adaptive-test"
+        )
+
+    def test_returns_outcome(self, outcome):
+        assert isinstance(outcome, AdaptiveOutcome)
+        assert outcome.bursts_used >= 1
+        assert outcome.rounds_used == 64 * outcome.bursts_used
+
+    def test_history_is_monotone(self, outcome):
+        # Pooling traces can only add verified bits.
+        assert outcome.burst_history == sorted(outcome.burst_history)
+
+    def test_stops_once_target_reached(self, tiny_pipeline, outcome):
+        if outcome.success:
+            target = tiny_pipeline.config.final_key_bits
+            # Every burst before the last was below target (else it would
+            # have stopped earlier).
+            assert all(bits < target for bits in outcome.burst_history[:-1])
+
+    def test_probing_time_accumulates(self, outcome):
+        assert outcome.probing_time_s > 0
+        assert outcome.key_generation_rate_bps >= 0
+
+    def test_key_available_on_success(self, outcome):
+        if outcome.success:
+            assert outcome.final_key is not None
+
+    def test_invalid_parameters_rejected(self, tiny_pipeline):
+        with pytest.raises(ConfigurationError):
+            establish_key_adaptive(tiny_pipeline, burst_rounds=0)
+        with pytest.raises(ConfigurationError):
+            establish_key_adaptive(tiny_pipeline, max_bursts=0)

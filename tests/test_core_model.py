@@ -1,0 +1,140 @@
+"""Tests for the BiLSTM prediction/quantization model."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import PredictionQuantizationModel
+from repro.exceptions import ConfigurationError, NotTrainedError
+from repro.probing.dataset import KeyGenDataset
+
+RNG = np.random.default_rng(3)
+
+
+def synthetic_dataset(n=80, seq_len=16, noise=0.2):
+    alice = RNG.standard_normal((n, seq_len))
+    bob = alice + noise * RNG.standard_normal((n, seq_len))
+
+    def norm(x):
+        return (x - x.mean(1, keepdims=True)) / x.std(1, keepdims=True)
+
+    return KeyGenDataset(alice=norm(alice), bob=norm(bob), alice_raw=alice, bob_raw=bob)
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    model = PredictionQuantizationModel(
+        seq_len=16, hidden_units=16, key_bits=32, seed=0
+    )
+    model.fit(synthetic_dataset(n=160), epochs=40, batch_size=16)
+    return model
+
+
+class TestConstruction:
+    def test_key_bits_must_match_quantizer_layout(self):
+        with pytest.raises(ConfigurationError):
+            PredictionQuantizationModel(seq_len=16, key_bits=48)
+
+    def test_untrained_model_refuses_inference(self):
+        model = PredictionQuantizationModel(seq_len=8, hidden_units=4, key_bits=16)
+        with pytest.raises(NotTrainedError):
+            model.alice_bits(np.zeros((1, 8)))
+
+    def test_default_quantizer_is_fixed_threshold_2bit(self):
+        model = PredictionQuantizationModel(seq_len=16, key_bits=32)
+        assert model.bob_quantizer.bits_per_sample == 2
+        assert model.bob_quantizer.fixed_thresholds
+
+    @pytest.mark.parametrize("cell", ["bilstm", "lstm", "gru"])
+    def test_recurrent_cell_options_train(self, cell):
+        model = PredictionQuantizationModel(
+            seq_len=16, hidden_units=6, key_bits=32, recurrent_cell=cell, seed=0
+        )
+        model.fit(synthetic_dataset(n=40), epochs=2, batch_size=16)
+        bits = model.alice_bits(np.zeros((1, 16)))
+        assert bits.shape == (1, 32)
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PredictionQuantizationModel(seq_len=16, key_bits=32, recurrent_cell="rnn")
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained_model):
+        losses = trained_model  # fixture trains; check via a fresh run
+        model = PredictionQuantizationModel(
+            seq_len=16, hidden_units=8, key_bits=32, seed=1
+        )
+        report = model.fit(synthetic_dataset(), epochs=10, batch_size=16)
+        assert report.history.metrics["loss"][-1] < report.history.metrics["loss"][0]
+
+    def test_learns_noisy_identity_better_than_chance(self, trained_model):
+        dataset = synthetic_dataset(n=30)
+        alice = trained_model.alice_bits(dataset.alice)
+        bob = trained_model.bob_bits(dataset.bob_raw)
+        assert np.mean(alice == bob) > 0.75
+
+    def test_validation_loss_recorded(self):
+        model = PredictionQuantizationModel(
+            seq_len=16, hidden_units=4, key_bits=32, seed=2
+        )
+        data = synthetic_dataset(n=40)
+        report = model.fit(data, validation=data, epochs=3)
+        assert "val_loss" in report.history.metrics
+
+
+class TestInference:
+    def test_bit_output_shape_and_values(self, trained_model):
+        windows = RNG.standard_normal((5, 16))
+        bits = trained_model.alice_bits(windows)
+        assert bits.shape == (5, 32)
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_probabilities_in_unit_interval(self, trained_model):
+        probs = trained_model.predict_bit_probabilities(RNG.standard_normal((3, 16)))
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_predicted_sequences_shape(self, trained_model):
+        assert trained_model.predict_sequences(RNG.standard_normal((4, 16))).shape == (4, 16)
+
+    def test_bob_bits_deterministic(self, trained_model):
+        window = RNG.normal(-90, 3, size=(1, 16))
+        np.testing.assert_array_equal(
+            trained_model.bob_bits(window), trained_model.bob_bits(window)
+        )
+
+    def test_wrong_window_length_rejected(self, trained_model):
+        with pytest.raises(ConfigurationError):
+            trained_model.bob_bits(np.zeros((1, 20)))
+
+
+class TestPersistenceAndTransfer:
+    def test_save_load_round_trip(self, trained_model, tmp_path):
+        path = tmp_path / "model.npz"
+        trained_model.save(path)
+        clone = trained_model.clone_architecture(seed=9)
+        clone.load(path)
+        windows = RNG.standard_normal((4, 16))
+        np.testing.assert_allclose(
+            clone.predict_bit_probabilities(windows),
+            trained_model.predict_bit_probabilities(windows),
+        )
+
+    def test_copy_weights_from(self, trained_model):
+        clone = trained_model.clone_architecture(seed=10)
+        clone.copy_weights_from(trained_model)
+        windows = RNG.standard_normal((2, 16))
+        np.testing.assert_allclose(
+            clone.predict_sequences(windows), trained_model.predict_sequences(windows)
+        )
+
+    def test_copy_from_untrained_rejected(self):
+        source = PredictionQuantizationModel(seq_len=8, hidden_units=4, key_bits=16)
+        target = source.clone_architecture(seed=1)
+        with pytest.raises(NotTrainedError):
+            target.copy_weights_from(source)
+
+    def test_clone_architecture_matches_hyperparameters(self, trained_model):
+        clone = trained_model.clone_architecture(seed=5)
+        assert clone.seq_len == trained_model.seq_len
+        assert clone.key_bits == trained_model.key_bits
+        assert clone.loss.theta == trained_model.loss.theta

@@ -1,0 +1,122 @@
+"""Tests for transfer learning and the power/timing profile."""
+
+import numpy as np
+import pytest
+
+from repro.core.power import (
+    RPI4_ACTIVE_POWER_W,
+    measure_power_profile,
+    totals,
+)
+from repro.core.transfer import (
+    evaluate_agreement,
+    fine_tune,
+    train_from_scratch,
+    transfer_study,
+)
+from repro.exceptions import ConfigurationError
+from repro.probing.dataset import split_dataset
+from tests.conftest import make_tiny_pipeline
+
+
+@pytest.fixture(scope="module")
+def target_dataset():
+    pipeline = make_tiny_pipeline(seed=21)
+    return pipeline.collect_dataset(n_episodes=30)
+
+
+class TestTransfer:
+    def test_fine_tune_produces_result(self, tiny_pipeline, target_dataset):
+        splits = split_dataset(target_dataset, seed=0)
+        result = fine_tune(
+            tiny_pipeline.model, splits, fraction=0.5, epochs=3, seed=0
+        )
+        assert result.label == "transfer-50%"
+        assert 0.0 <= result.agreement <= 1.0
+
+    def test_fraction_validated(self, tiny_pipeline, target_dataset):
+        splits = split_dataset(target_dataset, seed=0)
+        with pytest.raises(ConfigurationError):
+            fine_tune(tiny_pipeline.model, splits, fraction=1.5, epochs=1)
+
+    def test_scratch_arm(self, tiny_pipeline, target_dataset):
+        splits = split_dataset(target_dataset, seed=0)
+        result = train_from_scratch(tiny_pipeline.model, splits, epochs=3, seed=1)
+        assert result.label == "scratch"
+
+    def test_study_contains_all_arms(self, tiny_pipeline, target_dataset):
+        results = transfer_study(
+            tiny_pipeline.model,
+            target_dataset,
+            fractions=[0.10, 1.00],
+            fine_tune_epochs=3,
+            scratch_epochs=3,
+            seed=2,
+        )
+        assert set(results) == {"transfer-10%", "transfer-100%", "scratch"}
+
+    def test_fine_tuning_beats_scratch_at_small_budget(
+        self, tiny_pipeline, target_dataset
+    ):
+        # Fig. 14's qualitative claim at tiny scale: starting from the
+        # source model should not be worse than starting cold with the
+        # same small epoch budget.
+        results = transfer_study(
+            tiny_pipeline.model,
+            target_dataset,
+            fractions=[1.00],
+            fine_tune_epochs=4,
+            scratch_epochs=4,
+            seed=3,
+        )
+        assert results["transfer-100%"].agreement >= results["scratch"].agreement - 0.03
+
+    def test_evaluate_agreement_range(self, tiny_pipeline, target_dataset):
+        agreement = evaluate_agreement(tiny_pipeline.model, target_dataset)
+        assert 0.0 <= agreement <= 1.0
+
+
+class TestPowerProfile:
+    @pytest.fixture(scope="class")
+    def profile(self, tiny_pipeline):
+        return measure_power_profile(
+            tiny_pipeline.model, tiny_pipeline.reconciler, repeats=3
+        )
+
+    def test_all_phases_present(self, profile):
+        assert set(profile) == {
+            "prediction-quantization/alice",
+            "prediction-quantization/bob",
+            "reconciliation/alice",
+            "reconciliation/bob",
+        }
+
+    def test_times_positive(self, profile):
+        assert all(cost.time_ms > 0 for cost in profile.values())
+
+    def test_energy_matches_power_model(self, profile):
+        for cost in profile.values():
+            assert cost.energy_mj == pytest.approx(
+                cost.time_ms * RPI4_ACTIVE_POWER_W
+            )
+
+    def test_alice_prediction_costs_more_than_bob(self, profile):
+        # Table III's structure: Alice runs the BiLSTM, Bob only a quantizer.
+        assert (
+            profile["prediction-quantization/alice"].time_ms
+            > profile["prediction-quantization/bob"].time_ms
+        )
+
+    def test_alice_reconciliation_costs_more_than_bob(self, profile):
+        # Alice runs encoder + decoder + correction, Bob just his encoder.
+        assert (
+            profile["reconciliation/alice"].time_ms
+            > profile["reconciliation/bob"].time_ms
+        )
+
+    def test_totals_sum_phases(self, profile):
+        total = totals(profile)
+        assert total["alice"].time_ms == pytest.approx(
+            profile["prediction-quantization/alice"].time_ms
+            + profile["reconciliation/alice"].time_ms
+        )

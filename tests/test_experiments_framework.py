@@ -1,0 +1,85 @@
+"""Tests for the experiment framework and the training-free experiments."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import fig02_feasibility, fig03_prssi_vs_rrssi, fig04_register_trace, fig09_arrssi_window
+from repro.experiments.common import ExperimentResult, Scale, get_scale
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestExperimentResult:
+    def test_add_row_requires_all_columns(self):
+        result = ExperimentResult("x", "t", columns=["a", "b"])
+        with pytest.raises(ConfigurationError):
+            result.add_row(a=1)
+
+    def test_column_extraction_preserves_order(self):
+        result = ExperimentResult("x", "t", columns=["a"])
+        result.add_row(a=3)
+        result.add_row(a=1)
+        assert result.column("a") == [3, 1]
+
+    def test_to_table_renders_header_and_rows(self):
+        result = ExperimentResult("figX", "demo", columns=["name", "value"])
+        result.add_row(name="row1", value=0.5)
+        table = result.to_table()
+        assert "figX" in table
+        assert "row1" in table
+        assert "0.5000" in table
+
+    def test_to_table_with_notes(self):
+        result = ExperimentResult("figX", "demo", columns=["a"], notes="caveat")
+        result.add_row(a=1)
+        assert "caveat" in result.to_table()
+
+
+class TestScales:
+    def test_quick_smaller_than_full(self):
+        quick, full = get_scale(True), get_scale(False)
+        assert isinstance(quick, Scale)
+        assert quick.train_episodes < full.train_episodes
+        assert quick.train_epochs < full.train_epochs
+
+
+class TestRunnerRegistry:
+    def test_all_experiments_registered(self):
+        assert len(EXPERIMENTS) == 15
+        for key in ("fig02", "fig12-13", "table2", "table3", "ablations", "duty-cycle"):
+            assert key in EXPERIMENTS
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["does-not-exist"])
+
+    def test_runner_executes_a_fast_experiment(self, capsys):
+        assert main(["fig04"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04" in out
+
+
+class TestTrainingFreeExperiments:
+    def test_fig02_shape(self):
+        result = fig02_feasibility.run(quick=True, seed=3)
+        panels = set(result.column("panel"))
+        assert panels == {"a:data-rate", "b:speed"}
+        rate_rows = [r for r in result.rows if r["panel"] == "a:data-rate"]
+        assert rate_rows[0]["x"] == 23
+        assert rate_rows[-1]["x"] == 1172
+
+    def test_fig03_reports_all_scenarios(self):
+        result = fig03_prssi_vs_rrssi.run(quick=True, seed=3)
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert -1.0 <= row["prssi_correlation"] <= 1.0
+
+    def test_fig04_statistics_finite(self):
+        result = fig04_register_trace.run(quick=True, seed=3)
+        assert all(np.isfinite(row["value"]) for row in result.rows)
+
+    def test_fig09_covers_the_sweep(self):
+        result = fig09_arrssi_window.run(quick=True, seed=3)
+        percents = result.column("window_percent")
+        assert percents == sorted(percents)
+        assert 10 in percents

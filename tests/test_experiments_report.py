@@ -1,0 +1,51 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+from pathlib import Path
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.report import PAPER_CLAIMS, generate, render_markdown
+from repro.experiments.runner import EXPERIMENTS
+
+
+def demo_result(experiment_id="fig04"):
+    result = ExperimentResult(experiment_id, "demo title", columns=["k", "v"])
+    result.add_row(k="a", v=1.25)
+    return result
+
+
+class TestRenderMarkdown:
+    def test_contains_paper_claim_and_table(self):
+        text = render_markdown({"fig04": demo_result()}, {"fig04": 1.0}, quick=True)
+        assert "## fig04: demo title" in text
+        assert PAPER_CLAIMS["fig04"] in text
+        assert "1.2500" in text
+        assert "regenerated in 1.0 s" in text
+
+    def test_quick_mode_labelled(self):
+        text = render_markdown({}, {}, quick=True)
+        assert "**quick**" in text
+
+    def test_unknown_experiment_gets_placeholder_claim(self):
+        text = render_markdown(
+            {"figXX": demo_result("figXX")}, {"figXX": 0.0}, quick=False
+        )
+        assert "(no claim recorded)" in text
+
+    def test_zero_elapsed_omits_timing_line(self):
+        text = render_markdown({"fig04": demo_result()}, {"fig04": 0.0}, quick=True)
+        assert "regenerated in" not in text
+
+
+class TestClaimsCoverage:
+    def test_every_registered_experiment_has_a_claim(self):
+        missing = [name for name in EXPERIMENTS if name not in PAPER_CLAIMS]
+        assert not missing, missing
+
+
+class TestGenerate:
+    def test_writes_file_for_fast_experiment(self, tmp_path):
+        out = tmp_path / "report.md"
+        results = generate(out, quick=True, experiment_ids=["fig04"])
+        assert out.exists()
+        assert "fig04" in results
+        assert "fig04" in out.read_text()

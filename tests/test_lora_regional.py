@@ -1,0 +1,91 @@
+"""Tests for the regional duty-cycle model."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lora.regional import (
+    ALL_PLANS,
+    EU433,
+    EU868,
+    US915,
+    UNRESTRICTED,
+    DutyCycleBudget,
+    RegionalPlan,
+    paced_duration_s,
+)
+
+
+class TestPlans:
+    def test_four_plans(self):
+        assert len(ALL_PLANS) == 4
+
+    def test_eu433_gap(self):
+        # 10% duty: 1 s of airtime demands 9 s of silence.
+        assert EU433.min_gap_after(1.0) == pytest.approx(9.0)
+
+    def test_eu868_gap(self):
+        assert EU868.min_gap_after(1.0) == pytest.approx(99.0)
+
+    def test_unrestricted_gap_is_zero(self):
+        assert UNRESTRICTED.min_gap_after(5.0) == 0.0
+
+    def test_us915_dwell_limit(self):
+        assert US915.allows_airtime(0.3)
+        assert not US915.allows_airtime(1.5)
+
+    def test_invalid_duty_cycle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegionalPlan(name="bad", duty_cycle=0.0)
+
+
+class TestBudget:
+    def test_first_transmission_unconstrained(self):
+        budget = DutyCycleBudget(EU433)
+        assert budget.earliest_start(10.0, 1.0) == 10.0
+
+    def test_pacing_after_transmission(self):
+        budget = DutyCycleBudget(EU433)
+        budget.record(0.0, 1.0)
+        # Next transmission must wait until 0 + 1 + 9 = 10.
+        assert budget.earliest_start(2.0, 1.0) == pytest.approx(10.0)
+
+    def test_late_request_not_delayed(self):
+        budget = DutyCycleBudget(EU433)
+        budget.record(0.0, 1.0)
+        assert budget.earliest_start(100.0, 1.0) == 100.0
+
+    def test_airtime_accounting_window(self):
+        budget = DutyCycleBudget(EU433)
+        budget.record(0.0, 1.0)
+        budget.record(3500.0, 2.0)
+        assert budget.airtime_used_s(3600.0) == pytest.approx(3.0)
+        # The first transmission ages out of the 1-hour window.
+        assert budget.airtime_used_s(7000.0) == pytest.approx(2.0)
+
+    def test_dwell_violation_rejected(self):
+        budget = DutyCycleBudget(US915)
+        with pytest.raises(ConfigurationError):
+            budget.earliest_start(0.0, 1.0)
+
+    def test_unrestricted_never_delays(self):
+        budget = DutyCycleBudget(UNRESTRICTED)
+        budget.record(0.0, 5.0)
+        assert budget.earliest_start(0.0, 5.0) == 0.0
+
+
+class TestPacedDuration:
+    def test_single_message_pays_no_gap(self):
+        assert paced_duration_s(1, 1.0, EU433) == pytest.approx(1.0)
+
+    def test_many_messages_dominated_by_gaps(self):
+        ten = paced_duration_s(10, 1.0, EU433)
+        assert ten == pytest.approx(10 * 1.0 + 9 * 9.0)
+
+    def test_zero_messages(self):
+        assert paced_duration_s(0, 1.0, EU868) == 0.0
+
+    def test_unrestricted_is_pure_airtime(self):
+        assert paced_duration_s(7, 0.5, UNRESTRICTED) == pytest.approx(3.5)
+
+    def test_tighter_duty_cycle_is_slower(self):
+        assert paced_duration_s(5, 1.0, EU868) > paced_duration_s(5, 1.0, EU433)

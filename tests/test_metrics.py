@@ -1,0 +1,149 @@
+"""Tests for the metrics package."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.agreement import (
+    AgreementSummary,
+    agreement_statistics,
+    bit_disagreement_rate,
+    key_agreement_rate,
+)
+from repro.metrics.correlation import (
+    detrend,
+    detrend_window_from_distance,
+    detrended_correlation,
+    pearson_correlation,
+)
+from repro.metrics.entropy import bit_entropy, min_entropy, shannon_entropy
+from repro.metrics.generation import key_generation_rate
+
+RNG = np.random.default_rng(0)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = RNG.standard_normal(100)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_anticorrelation(self):
+        x = RNG.standard_normal(100)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_series_returns_zero(self):
+        assert pearson_correlation(np.ones(10), RNG.standard_normal(10)) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pearson_correlation(np.zeros(4), np.zeros(5))
+
+    @given(st.integers(min_value=2, max_value=128), st.integers(0, 2**31))
+    @settings(max_examples=25)
+    def test_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        r = pearson_correlation(rng.standard_normal(n), rng.standard_normal(n))
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+
+class TestDetrend:
+    def test_removes_linear_trend(self):
+        x = np.linspace(0, 10, 200) + 0.01 * RNG.standard_normal(200)
+        residual = detrend(x, window=20)
+        assert np.abs(residual[20:-20]).max() < 0.5
+
+    def test_preserves_fast_fluctuations(self):
+        fast = np.sin(np.arange(200) * 2.0)
+        residual = detrend(fast + 100.0, window=50)
+        assert np.std(residual) > 0.5
+
+    def test_huge_window_falls_back_to_mean_removal(self):
+        x = RNG.standard_normal(10) + 5
+        np.testing.assert_allclose(detrend(x, window=100), x - x.mean())
+
+    def test_detrended_correlation_sees_through_opposite_trends(self):
+        base = RNG.standard_normal(300)
+        up = base + np.linspace(0, 30, 300)
+        down = base - np.linspace(0, 30, 300)
+        assert pearson_correlation(up, down) < 0
+        assert detrended_correlation(up, down, window=20) > 0.8
+
+
+class TestDetrendWindow:
+    def test_scales_inversely_with_speed(self):
+        slow = detrend_window_from_distance(250.0, 2.0, 3.0)
+        fast = detrend_window_from_distance(250.0, 20.0, 3.0)
+        assert slow > fast
+
+    def test_minimum_enforced(self):
+        assert detrend_window_from_distance(1.0, 100.0, 10.0, minimum=6) == 6
+
+    def test_static_link_gets_huge_window(self):
+        assert detrend_window_from_distance(250.0, 0.0, 3.0) >= 10**6
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ConfigurationError):
+            detrend_window_from_distance(0.0, 1.0, 1.0)
+
+
+class TestAgreement:
+    def test_rate_and_disagreement_sum_to_one(self):
+        a = RNG.integers(0, 2, 64).astype(np.uint8)
+        b = RNG.integers(0, 2, 64).astype(np.uint8)
+        assert key_agreement_rate(a, b) + bit_disagreement_rate(a, b) == pytest.approx(1.0)
+
+    def test_statistics_over_batch(self):
+        a = np.zeros(8, dtype=np.uint8)
+        summary = agreement_statistics([a, a], [a, 1 - a])
+        assert summary.mean == pytest.approx(0.5)
+        assert summary.n_pairs == 2
+
+    def test_percent_properties(self):
+        summary = AgreementSummary(mean=0.9876, std=0.01, n_pairs=3)
+        assert summary.mean_percent == pytest.approx(98.76)
+        assert summary.std_percent == pytest.approx(1.0)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            agreement_statistics([], [])
+
+
+class TestGenerationRate:
+    def test_basic_rate(self):
+        assert key_generation_rate(128, 64.0) == pytest.approx(2.0)
+
+    def test_reconciliation_time_lowers_rate(self):
+        assert key_generation_rate(128, 64.0, 64.0) == pytest.approx(1.0)
+
+    def test_zero_probing_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            key_generation_rate(10, 0.0)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            key_generation_rate(-1, 1.0)
+
+
+class TestEntropy:
+    def test_uniform_bits_near_one(self):
+        bits = RNG.integers(0, 2, 10_000)
+        assert bit_entropy(bits) > 0.999
+
+    def test_constant_bits_zero(self):
+        assert bit_entropy(np.zeros(100, dtype=int)) == 0.0
+
+    def test_shannon_of_four_symbols(self):
+        assert shannon_entropy(["a", "b", "c", "d"] * 10) == pytest.approx(2.0)
+
+    def test_min_entropy_at_most_shannon(self):
+        bits = (RNG.uniform(size=4000) < 0.7).astype(int)
+        assert min_entropy(bits, block_bits=4) <= bit_entropy(bits) + 1e-9
+
+    def test_min_entropy_of_uniform_bits_high(self):
+        bits = RNG.integers(0, 2, 20_000)
+        assert min_entropy(bits, block_bits=4) > 0.9
+
+    def test_short_sequence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            min_entropy([1, 0], block_bits=4)

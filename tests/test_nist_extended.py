@@ -1,0 +1,138 @@
+"""Tests for the extended NIST battery (beyond the paper's Table II)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.security.nist import (
+    NistTestSuite,
+    gf2_rank,
+    matrix_rank_test,
+    overlapping_template_test,
+    random_excursions_test,
+    random_excursions_variant_test,
+    runs_test,
+    serial_test,
+    universal_test,
+)
+from repro.utils.bits import random_bits
+
+
+def random_sequence(n=100_000, seed=0):
+    return random_bits(n, seed)
+
+
+class TestRuns:
+    def test_passes_random(self):
+        assert runs_test(random_sequence(20_000, 1)) > 0.01
+
+    def test_rejects_alternating(self):
+        assert runs_test(np.tile([0, 1], 5000)) < 0.01
+
+    def test_rejects_blocky(self):
+        sequence = np.repeat(random_bits(200, 2), 50)
+        assert runs_test(sequence) < 0.01
+
+    def test_prerequisite_shortcut_on_biased(self):
+        biased = (np.random.default_rng(0).uniform(size=10_000) < 0.7).astype(np.uint8)
+        assert runs_test(biased) == 0.0
+
+
+class TestSerial:
+    def test_passes_random(self):
+        p1, p2 = serial_test(random_sequence(20_000, 3))
+        assert p1 > 0.01 and p2 > 0.01
+
+    def test_rejects_periodic(self):
+        p1, _ = serial_test(np.tile([0, 0, 1, 1], 5000))
+        assert p1 < 0.01
+
+    def test_m_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            serial_test(random_sequence(1000, 4), m=1)
+
+
+class TestOverlappingTemplate:
+    def test_passes_random(self):
+        assert overlapping_template_test(random_sequence(120_000, 5)) > 0.01
+
+    def test_rejects_ones_heavy(self):
+        rng = np.random.default_rng(1)
+        sequence = (rng.uniform(size=120_000) < 0.8).astype(np.uint8)
+        assert overlapping_template_test(sequence) < 0.01
+
+
+class TestUniversal:
+    def test_passes_random(self):
+        assert universal_test(random_sequence(400_000, 6)) > 0.01
+
+    def test_rejects_repetitive(self):
+        assert universal_test(np.tile(random_bits(32, 7), 13_000)) < 0.01
+
+    def test_invalid_block_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            universal_test(random_sequence(10_000, 8), block_length=20)
+
+
+class TestMatrixRank:
+    def test_gf2_rank_identity(self):
+        assert gf2_rank(np.eye(8, dtype=np.int8)) == 8
+
+    def test_gf2_rank_duplicated_rows(self):
+        matrix = np.ones((4, 4), dtype=np.int8)
+        assert gf2_rank(matrix) == 1
+
+    def test_gf2_rank_known_case(self):
+        matrix = np.array([[1, 0, 1], [0, 1, 1], [1, 1, 0]], dtype=np.int8)
+        # Row3 = Row1 + Row2 over GF(2).
+        assert gf2_rank(matrix) == 2
+
+    def test_passes_random(self):
+        assert matrix_rank_test(random_sequence(200_000, 9)) > 0.01
+
+    def test_rejects_low_rank_stream(self):
+        row = random_bits(32, 10)
+        sequence = np.tile(row, 32 * 100)  # every matrix has rank 1
+        assert matrix_rank_test(sequence) < 0.01
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            matrix_rank_test(random_sequence(2000, 11))
+
+
+class TestRandomExcursions:
+    def test_passes_random(self):
+        p_values = random_excursions_test(random_sequence(500_000, 12))
+        assert len(p_values) == 8
+        assert min(p_values.values()) > 0.001
+
+    def test_variant_passes_random(self):
+        p_values = random_excursions_variant_test(random_sequence(500_000, 13))
+        assert len(p_values) == 18
+        assert min(p_values.values()) > 0.001
+
+    def test_too_few_cycles_rejected(self):
+        # A heavily drifting walk crosses zero rarely.
+        rng = np.random.default_rng(2)
+        drift = (rng.uniform(size=5000) < 0.8).astype(np.uint8)
+        with pytest.raises(ConfigurationError):
+            random_excursions_test(drift)
+
+
+class TestExtendedSuite:
+    def test_extended_includes_base_tests(self):
+        results = NistTestSuite().run_extended(random_sequence(150_000, 14))
+        assert "Frequency" in results
+        assert "Runs" in results
+        assert "Binary Matrix Rank" in results
+
+    def test_extended_passes_on_random(self):
+        results = NistTestSuite().run_extended(random_sequence(500_000, 15))
+        failing = [r.name for r in results.values() if r.p_value < 0.001]
+        assert not failing, failing
+
+    def test_short_sequences_skip_inapplicable_tests(self):
+        results = NistTestSuite().run_extended(random_sequence(3_000, 16))
+        assert "Universal" not in results  # needs >= 4000 bits
+        assert "Binary Matrix Rank" not in results  # needs >= 4096 bits
+        assert "Frequency" in results

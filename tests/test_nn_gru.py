@@ -1,0 +1,51 @@
+"""Gradient checks and learning tests for the GRU layer."""
+
+import numpy as np
+
+from repro.nn.layers.gru import GRU
+from repro.nn.layers.dense import Dense
+from repro.nn.model import Model
+from repro.nn.optimizers import Adam
+from tests.test_nn_gradients import check_layer
+
+RNG = np.random.default_rng(77)
+
+
+class TestGRUGradients:
+    def test_return_sequences(self):
+        check_layer(GRU(4, return_sequences=True, seed=0), RNG.standard_normal((3, 5, 2)))
+
+    def test_last_state_only(self):
+        check_layer(GRU(3, return_sequences=False, seed=1), RNG.standard_normal((2, 4, 2)))
+
+    def test_wider_input(self):
+        check_layer(GRU(3, return_sequences=True, seed=2), RNG.standard_normal((2, 3, 4)))
+
+
+class TestGRULearning:
+    def test_learns_sequence_mean(self):
+        x = RNG.standard_normal((256, 6, 1))
+        y = x.mean(axis=1)
+        model = Model(
+            [GRU(8, return_sequences=False, seed=3), Dense(1, seed=4)],
+            optimizer=Adam(learning_rate=0.02),
+        )
+        model.fit(x, y, epochs=60, batch_size=32)
+        assert model.evaluate(x, y) < 0.02
+
+    def test_output_shapes(self):
+        layer = GRU(5, seed=5)
+        out = layer.forward(RNG.standard_normal((2, 7, 3)))
+        assert out.shape == (2, 7, 5)
+
+    def test_fewer_parameters_than_lstm(self):
+        from repro.nn.layers.lstm import LSTM
+
+        gru = GRU(16, seed=6)
+        lstm = LSTM(16, seed=7)
+        x = RNG.standard_normal((1, 4, 2))
+        gru.forward(x)
+        lstm.forward(x)
+        gru_params = sum(p.size for p in gru.parameters.values())
+        lstm_params = sum(p.size for p in lstm.parameters.values())
+        assert gru_params < lstm_params

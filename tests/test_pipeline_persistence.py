@@ -1,0 +1,56 @@
+"""Tests for pipeline/reconciler persistence (train once, deploy many)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotTrainedError
+from repro.reconciliation.autoencoder import AutoencoderReconciliation
+from repro.utils.bits import flip_bits, random_bits
+from tests.conftest import make_tiny_pipeline
+
+
+class TestReconcilerPersistence:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        reconciler = AutoencoderReconciliation(
+            key_bits=32, code_dim=16, decoder_units=32, seed=3
+        )
+        reconciler.fit(n_samples=4000, epochs=10)
+        return reconciler
+
+    def test_round_trip_preserves_behaviour(self, trained, tmp_path):
+        path = tmp_path / "reconciler.npz"
+        trained.save(path)
+        clone = AutoencoderReconciliation(
+            key_bits=32, code_dim=16, decoder_units=32, seed=99
+        )
+        clone.load(path)
+        bob = random_bits(32, 0)
+        np.testing.assert_allclose(
+            clone.bob_syndrome(bob), trained.bob_syndrome(bob)
+        )
+        alice = flip_bits(bob, [3])
+        syndrome = trained.bob_syndrome(bob)
+        np.testing.assert_array_equal(
+            clone.alice_correct(alice, syndrome),
+            trained.alice_correct(alice, syndrome),
+        )
+
+    def test_untrained_save_rejected(self, tmp_path):
+        reconciler = AutoencoderReconciliation(key_bits=16, code_dim=8, seed=0)
+        with pytest.raises(NotTrainedError):
+            reconciler.save(tmp_path / "x.npz")
+
+
+class TestPipelinePersistence:
+    def test_round_trip_preserves_session_behaviour(self, tiny_pipeline, tmp_path):
+        tiny_pipeline.save(tmp_path / "deploy")
+        clone = make_tiny_pipeline(seed=555)
+        clone.load(tmp_path / "deploy")
+
+        trace = tiny_pipeline.collect_trace("persist-check", n_rounds=128)
+        original = tiny_pipeline.build_session().run(trace)
+        restored = clone.build_session().run(trace)
+        assert restored.raw_agreement.mean == original.raw_agreement.mean
+        assert restored.reconciled_agreement.mean == original.reconciled_agreement.mean
+        assert restored.final_key_alice == original.final_key_alice

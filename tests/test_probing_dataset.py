@@ -1,0 +1,144 @@
+"""Tests for dataset windowing, normalization, splits and persistence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.probing.dataset import (
+    KeyGenDataset,
+    build_dataset,
+    split_dataset,
+)
+
+RNG = np.random.default_rng(5)
+
+
+def make_sequences(n=256):
+    alice = RNG.normal(-90, 4, size=n)
+    bob = alice + RNG.normal(0, 1, size=n)
+    return alice, bob
+
+
+class TestBuildDataset:
+    def test_disjoint_windows_by_default(self):
+        alice, bob = make_sequences(100)
+        dataset = build_dataset(alice, bob, seq_len=32)
+        assert len(dataset) == 3
+        np.testing.assert_array_equal(dataset.alice_raw[1], alice[32:64])
+
+    def test_custom_stride_overlaps(self):
+        alice, bob = make_sequences(64)
+        dataset = build_dataset(alice, bob, seq_len=32, stride=16)
+        assert len(dataset) == 3
+
+    def test_windows_are_normalized(self):
+        alice, bob = make_sequences()
+        dataset = build_dataset(alice, bob, seq_len=32)
+        np.testing.assert_allclose(dataset.alice.mean(axis=1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(dataset.alice.std(axis=1), 1.0, atol=1e-6)
+
+    def test_raw_windows_kept(self):
+        alice, bob = make_sequences()
+        dataset = build_dataset(alice, bob, seq_len=32)
+        assert dataset.alice_raw.min() < -70  # still in dBm units
+
+    def test_constant_window_does_not_blow_up(self):
+        alice = np.full(64, -90.0)
+        bob = np.full(64, -91.0)
+        dataset = build_dataset(alice, bob, seq_len=32)
+        assert np.all(np.isfinite(dataset.alice))
+
+    def test_too_short_sequence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_dataset(np.zeros(10), np.zeros(10), seq_len=32)
+
+    def test_misaligned_sequences_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_dataset(np.zeros(64), np.zeros(65), seq_len=32)
+
+
+class TestSplits:
+    def test_partition_is_exhaustive_and_disjoint(self):
+        alice, bob = make_sequences(32 * 20)
+        dataset = build_dataset(alice, bob, seq_len=32)
+        splits = split_dataset(dataset, seed=1)
+        total = len(splits.train) + len(splits.validation) + len(splits.test)
+        assert total == len(dataset)
+
+    def test_default_fractions_roughly_70_15_15(self):
+        alice, bob = make_sequences(32 * 100)
+        dataset = build_dataset(alice, bob, seq_len=32)
+        splits = split_dataset(dataset, seed=2)
+        assert abs(len(splits.train) / len(dataset) - 0.70) < 0.05
+
+    def test_deterministic_in_seed(self):
+        alice, bob = make_sequences(32 * 10)
+        dataset = build_dataset(alice, bob, seq_len=32)
+        a = split_dataset(dataset, seed=3)
+        b = split_dataset(dataset, seed=3)
+        np.testing.assert_array_equal(a.train.alice, b.train.alice)
+
+    def test_train_never_empty(self):
+        alice, bob = make_sequences(32 * 2)
+        dataset = build_dataset(alice, bob, seq_len=32)
+        splits = split_dataset(dataset, seed=4)
+        assert len(splits.train) >= 1
+
+    def test_bad_fractions_rejected(self):
+        alice, bob = make_sequences(64)
+        dataset = build_dataset(alice, bob, seq_len=32)
+        with pytest.raises(ConfigurationError):
+            split_dataset(dataset, fractions=(0.5, 0.5, 0.5))
+
+
+class TestDatasetOperations:
+    def test_take_fraction_size(self):
+        alice, bob = make_sequences(32 * 10)
+        dataset = build_dataset(alice, bob, seq_len=32)
+        subset = dataset.take_fraction(0.3, seed=0)
+        assert len(subset) == 3
+
+    def test_take_fraction_minimum_one(self):
+        alice, bob = make_sequences(32)
+        dataset = build_dataset(alice, bob, seq_len=32)
+        assert len(dataset.take_fraction(0.01, seed=0)) == 1
+
+    def test_take_fraction_invalid_rejected(self):
+        alice, bob = make_sequences(64)
+        dataset = build_dataset(alice, bob, seq_len=32)
+        with pytest.raises(ConfigurationError):
+            dataset.take_fraction(0.0)
+
+    def test_save_load_round_trip(self, tmp_path):
+        alice, bob = make_sequences()
+        dataset = build_dataset(alice, bob, seq_len=32)
+        path = tmp_path / "dataset.npz"
+        dataset.save(path)
+        loaded = KeyGenDataset.load(path)
+        np.testing.assert_array_equal(loaded.alice, dataset.alice)
+        np.testing.assert_array_equal(loaded.bob_raw, dataset.bob_raw)
+
+    def test_subset_preserves_pairing(self):
+        alice, bob = make_sequences()
+        dataset = build_dataset(alice, bob, seq_len=32)
+        subset = dataset.subset(np.array([1]))
+        np.testing.assert_array_equal(subset.alice_raw[0], dataset.alice_raw[1])
+        np.testing.assert_array_equal(subset.bob_raw[0], dataset.bob_raw[1])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KeyGenDataset(
+                alice=np.zeros((2, 4)),
+                bob=np.zeros((2, 4)),
+                alice_raw=np.zeros((2, 4)),
+                bob_raw=np.zeros((3, 4)),
+            )
+
+    @given(st.integers(min_value=32, max_value=400), st.integers(0, 2**31))
+    @settings(max_examples=20)
+    def test_window_count_formula(self, n, seed):
+        rng = np.random.default_rng(seed)
+        series = rng.normal(size=n)
+        dataset = build_dataset(series, series.copy(), seq_len=32)
+        assert len(dataset) == 1 + (n - 32) // 32

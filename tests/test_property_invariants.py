@@ -1,0 +1,99 @@
+"""Cross-module property-based tests on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.privacy.amplification import amplify
+from repro.quantization.base import consensus_mask
+from repro.quantization.guard_band import GuardBandQuantizer
+from repro.quantization.multibit import MultiBitQuantizer
+from repro.reconciliation.bloom import PositionPreservingBloomFilter
+from repro.reconciliation.cascade import CascadeReconciliation
+from repro.reconciliation.compressed_sensing import CompressedSensingReconciliation
+from repro.utils.bits import hamming_distance, random_bits
+
+
+class TestBloomInvariants:
+    @given(st.integers(0, 2**31), st.binary(min_size=1, max_size=16))
+    @settings(max_examples=30)
+    def test_transform_is_a_bijection(self, seed, salt):
+        bloom = PositionPreservingBloomFilter(64, salt=salt)
+        key = random_bits(64, seed)
+        np.testing.assert_array_equal(bloom.inverse(bloom.transform(key)), key)
+
+    @given(
+        st.integers(0, 2**31),
+        st.sets(st.integers(0, 63), min_size=0, max_size=20),
+        st.binary(min_size=1, max_size=16),
+    )
+    @settings(max_examples=30)
+    def test_mismatch_count_exactly_preserved(self, seed, positions, salt):
+        bloom = PositionPreservingBloomFilter(64, salt=salt)
+        a = random_bits(64, seed)
+        b = a.copy()
+        for position in positions:
+            b[position] ^= 1
+        assert hamming_distance(bloom.transform(a), bloom.transform(b)) == len(positions)
+
+
+class TestQuantizerInvariants:
+    @given(st.integers(0, 2**31), st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=30)
+    def test_guard_band_bits_match_kept_count(self, seed, alpha):
+        window = np.random.default_rng(seed).normal(size=64)
+        result = GuardBandQuantizer(alpha=alpha).quantize(window)
+        assert result.bits.size == result.n_kept
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=30)
+    def test_consensus_mask_never_grows(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(size=32) < 0.7
+        b = rng.uniform(size=32) < 0.7
+        joint = consensus_mask(a, b)
+        assert joint.sum() <= min(a.sum(), b.sum())
+
+    @given(st.integers(0, 2**31), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_multibit_bit_budget(self, seed, bits_per_sample):
+        window = np.random.default_rng(seed).normal(size=64)
+        quantizer = MultiBitQuantizer(bits_per_sample, fixed_thresholds=True)
+        result = quantizer.quantize(window)
+        assert result.bits.size == bits_per_sample * result.n_kept
+
+
+class TestReconciliationInvariants:
+    @given(st.integers(0, 2**31), st.integers(0, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_cascade_output_is_binary_and_never_worse(self, seed, flips):
+        rng = np.random.default_rng(seed)
+        bob = random_bits(96, seed)
+        alice = bob.copy()
+        for position in rng.choice(96, size=flips, replace=False):
+            alice[position] ^= 1
+        outcome = CascadeReconciliation(seed=seed).reconcile(alice, bob)
+        assert set(np.unique(outcome.alice_key)).issubset({0, 1})
+        assert outcome.agreement >= 1.0 - flips / 96
+
+    @given(st.integers(0, 2**31), st.integers(0, 2))
+    @settings(max_examples=15, deadline=None)
+    def test_cs_corrects_within_sparsity_budget(self, seed, flips):
+        rng = np.random.default_rng(seed)
+        bob = random_bits(64, seed)
+        alice = bob.copy()
+        for position in rng.choice(64, size=flips, replace=False):
+            alice[position] ^= 1
+        outcome = CompressedSensingReconciliation(seed=0).reconcile(alice, bob)
+        assert outcome.success
+
+
+class TestAmplificationInvariants:
+    @given(st.integers(0, 2**31), st.integers(0, 2**31))
+    @settings(max_examples=30)
+    def test_different_inputs_never_collide(self, seed_a, seed_b):
+        a = random_bits(256, seed_a)
+        b = random_bits(256, seed_b)
+        if np.array_equal(a, b):
+            assert np.array_equal(amplify(a), amplify(b))
+        else:
+            assert not np.array_equal(amplify(a), amplify(b))

@@ -1,0 +1,108 @@
+"""Tests for the autoencoder-based reconciliation (the paper's method).
+
+Training is expensive, so a module-scoped fixture trains one small model
+shared across tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotTrainedError
+from repro.reconciliation.autoencoder import AutoencoderReconciliation
+from repro.utils.bits import flip_bits, random_bits
+
+
+@pytest.fixture(scope="module")
+def trained_ae():
+    ae = AutoencoderReconciliation(
+        key_bits=64, code_dim=32, decoder_units=128, seed=7
+    )
+    ae.fit(n_samples=12000, epochs=35, mismatch_rate_range=(0.0, 0.08))
+    return ae
+
+
+def mismatch_pair(flips, seed=0, n=64):
+    bob = random_bits(n, seed)
+    positions = np.random.default_rng(seed + 999).choice(n, size=flips, replace=False)
+    return flip_bits(bob, positions), bob
+
+
+class TestTrainingContract:
+    def test_untrained_model_refuses_to_reconcile(self):
+        ae = AutoencoderReconciliation(key_bits=16, seed=0)
+        with pytest.raises(NotTrainedError):
+            ae.reconcile(random_bits(16, 0), random_bits(16, 1))
+
+    def test_untrained_model_refuses_syndrome(self):
+        ae = AutoencoderReconciliation(key_bits=16, seed=0)
+        with pytest.raises(NotTrainedError):
+            ae.bob_syndrome(random_bits(16, 0))
+
+    def test_loss_decreases(self, trained_ae):
+        pass  # training happened in the fixture; assertions below use it
+
+    def test_invalid_mismatch_range_rejected(self):
+        ae = AutoencoderReconciliation(key_bits=16, seed=0)
+        with pytest.raises(ConfigurationError):
+            ae.fit(n_samples=10, epochs=1, mismatch_rate_range=(0.2, 0.1))
+
+
+class TestCorrection:
+    def test_corrects_single_flip(self, trained_ae):
+        alice, bob = mismatch_pair(1, seed=1)
+        assert trained_ae.reconcile(alice, bob).success
+
+    def test_corrects_small_mismatches_usually(self, trained_ae):
+        successes = 0
+        for seed in range(20):
+            alice, bob = mismatch_pair(2, seed=seed)
+            successes += trained_ae.reconcile(alice, bob).success
+        assert successes >= 16
+
+    def test_improves_agreement_on_moderate_mismatches(self, trained_ae):
+        agreements = []
+        for seed in range(10):
+            alice, bob = mismatch_pair(4, seed=seed)
+            agreements.append(trained_ae.reconcile(alice, bob).agreement)
+        assert np.mean(agreements) > 1.0 - 4 / 64  # better than doing nothing
+
+    def test_identical_keys_stay_identical(self, trained_ae):
+        bob = random_bits(64, 5)
+        outcome = trained_ae.reconcile(bob.copy(), bob)
+        assert outcome.success
+
+    def test_single_message_and_syndrome_size(self, trained_ae):
+        alice, bob = mismatch_pair(1, seed=2)
+        outcome = trained_ae.reconcile(alice, bob)
+        assert outcome.messages == 1
+        assert outcome.bytes_exchanged == 4 * 32 + 16  # code floats + MAC
+
+    def test_protocol_split_matches_reconcile(self, trained_ae):
+        alice, bob = mismatch_pair(2, seed=3)
+        syndrome = trained_ae.bob_syndrome(bob)
+        corrected = trained_ae.alice_correct(alice, syndrome)
+        outcome = trained_ae.reconcile(alice, bob)
+        np.testing.assert_array_equal(corrected, outcome.alice_key)
+
+    def test_syndrome_is_not_the_key(self, trained_ae):
+        # The transmitted vector is 32 floats, not 64 bits, and feeding a
+        # wrong key into alice_correct must not recover Bob's key.
+        alice, bob = mismatch_pair(2, seed=4)
+        syndrome = trained_ae.bob_syndrome(bob)
+        assert syndrome.shape == (32,)
+        eve_key = random_bits(64, 1234)
+        eve_result = trained_ae.alice_correct(eve_key, syndrome)
+        eve_agreement = np.mean(eve_result == bob)
+        assert eve_agreement < 0.8
+
+    def test_mismatch_probabilities_exposed(self, trained_ae):
+        alice, bob = mismatch_pair(1, seed=6)
+        probabilities = trained_ae.decode_mismatch_probabilities(
+            alice, trained_ae.bob_syndrome(bob)
+        )
+        assert probabilities.shape == (64,)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_wrong_key_length_rejected(self, trained_ae):
+        with pytest.raises(ConfigurationError):
+            trained_ae.bob_syndrome(random_bits(32, 0))

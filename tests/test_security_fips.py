@@ -1,0 +1,77 @@
+"""Tests for the FIPS 140-2 battery."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.security.fips import (
+    LONG_RUN_LIMIT,
+    fips_pass,
+    long_run_test,
+    monobit_test,
+    poker_test,
+    run_fips_battery,
+    runs_test,
+)
+from repro.utils.bits import random_bits
+
+
+def random_sample(seed=0):
+    return random_bits(20_000, seed)
+
+
+class TestMonobit:
+    def test_passes_random(self):
+        assert monobit_test(random_sample(1)).passed
+
+    def test_rejects_biased(self):
+        biased = (np.random.default_rng(0).uniform(size=20_000) < 0.54).astype(np.uint8)
+        assert not monobit_test(biased).passed
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            monobit_test(random_bits(100, 0))
+
+
+class TestPoker:
+    def test_passes_random(self):
+        assert poker_test(random_sample(2)).passed
+
+    def test_rejects_repeated_nibbles(self):
+        assert not poker_test(np.tile([1, 0, 1, 0], 5_000)).passed
+
+
+class TestRuns:
+    def test_passes_random(self):
+        assert runs_test(random_sample(3)).passed
+
+    def test_rejects_alternating(self):
+        assert not runs_test(np.tile([0, 1], 10_000)).passed
+
+
+class TestLongRun:
+    def test_passes_random(self):
+        assert long_run_test(random_sample(4)).passed
+
+    def test_rejects_embedded_long_run(self):
+        sample = random_sample(5).copy()
+        sample[1000:1000 + LONG_RUN_LIMIT] = 1
+        assert not long_run_test(sample).passed
+
+
+class TestBattery:
+    def test_all_four_reported(self):
+        results = run_fips_battery(random_sample(6))
+        assert set(results) == {"monobit", "poker", "runs", "long-run"}
+
+    def test_fips_pass_on_random(self):
+        assert fips_pass(random_sample(7))
+
+    def test_fips_fails_on_constant(self):
+        assert not fips_pass(np.zeros(20_000, dtype=np.uint8))
+
+    def test_amplified_keys_pass(self):
+        from repro.privacy.amplification import amplify
+
+        keys = [amplify(random_bits(256, seed), 128) for seed in range(160)]
+        assert fips_pass(np.concatenate(keys))

@@ -1,0 +1,54 @@
+"""Tests for probing-trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.probing.trace import ProbeTrace
+
+
+@pytest.fixture()
+def trace_with_eve(tiny_pipeline):
+    from repro.probing.eve import EveConfig, build_eavesdropping_eve
+
+    def build(cfg, seeds, channel, alice, bob):
+        return build_eavesdropping_eve(
+            cfg, seeds, channel, alice, bob, EveConfig(label="e1")
+        )
+
+    return tiny_pipeline.collect_trace(
+        "persist", n_rounds=8, eavesdropper_builders=[build]
+    )
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_arrays(self, trace_with_eve, tmp_path):
+        path = tmp_path / "trace.npz"
+        trace_with_eve.save(path)
+        loaded = ProbeTrace.load(path)
+        np.testing.assert_array_equal(loaded.alice_rssi, trace_with_eve.alice_rssi)
+        np.testing.assert_array_equal(loaded.bob_prssi, trace_with_eve.bob_prssi)
+        np.testing.assert_array_equal(loaded.valid, trace_with_eve.valid)
+
+    def test_round_trip_preserves_phy(self, trace_with_eve, tmp_path):
+        path = tmp_path / "trace.npz"
+        trace_with_eve.save(path)
+        loaded = ProbeTrace.load(path)
+        assert loaded.phy == trace_with_eve.phy
+
+    def test_round_trip_preserves_eve(self, trace_with_eve, tmp_path):
+        path = tmp_path / "trace.npz"
+        trace_with_eve.save(path)
+        loaded = ProbeTrace.load(path)
+        assert set(loaded.eve) == {"e1"}
+        np.testing.assert_array_equal(
+            loaded.eve["e1"].of_bob_rssi, trace_with_eve.eve["e1"].of_bob_rssi
+        )
+
+    def test_loaded_trace_is_usable(self, trace_with_eve, tmp_path):
+        from repro.probing.features import FeatureConfig, arrssi_sequences
+
+        path = tmp_path / "trace.npz"
+        trace_with_eve.save(path)
+        loaded = ProbeTrace.load(path)
+        bob_seq, alice_seq = arrssi_sequences(loaded, FeatureConfig(0.1, 2))
+        assert len(bob_seq) == len(alice_seq) > 0

@@ -1,0 +1,139 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.utils.bits import (
+    bit_agreement,
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    flip_bits,
+    gray_code_table,
+    gray_decode,
+    gray_encode,
+    hamming_distance,
+    int_to_bits,
+    parity,
+    random_bits,
+)
+
+
+class TestBytesRoundTrip:
+    def test_simple_byte(self):
+        assert bits_to_bytes([1, 0, 0, 0, 0, 0, 0, 1]) == b"\x81"
+
+    def test_unpack_known_byte(self):
+        np.testing.assert_array_equal(
+            bytes_to_bits(b"\x81"), [1, 0, 0, 0, 0, 0, 0, 1]
+        )
+
+    def test_rejects_non_multiple_of_eight(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_bytes([1, 0, 1])
+
+    def test_rejects_non_binary_values(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_bytes([2, 0, 0, 0, 0, 0, 0, 0])
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_round_trip_is_identity(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+class TestIntConversion:
+    def test_known_value(self):
+        assert bits_to_int([1, 0, 1, 1]) == 11
+
+    def test_int_to_bits_known(self):
+        np.testing.assert_array_equal(int_to_bits(11, 4), [1, 0, 1, 1])
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ConfigurationError):
+            int_to_bits(16, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            int_to_bits(-1, 4)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_round_trip(self, value):
+        assert bits_to_int(int_to_bits(value, 32)) == value
+
+
+class TestHammingAndAgreement:
+    def test_distance_counts_differences(self):
+        assert hamming_distance([0, 1, 1, 0], [1, 1, 0, 0]) == 2
+
+    def test_identical_arrays_agree_fully(self):
+        assert bit_agreement([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_empty_arrays_agree_by_convention(self):
+        assert bit_agreement([], []) == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hamming_distance([0, 1], [0, 1, 1])
+
+    @given(st.integers(min_value=1, max_value=256), st.integers(0, 2**32 - 1))
+    def test_agreement_and_distance_are_consistent(self, n, seed):
+        a = random_bits(n, seed)
+        b = random_bits(n, seed + 1)
+        assert bit_agreement(a, b) == pytest.approx(1.0 - hamming_distance(a, b) / n)
+
+    def test_flip_bits_changes_exactly_those_positions(self):
+        original = random_bits(32, 7)
+        flipped = flip_bits(original, [0, 5, 31])
+        assert hamming_distance(original, flipped) == 3
+        assert flipped[0] != original[0]
+
+    def test_flip_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            flip_bits([0, 1], [5])
+
+
+class TestParity:
+    def test_even_number_of_ones(self):
+        assert parity([1, 1, 0]) == 0
+
+    def test_odd_number_of_ones(self):
+        assert parity([1, 1, 1]) == 1
+
+    def test_empty(self):
+        assert parity([]) == 0
+
+
+class TestGrayCode:
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_round_trip(self, value):
+        assert gray_decode(gray_encode(value)) == value
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_adjacent_values_differ_in_one_bit(self, value):
+        diff = gray_encode(value) ^ gray_encode(value + 1)
+        assert bin(diff).count("1") == 1
+
+    def test_table_rows_are_gray_adjacent(self):
+        table = gray_code_table(3)
+        assert table.shape == (8, 3)
+        for i in range(7):
+            assert hamming_distance(table[i], table[i + 1]) == 1
+
+    def test_table_rejects_non_positive_width(self):
+        with pytest.raises(ConfigurationError):
+            gray_code_table(0)
+
+
+class TestRandomBits:
+    def test_deterministic_for_seed(self):
+        np.testing.assert_array_equal(random_bits(64, 3), random_bits(64, 3))
+
+    def test_roughly_balanced(self):
+        bits = random_bits(10_000, 0)
+        assert 0.45 < bits.mean() < 0.55
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_bits(-1)

@@ -1,0 +1,53 @@
+"""Tests for the seeded random-stream factory."""
+
+import numpy as np
+
+from repro.utils.rng import SeedSequenceFactory, as_generator
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(5).integers(0, 1000, size=10)
+        b = as_generator(5).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_none_yields_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSeedSequenceFactory:
+    def test_same_name_same_stream(self):
+        factory = SeedSequenceFactory(42)
+        a = factory.generator("fading").standard_normal(8)
+        b = SeedSequenceFactory(42).generator("fading").standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_different_streams(self):
+        factory = SeedSequenceFactory(42)
+        a = factory.generator("fading").standard_normal(8)
+        b = factory.generator("noise").standard_normal(8)
+        assert not np.allclose(a, b)
+
+    def test_different_roots_different_streams(self):
+        a = SeedSequenceFactory(1).generator("x").standard_normal(8)
+        b = SeedSequenceFactory(2).generator("x").standard_normal(8)
+        assert not np.allclose(a, b)
+
+    def test_child_is_deterministic(self):
+        a = SeedSequenceFactory(7).child("episode-0").generator("x").standard_normal(4)
+        b = SeedSequenceFactory(7).child("episode-0").generator("x").standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_child_differs_from_parent(self):
+        parent = SeedSequenceFactory(7)
+        child = parent.child("episode-0")
+        a = parent.generator("x").standard_normal(4)
+        b = child.generator("x").standard_normal(4)
+        assert not np.allclose(a, b)
+
+    def test_root_seed_exposed(self):
+        assert SeedSequenceFactory(9).root_seed == 9
