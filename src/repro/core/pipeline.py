@@ -23,6 +23,15 @@ from repro.channel.mobility import RelativeMotion
 from repro.channel.scenario import ScenarioConfig, ScenarioName, scenario_config
 from repro.core.model import PredictionQuantizationModel
 from repro.core.session import KeyAgreementSession, SessionResult
+from repro.exceptions import (
+    InsufficientEntropyError,
+    KeyEstablishmentError,
+    RetryBudgetExhausted,
+)
+from repro.faults.link import LinkFaultModel
+from repro.faults.messages import LossyMessageChannel
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.lora.airtime import LoRaPHYConfig
 from repro.lora.radio import DRAGINO_LORA_SHIELD, TransceiverModel
 from repro.metrics.generation import key_generation_rate
@@ -94,7 +103,7 @@ class VehicleKeyPipeline:
             from it deterministically.
     """
 
-    def __init__(self, config: PipelineConfig = None, seed: int = 0):
+    def __init__(self, config: Optional[PipelineConfig] = None, seed: int = 0):
         self.config = config if config is not None else PipelineConfig()
         self.seeds = SeedSequenceFactory(seed)
         self.model = PredictionQuantizationModel(
@@ -123,19 +132,30 @@ class VehicleKeyPipeline:
 
     # -- data collection ------------------------------------------------------
     def build_protocol(
-        self, episode: str, interference: Sequence = ()
+        self,
+        episode: str,
+        interference: Sequence = (),
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> Tuple[ProbingProtocol, SeedSequenceFactory, object, object]:
         """Fresh trajectories/channel/protocol for one probing episode."""
         episode_seeds = self.seeds.child(f"episode-{episode}")
         alice, bob = self.config.scenario.build_trajectories(episode_seeds)
         motion = RelativeMotion(alice, bob)
         channel = self.config.scenario.build_channel(episode_seeds, motion)
+        # A null plan is the ideal link; skipping the fault model entirely
+        # keeps the no-fault path bit-identical to the seed behaviour.
+        fault_model = None
+        if fault_plan is not None and not fault_plan.is_null:
+            fault_model = LinkFaultModel(fault_plan, episode_seeds)
         protocol = ProbingProtocol(
             channel=channel,
             phy=self.config.phy,
             alice_device=self.config.alice_device,
             bob_device=self.config.bob_device,
             interference=interference,
+            fault_model=fault_model,
+            retry_policy=retry_policy,
         )
         return protocol, episode_seeds, (alice, bob), channel
 
@@ -145,6 +165,8 @@ class VehicleKeyPipeline:
         n_rounds: int = None,
         eavesdropper_builders: Sequence = (),
         interference: Sequence = (),
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> ProbeTrace:
         """Run one probing episode; returns its trace.
 
@@ -155,9 +177,15 @@ class VehicleKeyPipeline:
             eavesdropper_builders: Callables
                 ``(scenario, seeds, channel, alice, bob) -> EavesdropperSetup``.
             interference: Interference sources audible during this episode.
+            fault_plan: Optional link-fault injection for this episode;
+                the probing layer then runs its ARQ retry loop.
+            retry_policy: ARQ budget/backoff used with a fault plan.
         """
         protocol, episode_seeds, (alice, bob), channel = self.build_protocol(
-            episode, interference=interference
+            episode,
+            interference=interference,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
         )
         eavesdroppers: List[EavesdropperSetup] = [
             builder(self.config.scenario, episode_seeds, channel, alice, bob)
@@ -257,25 +285,119 @@ class VehicleKeyPipeline:
         episode: str = "live",
         n_rounds: int = None,
         trace: ProbeTrace = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        max_attempts: int = 1,
+        reprobe_airtime_budget_s: Optional[float] = None,
+        raise_on_failure: bool = False,
     ) -> "KeyEstablishmentOutcome":
-        """Probe a fresh episode and run the full key agreement."""
-        if trace is None:
-            rounds = n_rounds if n_rounds is not None else self.config.session_rounds
-            trace = self.collect_trace(episode, n_rounds=rounds)
+        """Probe a fresh episode and run the full key agreement.
+
+        Args:
+            episode: Episode label for the probing burst.
+            n_rounds: Rounds per probing burst (default:
+                ``config.session_rounds``).
+            trace: Pre-collected trace to use for the first attempt
+                instead of probing.
+            fault_plan: Optional fault injection: link loss + register
+                corruption during probing (absorbed by the ARQ layer) and
+                drop/duplication/reorder on the syndrome exchange
+                (absorbed by bounded re-requests).
+            retry_policy: ARQ budget/backoff under the fault plan.
+            max_attempts: Probing bursts allowed before giving up.  When a
+                session ends without enough verified bits, a fresh episode
+                is probed and the surviving bits of all bursts are pooled.
+                The default of 1 reproduces the seed's single-shot
+                behaviour exactly.
+            reprobe_airtime_budget_s: Optional wall-clock cap on the total
+                probing time across re-probe attempts; once exceeded no
+                further burst is probed and the outcome reports
+                ``retry-budget-exhausted``.
+            raise_on_failure: Raise :class:`InsufficientEntropyError` /
+                :class:`RetryBudgetExhausted` instead of returning a
+                failed outcome.  A final-key mismatch always surfaces as
+                ``success=False`` with ``failure_reason="key-mismatch"``
+                and is never returned as a silent pair of different keys.
+        """
+        require(max_attempts >= 1, "max_attempts must be >= 1")
+        plan = fault_plan if fault_plan is not None and not fault_plan.is_null else None
+        rounds = n_rounds if n_rounds is not None else self.config.session_rounds
         session = self.build_session()
-        result = session.run(trace)
+
+        traces: List[ProbeTrace] = [] if trace is None else [trace]
+        result: SessionResult = None
+        budget_stopped = False
+        attempts = 0
+        for attempt in range(max_attempts):
+            attempts = attempt + 1
+            label = episode if attempt == 0 else f"{episode}-reprobe-{attempt}"
+            if attempt > 0 or not traces:
+                traces.append(
+                    self.collect_trace(
+                        label,
+                        n_rounds=rounds,
+                        fault_plan=plan,
+                        retry_policy=retry_policy,
+                    )
+                )
+            channel = None
+            if plan is not None and plan.messages.active:
+                channel = LossyMessageChannel(
+                    plan.messages,
+                    self.seeds.child(f"episode-{label}").generator(
+                        "fault-messages"
+                    ),
+                )
+            result = session.run(
+                traces[0] if len(traces) == 1 else traces, channel=channel
+            )
+            if result.final_key_alice is not None:
+                break
+            probing_so_far = sum(t.duration_s for t in traces)
+            if (
+                reprobe_airtime_budget_s is not None
+                and probing_so_far >= reprobe_airtime_budget_s
+            ):
+                budget_stopped = True
+                break
+
+        failure_reason = None
+        if result.final_key_alice is None:
+            exhausted = budget_stopped or attempts > 1
+            failure_reason = (
+                RetryBudgetExhausted.reason
+                if exhausted
+                else InsufficientEntropyError.reason
+            )
+        elif result.final_key_alice != result.final_key_bob:
+            failure_reason = "key-mismatch"
+        if raise_on_failure and failure_reason is not None:
+            message = (
+                f"key establishment failed after {attempts} attempt(s): "
+                f"{failure_reason} ({result.agreed_bits} verified bits, "
+                f"need {self.config.final_key_bits})"
+            )
+            if failure_reason == RetryBudgetExhausted.reason:
+                raise RetryBudgetExhausted(message)
+            if failure_reason == InsufficientEntropyError.reason:
+                raise InsufficientEntropyError(message)
+            raise KeyEstablishmentError(message)
+
+        probing_time = sum(t.duration_s for t in traces)
         # Two batched mask-exchange messages plus the per-block syndromes.
         airtime = self.reconciliation_airtime_s(
             result.reconciliation_messages + 2, result.total_public_bytes
         )
-        kgr = key_generation_rate(
-            result.agreed_bits, trace.duration_s, airtime
-        )
+        kgr = key_generation_rate(result.agreed_bits, probing_time, airtime)
         return KeyEstablishmentOutcome(
             session=result,
-            probing_time_s=trace.duration_s,
+            probing_time_s=probing_time,
             reconciliation_airtime_s=airtime,
             key_generation_rate_bps=kgr,
+            failure_reason=failure_reason,
+            attempts=attempts,
+            total_retries=sum(t.total_retries for t in traces),
+            dropped_rounds=sum(t.n_dropped_rounds for t in traces),
         )
 
     # -- persistence ------------------------------------------------------------
@@ -319,12 +441,22 @@ class KeyEstablishmentOutcome:
         probing_time_s: Airtime spent probing.
         reconciliation_airtime_s: Airtime spent on reconciliation traffic.
         key_generation_rate_bps: Agreed key-material bits per protocol second.
+        failure_reason: ``None`` on success; otherwise a machine-readable
+            slug (``"insufficient-entropy"``, ``"retry-budget-exhausted"``
+            or ``"key-mismatch"``).
+        attempts: Probing bursts consumed (1 unless re-probing fired).
+        total_retries: ARQ retransmissions across all probing bursts.
+        dropped_rounds: Probing rounds discarded after exhausting retries.
     """
 
     session: SessionResult
     probing_time_s: float
     reconciliation_airtime_s: float
     key_generation_rate_bps: float
+    failure_reason: Optional[str] = None
+    attempts: int = 1
+    total_retries: int = 0
+    dropped_rounds: int = 0
 
     @property
     def agreement_rate(self) -> float:
@@ -344,4 +476,4 @@ class KeyEstablishmentOutcome:
     @property
     def success(self) -> bool:
         """Whether both parties ended with the same final key."""
-        return self.session.keys_match
+        return self.failure_reason is None and self.session.keys_match

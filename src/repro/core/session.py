@@ -24,12 +24,13 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.model import PredictionQuantizationModel
 from repro.exceptions import ProtocolError
+from repro.faults.messages import LossyMessageChannel
 from repro.metrics.agreement import AgreementSummary, agreement_statistics
 from repro.privacy.amplification import amplify_to_bytes
 from repro.probing.dataset import build_dataset
@@ -108,6 +109,10 @@ class SessionResult:
         consensus_bytes: Mask-exchange payload bytes.
         reconciliation_bytes: Syndrome payload bytes.
         reconciliation_messages: Syndrome messages exchanged.
+        retransmitted_messages: Syndrome retransmissions triggered by
+            Alice's bounded re-requests (0 on a reliable transport).
+        undelivered_blocks: Blocks whose syndrome never reached Alice
+            within the re-request budget (discarded, never key material).
     """
 
     raw_agreement: AgreementSummary
@@ -122,6 +127,8 @@ class SessionResult:
     consensus_bytes: int
     reconciliation_bytes: int
     reconciliation_messages: int
+    retransmitted_messages: int = 0
+    undelivered_blocks: int = 0
 
     @property
     def keys_match(self) -> bool:
@@ -244,8 +251,29 @@ class KeyAgreementSession:
             detail.consensus_bytes,
         )
 
+    # -- message validation ------------------------------------------------------
+    @staticmethod
+    def _validate_message(message: SyndromeMessage) -> None:
+        """Reject structurally malformed syndrome messages early.
+
+        A negative block index or an empty nonce would previously flow
+        into array indexing / MAC bodies as silent garbage.
+        """
+        if message.block_index < 0:
+            raise ProtocolError(
+                f"syndrome block index must be >= 0, got {message.block_index}"
+            )
+        if not message.session_nonce:
+            raise ProtocolError("syndrome message carries an empty session nonce")
+
     # -- the session -------------------------------------------------------------
-    def run(self, trace, tamper=None) -> SessionResult:
+    def run(
+        self,
+        trace,
+        tamper=None,
+        channel: Optional[LossyMessageChannel] = None,
+        max_rerequests: int = 2,
+    ) -> SessionResult:
         """Execute the session.
 
         Args:
@@ -255,6 +283,15 @@ class KeyAgreementSession:
             tamper: Optional fault-injection hook mapping a
                 :class:`SyndromeMessage` to a (possibly modified) message;
                 used by the MITM tests.
+            channel: Optional lossy transport for the syndrome exchange.
+                Messages may be dropped, duplicated or reordered; Alice
+                re-requests blocks that did not verify, up to
+                ``max_rerequests`` extra rounds, and blocks that never
+                arrive are discarded rather than failing the session.
+                ``None`` is the reliable transport of the seed behaviour.
+            max_rerequests: Re-request rounds allowed when ``channel`` is
+                lossy.  Ignored on a reliable transport, where the single
+                pass always delivers every block.
         """
         traces = [trace] if isinstance(trace, ProbeTrace) else list(trace)
         require(bool(traces), "need at least one probing trace")
@@ -287,57 +324,103 @@ class KeyAgreementSession:
         block_bits = self.reconciler.key_bits
         n_blocks = alice_all.size // block_bits
 
-        corrected_blocks: List[np.ndarray] = []
-        alice_blocks: List[np.ndarray] = []
-        bob_blocks: List[np.ndarray] = []
-        verified: List[int] = []
+        alice_blocks: List[np.ndarray] = [
+            alice_all[b * block_bits : (b + 1) * block_bits]
+            for b in range(n_blocks)
+        ]
+        bob_blocks: List[np.ndarray] = [
+            bob_all[b * block_bits : (b + 1) * block_bits]
+            for b in range(n_blocks)
+        ]
+        corrected: Dict[int, np.ndarray] = {}
+        verified_set = set()
         reconciliation_bytes = 0
         messages = 0
+        retransmitted = 0
 
-        for block in range(n_blocks):
-            lo, hi = block * block_bits, (block + 1) * block_bits
-            alice_key = alice_all[lo:hi]
-            bob_key = bob_all[lo:hi]
-            alice_blocks.append(alice_key)
-            bob_blocks.append(bob_key)
-
-            # --- Bob's side.
+        def bob_message(block: int) -> SyndromeMessage:
+            """Bob's (re)transmission of one block's syndrome."""
+            bob_key = bob_blocks[block]
             syndrome = self.reconciler.bob_syndrome(bob_key)
-            bob_transformed = self.reconciler.bloom.transform(bob_key)
             body = (
                 nonce
                 + block.to_bytes(4, "big")
                 + np.asarray(syndrome, dtype="<f8").tobytes()
             )
-            message = SyndromeMessage(
+            return SyndromeMessage(
                 block_index=block,
                 session_nonce=nonce,
                 syndrome=syndrome,
-                mac=compute_mac(bob_transformed, body),
+                mac=compute_mac(self.reconciler.bloom.transform(bob_key), body),
             )
-            if tamper is not None:
-                message = tamper(message)
-            messages += 1
-            reconciliation_bytes += message.payload_bytes()
 
-            # --- Alice's side.
+        def alice_receive(message: SyndromeMessage) -> None:
+            """Alice's handling of one arrival (idempotent per block)."""
+            self._validate_message(message)
             if message.session_nonce != nonce:
                 raise ProtocolError("session nonce mismatch: possible replay")
-            corrected = self.reconciler.alice_correct(alice_key, message.syndrome)
-            corrected_blocks.append(corrected)
-            alice_transformed = self.reconciler.bloom.transform(corrected)
-            if verify_mac(alice_transformed, message.body(), message.mac):
-                verified.append(block)
+            block = message.block_index
+            if block >= n_blocks:
+                raise ProtocolError(
+                    f"syndrome for unknown block {block} (have {n_blocks})"
+                )
+            corrected_key = self.reconciler.alice_correct(
+                alice_blocks[block], message.syndrome
+            )
+            corrected[block] = corrected_key
+            if verify_mac(
+                self.reconciler.bloom.transform(corrected_key),
+                message.body(),
+                message.mac,
+            ):
+                verified_set.add(block)
 
+        # First pass sends every block; further passes (lossy transport
+        # only) re-request the blocks that did not verify -- lost ones and
+        # MAC failures alike -- until the re-request budget runs out.
+        outstanding = list(range(n_blocks))
+        for request_round in range(max(0, max_rerequests) + 1):
+            if not outstanding:
+                break
+            if request_round > 0:
+                retransmitted += len(outstanding)
+            arrivals: List[SyndromeMessage] = []
+            for block in outstanding:
+                message = bob_message(block)
+                if tamper is not None:
+                    message = tamper(message)
+                messages += 1
+                reconciliation_bytes += message.payload_bytes()
+                if channel is None:
+                    arrivals.append(message)
+                else:
+                    arrivals.extend(channel.deliver(message))
+            if channel is not None:
+                arrivals.extend(channel.flush())
+            for message in arrivals:
+                alice_receive(message)
+            if channel is None:
+                # Reliable transport: everything arrived; MAC failures are
+                # reconciliation failures, which a resend cannot fix.
+                break
+            outstanding = [b for b in outstanding if b not in verified_set]
+
+        verified = sorted(verified_set)
+        received = sorted(corrected)
         if n_blocks:
             raw = agreement_statistics(alice_blocks, bob_blocks)
-            reconciled = agreement_statistics(corrected_blocks, bob_blocks)
         else:
             raw = AgreementSummary(mean=0.0, std=0.0, n_pairs=0)
+        if received:
+            reconciled = agreement_statistics(
+                [corrected[b] for b in received],
+                [bob_blocks[b] for b in received],
+            )
+        else:
             reconciled = AgreementSummary(mean=0.0, std=0.0, n_pairs=0)
 
         verified_alice = (
-            np.concatenate([corrected_blocks[i] for i in verified])
+            np.concatenate([corrected[i] for i in verified])
             if verified
             else np.zeros(0, dtype=np.uint8)
         )
@@ -365,4 +448,6 @@ class KeyAgreementSession:
             consensus_bytes=consensus_bytes,
             reconciliation_bytes=reconciliation_bytes,
             reconciliation_messages=messages,
+            retransmitted_messages=retransmitted,
+            undelivered_blocks=n_blocks - len(corrected),
         )

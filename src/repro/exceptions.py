@@ -26,5 +26,25 @@ class ReconciliationFailure(ReproError):
     """Reconciliation could not correct the mismatches between the keys."""
 
 
+class KeyEstablishmentError(ReproError):
+    """A key-establishment run ended without both parties holding a key."""
+
+    #: Machine-readable failure slug, mirrored into
+    #: :attr:`repro.core.pipeline.KeyEstablishmentOutcome.failure_reason`.
+    reason = "key-establishment-failed"
+
+
+class InsufficientEntropyError(KeyEstablishmentError):
+    """Too few verified secret bits survived to derive the final key."""
+
+    reason = "insufficient-entropy"
+
+
+class RetryBudgetExhausted(KeyEstablishmentError):
+    """Retries/re-probes hit their wall-clock or airtime budget without a key."""
+
+    reason = "retry-budget-exhausted"
+
+
 class NotTrainedError(ReproError):
     """A learned component was used before it was trained or loaded."""

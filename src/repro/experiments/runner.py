@@ -27,6 +27,7 @@ from repro.experiments import (
     fig14_generalization,
     fig15_security,
     fig16_eve_trace,
+    robustness_sweep,
     table1_robustness,
     table2_nist,
     table3_power,
@@ -49,6 +50,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table3": table3_power.run,
     "ablations": ablations.run,
     "duty-cycle": duty_cycle.run,
+    "robustness": robustness_sweep.run,
 }
 
 

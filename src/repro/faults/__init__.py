@@ -1,0 +1,36 @@
+"""Fault injection and recovery: lossy links, retries, graceful failure.
+
+The robustness layer of the reproduction.  A seeded
+:class:`~repro.faults.plan.FaultPlan` describes which faults to inject
+(burst packet loss, SNR-dependent PER, RSSI register glitches,
+reconciliation-message drop/duplication/reorder); the probing protocol's
+ARQ layer and the session's bounded re-requests absorb them, and the
+pipeline converts what cannot be absorbed into structured failures
+instead of silent key mismatches.
+"""
+
+from repro.faults.link import (
+    GilbertElliottProcess,
+    LinkFaultModel,
+    snr_packet_error_rate,
+)
+from repro.faults.messages import LossyMessageChannel
+from repro.faults.plan import (
+    FaultPlan,
+    LossConfig,
+    MessageFaultConfig,
+    RegisterCorruptionConfig,
+)
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "FaultPlan",
+    "LossConfig",
+    "MessageFaultConfig",
+    "RegisterCorruptionConfig",
+    "GilbertElliottProcess",
+    "LinkFaultModel",
+    "LossyMessageChannel",
+    "RetryPolicy",
+    "snr_packet_error_rate",
+]

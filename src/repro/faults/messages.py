@@ -1,0 +1,76 @@
+"""Lossy delivery of reconciliation messages.
+
+The syndrome exchange of :class:`~repro.core.session.KeyAgreementSession`
+assumes every message arrives exactly once, in order.  A
+:class:`LossyMessageChannel` breaks that assumption under seeded control:
+messages can vanish, arrive twice, or swap with their successor.  The
+session layer's block addressing plus bounded re-requests must absorb all
+three without ever silently mismatching keys.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TypeVar
+
+import numpy as np
+
+from repro.faults.plan import MessageFaultConfig
+
+MessageT = TypeVar("MessageT")
+
+
+class LossyMessageChannel:
+    """Applies drop/duplication/reorder faults to a message stream.
+
+    Delivery is modeled per transmission: :meth:`deliver` returns the
+    messages that arrive at the receiver as a consequence of sending one
+    message (possibly none, possibly a delayed predecessor too).  Call
+    :meth:`flush` once the sender is done to release any message still
+    held back by the reorderer.
+
+    Args:
+        config: Fault rates.
+        rng: The channel's private random stream.
+    """
+
+    def __init__(self, config: MessageFaultConfig, rng: np.random.Generator):
+        self.config = config
+        self._rng = rng
+        self._held: Optional[MessageT] = None
+        self.transmitted = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
+
+    def deliver(self, message: MessageT) -> List[MessageT]:
+        """Transmit one message; returns what arrives, in arrival order."""
+        self.transmitted += 1
+        # Fixed draw order (drop, duplicate, reorder) keeps the fault
+        # pattern deterministic in the seed regardless of which rates are
+        # enabled.
+        lost = self._rng.random() < self.config.drop_rate
+        duplicated = self._rng.random() < self.config.duplicate_rate
+        reorder = self._rng.random() < self.config.reorder_rate
+        if lost:
+            self.dropped += 1
+            # A loss still releases any held-back predecessor.
+            return self._release()
+        arrivals = [message, message] if duplicated else [message]
+        if duplicated:
+            self.duplicated += 1
+        if reorder and self._held is None:
+            # Hold this message back; it arrives after the next delivery.
+            self._held = arrivals.pop(0)
+            self.reordered += 1
+            return arrivals
+        return arrivals + self._release()
+
+    def flush(self) -> List[MessageT]:
+        """Release any message still held back by the reorderer."""
+        return self._release()
+
+    def _release(self) -> List[MessageT]:
+        if self._held is None:
+            return []
+        held, self._held = self._held, None
+        return [held]

@@ -1,0 +1,154 @@
+"""Declarative fault plans: what to break, how often, how badly.
+
+A :class:`FaultPlan` is a frozen description of every stochastic fault the
+robustness layer can inject -- packet loss on the probing link, RSSI
+register read corruption, and drop/duplication/reorder of reconciliation
+messages.  Plans carry no randomness of their own: the stateful, seeded
+machinery lives in :mod:`repro.faults.link` and
+:mod:`repro.faults.messages`, so the same plan can be replayed under many
+seeds and the same seed always reproduces the same fault pattern.
+
+``FaultPlan.none()`` is the identity plan: every consumer treats it
+exactly like "no fault layer at all", so pipelines configured with it are
+bit-identical to the seed behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import require, require_in_range
+
+
+@dataclass(frozen=True)
+class LossConfig:
+    """Stochastic packet loss on the probing link.
+
+    Attributes:
+        rate: Stationary loss probability of the burst process, applied
+            independently per transmission and direction.  0 disables it.
+        mean_burst: Mean length (in packets) of a loss burst.  1 gives
+            memoryless Bernoulli loss; above 1 the losses come from a
+            Gilbert-Elliott two-state chain whose bad state dwells
+            ``mean_burst`` packets on average (fading dips, interference
+            bursts).
+        snr_dependent: Additionally draw loss from the link budget's
+            SNR-dependent packet-error-rate curve around the spreading
+            factor's demodulation limit.  Negligible on strong links but
+            dominant near sensitivity.
+    """
+
+    rate: float = 0.0
+    mean_burst: float = 1.0
+    snr_dependent: bool = False
+
+    def __post_init__(self) -> None:
+        require_in_range(self.rate, 0.0, 0.999, "rate")
+        require(self.mean_burst >= 1.0, "mean_burst must be >= 1")
+
+    @property
+    def active(self) -> bool:
+        """Whether this config injects any loss at all."""
+        return self.rate > 0.0 or self.snr_dependent
+
+
+@dataclass(frozen=True)
+class RegisterCorruptionConfig:
+    """SX127x RSSI register read glitches.
+
+    Attributes:
+        probability: Per-reception probability that a glitch corrupts a
+            run of register reads.
+        burst_symbols: Consecutive register reads affected by one glitch.
+        magnitude_db: Depth of the corruption (the glitched reads drop by
+            this much, clamped at the chip's RSSI floor).
+    """
+
+    probability: float = 0.0
+    burst_symbols: int = 3
+    magnitude_db: float = 20.0
+
+    def __post_init__(self) -> None:
+        require_in_range(self.probability, 0.0, 1.0, "probability")
+        require(self.burst_symbols >= 1, "burst_symbols must be >= 1")
+        require(self.magnitude_db >= 0.0, "magnitude_db must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """Whether register corruption is enabled."""
+        return self.probability > 0.0
+
+
+@dataclass(frozen=True)
+class MessageFaultConfig:
+    """Faults on the reconciliation (syndrome) message exchange.
+
+    Attributes:
+        drop_rate: Probability a transmitted message never arrives.
+        duplicate_rate: Probability a message arrives twice.
+        reorder_rate: Probability a message is held back and delivered
+            after its successor.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_in_range(self.drop_rate, 0.0, 0.999, "drop_rate")
+        require_in_range(self.duplicate_rate, 0.0, 1.0, "duplicate_rate")
+        require_in_range(self.reorder_rate, 0.0, 1.0, "reorder_rate")
+
+    @property
+    def active(self) -> bool:
+        """Whether any message fault is enabled."""
+        return (
+            self.drop_rate > 0.0
+            or self.duplicate_rate > 0.0
+            or self.reorder_rate > 0.0
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything the fault-injection layer may do to one session.
+
+    Attributes:
+        loss: Probe/response packet-loss process.
+        register: RSSI register corruption.
+        messages: Reconciliation-message faults.
+    """
+
+    loss: LossConfig = field(default_factory=LossConfig)
+    register: RegisterCorruptionConfig = field(
+        default_factory=RegisterCorruptionConfig
+    )
+    messages: MessageFaultConfig = field(default_factory=MessageFaultConfig)
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The identity plan: inject nothing anywhere."""
+        return cls()
+
+    @classmethod
+    def lossy(
+        cls,
+        rate: float,
+        mean_burst: float = 1.0,
+        message_drop_rate: float = 0.0,
+        snr_dependent: bool = True,
+    ) -> "FaultPlan":
+        """A link-loss-centric plan, the robustness sweep's workhorse."""
+        return cls(
+            loss=LossConfig(
+                rate=rate, mean_burst=mean_burst, snr_dependent=snr_dependent
+            ),
+            messages=MessageFaultConfig(drop_rate=message_drop_rate),
+        )
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing (bit-identical to no plan)."""
+        return not (
+            self.loss.active or self.register.active or self.messages.active
+        )

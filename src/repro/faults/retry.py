@@ -1,0 +1,74 @@
+"""ARQ retry policy: how hard to fight packet loss before giving up.
+
+One :class:`RetryPolicy` governs both the probing layer's per-probe ARQ
+(retransmit an unacknowledged probe after a timeout, with exponential
+backoff) and the session layer's bounded syndrome re-requests.  The
+backoff is floored by the regional duty-cycle rule when a
+:class:`~repro.lora.regional.RegionalPlan` is attached: a retransmission
+may never start before the mandatory post-transmission silence the band
+imposes, so aggressive retry settings cannot make the simulated device
+violate its airtime budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.lora.regional import RegionalPlan
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retransmission with capped exponential backoff.
+
+    Attributes:
+        max_retries: Retransmissions allowed per probe round (and syndrome
+            re-requests allowed per reconciliation block) on top of the
+            initial transmission.
+        timeout_s: How long the sender waits for the acknowledging
+            response before declaring the attempt lost.
+        backoff_base_s: Backoff before the first retransmission.
+        backoff_factor: Multiplier applied per further retransmission.
+        max_backoff_s: Upper cap on the exponential backoff.
+        regional_plan: Optional duty-cycle plan; when set, every backoff
+            is floored by the plan's mandatory silence for the attempted
+            airtime.
+    """
+
+    max_retries: int = 3
+    timeout_s: float = 0.05
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 2.0
+    regional_plan: Optional[RegionalPlan] = None
+
+    def __post_init__(self) -> None:
+        require(self.max_retries >= 0, "max_retries must be >= 0")
+        require(self.timeout_s >= 0, "timeout_s must be >= 0")
+        require(self.backoff_base_s >= 0, "backoff_base_s must be >= 0")
+        require(self.backoff_factor >= 1.0, "backoff_factor must be >= 1")
+        require(
+            self.max_backoff_s >= self.backoff_base_s,
+            "max_backoff_s must be >= backoff_base_s",
+        )
+
+    def backoff_s(self, retry_index: int, airtime_s: float = 0.0) -> float:
+        """Silence before retransmission number ``retry_index`` (0-based).
+
+        The exponential ramp is capped at ``max_backoff_s`` and floored by
+        the regional duty-cycle silence for the airtime just spent.
+        """
+        require(retry_index >= 0, "retry_index must be >= 0")
+        backoff = min(
+            self.max_backoff_s,
+            self.backoff_base_s * self.backoff_factor**retry_index,
+        )
+        if self.regional_plan is not None:
+            backoff = max(backoff, self.regional_plan.min_gap_after(airtime_s))
+        return backoff
+
+    def retry_delay_s(self, retry_index: int, airtime_s: float = 0.0) -> float:
+        """Total dead time one failed attempt costs: timeout plus backoff."""
+        return self.timeout_s + self.backoff_s(retry_index, airtime_s)

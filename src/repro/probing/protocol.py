@@ -19,11 +19,14 @@ instants as the legitimate receivers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.channel.interference import combine_power_dbm
 from repro.channel.reciprocity import ReciprocalChannel
+from repro.faults.link import LinkFaultModel
+from repro.faults.retry import RetryPolicy
 from repro.lora.airtime import LoRaPHYConfig
 from repro.lora.link_budget import LinkBudget
 from repro.lora.radio import TransceiverModel
@@ -66,6 +69,13 @@ class ProbingProtocol:
         interference: Optional interference sources; each receiver picks
             them up through its own position, so the corruption is
             asymmetric between the endpoints (paper Sec. II-A, effect 4).
+        fault_model: Optional seeded link-fault injector.  When present,
+            :meth:`run` switches to ARQ semantics: every probe carries a
+            sequence number, the response doubles as its acknowledgment,
+            and lost transmissions are retried under ``retry_policy``.
+            ``None`` reproduces the ideal link bit-for-bit.
+        retry_policy: Retransmission budget/backoff used with a fault
+            model (defaults to :class:`~repro.faults.retry.RetryPolicy`).
     """
 
     def __init__(
@@ -74,9 +84,11 @@ class ProbingProtocol:
         phy: LoRaPHYConfig,
         alice_device: TransceiverModel,
         bob_device: TransceiverModel,
-        link_budget: LinkBudget = None,
+        link_budget: Optional[LinkBudget] = None,
         inter_round_gap_s: float = 0.0,
         interference: Sequence = (),
+        fault_model: Optional[LinkFaultModel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         require(inter_round_gap_s >= 0, "inter_round_gap_s must be >= 0")
         self.channel = channel
@@ -86,6 +98,8 @@ class ProbingProtocol:
         self.link_budget = link_budget if link_budget is not None else LinkBudget()
         self.inter_round_gap_s = float(inter_round_gap_s)
         self.interference = list(interference)
+        self.fault_model = fault_model
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
 
     def round_period_s(self) -> float:
         """Duration of one complete probe/response round."""
@@ -116,6 +130,18 @@ class ProbingProtocol:
         Returns:
             The complete :class:`ProbeTrace`, including per-round validity
             (both directions above sensitivity) and eavesdropper traces.
+            With a fault model attached the trace also carries per-round
+            ``retries``/``dropped`` ARQ accounting.
+
+        ARQ semantics (fault model attached): each probe carries the round
+        index as its sequence number and Bob's response acknowledges it.
+        When either transmission is lost, Alice times out and retransmits
+        the *same* sequence number after the policy's backoff, so Bob
+        replaces his measurement for that round rather than advancing --
+        a lost probe or response can therefore never silently pair
+        Alice's round ``k`` with Bob's round ``k+1``.  A round whose
+        retry budget runs out is discarded (``valid=False``,
+        ``dropped=True``) instead of desynchronizing the trace.
         """
         require_positive(n_rounds, "n_rounds")
         airtime = self.phy.airtime_s
@@ -140,6 +166,8 @@ class ProbingProtocol:
         bob_prssi = np.empty(n_rounds)
         round_start = np.empty(n_rounds)
         valid = np.ones(n_rounds, dtype=bool)
+        retries = np.zeros(n_rounds, dtype=np.int32)
+        dropped = np.zeros(n_rounds, dtype=bool)
         eve_of_alice: Dict[str, np.ndarray] = {
             s.label: np.empty((n_rounds, n_samples)) for s in eavesdroppers
         }
@@ -153,8 +181,6 @@ class ProbingProtocol:
                     self.channel.path_gain_db(times)
                 )
                 if self.interference:
-                    from repro.channel.interference import combine_power_dbm
-
                     positions = trajectory.position_m(times)
                     for source in self.interference:
                         total = combine_power_dbm(
@@ -166,31 +192,53 @@ class ProbingProtocol:
 
         alice_power = receiver_power(self.channel.motion.trajectory_a)
         bob_power = receiver_power(self.channel.motion.trajectory_b)
+        faults = self.fault_model
+        policy = self.retry_policy
+        sf = self.phy.spreading_factor
 
-        cursor = float(start_time_s)
-        for k in range(n_rounds):
-            round_start[k] = cursor
+        def attempt(k: int, attempt_start: float):
+            """One probe/response attempt's physical measurements.
+
+            Fills round ``k``'s slots (overwriting any earlier attempt of
+            the same round: ARQ retransmissions reuse the sequence
+            number) and returns ``(probe_ok, response_ok,
+            response_start)``.  The measurement-noise draw order matches
+            the pre-ARQ protocol exactly, so runs without a fault model
+            are bit-identical to the seed behaviour.
+            """
             # --- Alice's probe, received by Bob (and overheard by Eve).
-            bob_rssi[k] = bob_sampler.sample(bob_power, cursor, seed=bob_noise)
+            bob_rssi[k] = bob_sampler.sample(bob_power, attempt_start, seed=bob_noise)
+            if faults is not None:
+                bob_rssi[k] = faults.corrupt_register(
+                    bob_rssi[k], self.bob_device.rssi_floor_dbm
+                )
             bob_prssi[k] = self._packet_rssi(
                 bob_rssi[k], self.bob_device, bob_noise
             )
             for setup in eavesdroppers:
                 power = self._eve_power(setup.channel_from_alice)
                 eve_of_alice[setup.label][k] = eve_samplers[setup.label].sample(
-                    power, cursor, seed=eve_noise[setup.label]
+                    power, attempt_start, seed=eve_noise[setup.label]
                 )
-            mid_probe = cursor + airtime / 2.0
-            if not self.link_budget.is_decodable(
-                self.channel.path_gain_db(mid_probe), self.phy
-            ):
-                valid[k] = False
+            mid_probe = attempt_start + airtime / 2.0
+            probe_gain = self.channel.path_gain_db(mid_probe)
+            probe_ok = self.link_budget.is_decodable(probe_gain, self.phy)
+            if faults is not None and probe_ok:
+                probe_ok = not faults.packet_lost(
+                    "a2b", self.link_budget.snr_db(probe_gain, self.phy), sf
+                )
 
             # --- Bob's response after his turnaround delay.
-            response_start = cursor + airtime + self.bob_device.processing_delay_s
+            response_start = (
+                attempt_start + airtime + self.bob_device.processing_delay_s
+            )
             alice_rssi[k] = alice_sampler.sample(
                 alice_power, response_start, seed=alice_noise
             )
+            if faults is not None:
+                alice_rssi[k] = faults.corrupt_register(
+                    alice_rssi[k], self.alice_device.rssi_floor_dbm
+                )
             alice_prssi[k] = self._packet_rssi(
                 alice_rssi[k], self.alice_device, alice_noise
             )
@@ -200,17 +248,65 @@ class ProbingProtocol:
                     power, response_start, seed=eve_noise[setup.label]
                 )
             mid_response = response_start + airtime / 2.0
-            if not self.link_budget.is_decodable(
-                self.channel.path_gain_db(mid_response), self.phy
-            ):
-                valid[k] = False
+            response_gain = self.channel.path_gain_db(mid_response)
+            response_ok = self.link_budget.is_decodable(response_gain, self.phy)
+            if faults is not None and response_ok:
+                response_ok = not faults.packet_lost(
+                    "b2a", self.link_budget.snr_db(response_gain, self.phy), sf
+                )
+            return probe_ok, response_ok, response_start
 
-            cursor = (
-                response_start
-                + airtime
-                + self.alice_device.processing_delay_s
-                + self.inter_round_gap_s
-            )
+        cursor = float(start_time_s)
+        for k in range(n_rounds):
+            round_start[k] = cursor
+            if faults is None:
+                probe_ok, response_ok, response_start = attempt(k, cursor)
+                valid[k] = probe_ok and response_ok
+                cursor = (
+                    response_start
+                    + airtime
+                    + self.alice_device.processing_delay_s
+                    + self.inter_round_gap_s
+                )
+                continue
+
+            # --- ARQ: retransmit round k's probe until the acknowledging
+            # response arrives or the retry budget runs out.
+            attempt_start = cursor
+            n_retries = 0
+            while True:
+                probe_ok, response_ok, response_start = attempt(k, attempt_start)
+                if probe_ok and response_ok:
+                    valid[k] = True
+                    next_free = (
+                        response_start
+                        + airtime
+                        + self.alice_device.processing_delay_s
+                    )
+                    break
+                if probe_ok:
+                    # Bob measured round k but his response was lost;
+                    # Alice times out.  Her retransmission reuses round
+                    # k's sequence number, so Bob replaces his
+                    # measurement instead of pairing it with round k+1.
+                    attempt_end = response_start + airtime
+                else:
+                    # Probe lost: Bob never turned the link around.
+                    attempt_end = attempt_start + airtime
+                if n_retries >= policy.max_retries:
+                    valid[k] = False
+                    dropped[k] = True
+                    next_free = (
+                        attempt_end
+                        + policy.timeout_s
+                        + self.alice_device.processing_delay_s
+                    )
+                    break
+                delay = policy.retry_delay_s(n_retries, airtime)
+                n_retries += 1
+                attempt_start = attempt_end + delay
+            retries[k] = n_retries
+            cursor = next_free + self.inter_round_gap_s
 
         eve_traces = {
             label: EveTrace(of_alice_rssi=eve_of_alice[label], of_bob_rssi=eve_of_bob[label])
@@ -225,6 +321,8 @@ class ProbingProtocol:
             eve=eve_traces,
             alice_prssi=alice_prssi,
             bob_prssi=bob_prssi,
+            retries=retries,
+            dropped=dropped,
         )
 
     def _packet_rssi(

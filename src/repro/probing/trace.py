@@ -48,6 +48,10 @@ class ProbeTrace:
         valid: Per-round flag; ``False`` where either direction was below
             the receiver's sensitivity (packet loss).
         eve: Optional eavesdropper traces keyed by attacker label.
+        retries: Per-round retransmission count spent by the ARQ layer
+            (zeros when probing ran without fault injection).
+        dropped: Per-round flag; ``True`` where the retry budget was
+            exhausted and the round was discarded by the ARQ layer.
     """
 
     phy: LoRaPHYConfig
@@ -58,6 +62,8 @@ class ProbeTrace:
     eve: Dict[str, EveTrace] = field(default_factory=dict)
     alice_prssi: Optional[np.ndarray] = None
     bob_prssi: Optional[np.ndarray] = None
+    retries: Optional[np.ndarray] = None
+    dropped: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         n_rounds = self.alice_rssi.shape[0]
@@ -75,6 +81,14 @@ class ProbeTrace:
             self.bob_prssi = self.bob_rssi.mean(axis=1).round()
         if self.alice_prssi.shape != (n_rounds,) or self.bob_prssi.shape != (n_rounds,):
             raise ConfigurationError("packet-RSSI series must have one entry per round")
+        if self.retries is None:
+            self.retries = np.zeros(n_rounds, dtype=np.int32)
+        if self.dropped is None:
+            self.dropped = np.zeros(n_rounds, dtype=bool)
+        if self.retries.shape != (n_rounds,) or self.dropped.shape != (n_rounds,):
+            raise ConfigurationError(
+                "retries and dropped must have one entry per round"
+            )
 
     @property
     def n_rounds(self) -> int:
@@ -90,6 +104,16 @@ class ProbeTrace:
     def samples_per_packet(self) -> int:
         """Register-RSSI samples recorded per packet."""
         return int(self.alice_rssi.shape[1])
+
+    @property
+    def total_retries(self) -> int:
+        """Retransmissions the ARQ layer spent across the whole session."""
+        return int(self.retries.sum())
+
+    @property
+    def n_dropped_rounds(self) -> int:
+        """Rounds discarded after the retry budget ran out."""
+        return int(np.count_nonzero(self.dropped))
 
     @property
     def duration_s(self) -> float:
@@ -113,6 +137,8 @@ class ProbeTrace:
             "valid": self.valid,
             "alice_prssi": self.alice_prssi,
             "bob_prssi": self.bob_prssi,
+            "retries": self.retries,
+            "dropped": self.dropped,
             "phy_sf": np.array([self.phy.spreading_factor]),
             "phy_bw": np.array([self.phy.bandwidth_hz]),
             "phy_cr": np.array([self.phy.coding_rate.value]),
@@ -159,6 +185,9 @@ class ProbeTrace:
                 eve=eve,
                 alice_prssi=data["alice_prssi"],
                 bob_prssi=data["bob_prssi"],
+                # Absent in traces written before the ARQ layer existed.
+                retries=data["retries"] if "retries" in data.files else None,
+                dropped=data["dropped"] if "dropped" in data.files else None,
             )
 
     def valid_only(self) -> "ProbeTrace":
@@ -179,4 +208,6 @@ class ProbeTrace:
             },
             alice_prssi=self.alice_prssi[mask],
             bob_prssi=self.bob_prssi[mask],
+            retries=self.retries[mask],
+            dropped=self.dropped[mask],
         )

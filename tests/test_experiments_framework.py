@@ -45,8 +45,16 @@ class TestScales:
 
 class TestRunnerRegistry:
     def test_all_experiments_registered(self):
-        assert len(EXPERIMENTS) == 15
-        for key in ("fig02", "fig12-13", "table2", "table3", "ablations", "duty-cycle"):
+        assert len(EXPERIMENTS) == 16
+        for key in (
+            "fig02",
+            "fig12-13",
+            "table2",
+            "table3",
+            "ablations",
+            "duty-cycle",
+            "robustness",
+        ):
             assert key in EXPERIMENTS
 
     def test_unknown_experiment_rejected(self):
