@@ -32,16 +32,34 @@ def _cmd_establish(args) -> int:
     from repro.core.pipeline import VehicleKeyPipeline
 
     pipeline = VehicleKeyPipeline.for_scenario(args.scenario, seed=args.seed)
-    print(f"training Vehicle-Key for {args.scenario.value} (seed {args.seed}) ...")
-    pipeline.train(
-        n_episodes=args.episodes, epochs=args.epochs, reconciler_epochs=args.epochs // 3
-    )
+    if args.load_dir:
+        print(f"loading trained components from {args.load_dir} ...")
+        pipeline.load(args.load_dir)
+    else:
+        print(f"training Vehicle-Key for {args.scenario.value} (seed {args.seed}) ...")
+        if args.resume and args.checkpoint_dir:
+            print(f"resuming from checkpoint in {args.checkpoint_dir} (if present)")
+        pipeline.train(
+            n_episodes=args.episodes,
+            epochs=args.epochs,
+            reconciler_epochs=args.epochs // 3,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
+        if args.save_dir:
+            pipeline.save(args.save_dir)
+            print(f"saved trained components to {args.save_dir}")
     outcome = pipeline.establish_key(episode="cli")
     session = outcome.session
     print(f"raw agreement        : {outcome.raw_agreement_rate:.2%}")
     print(f"reconciled agreement : {outcome.agreement_rate:.2%}")
     print(f"verified blocks      : {len(session.verified_blocks)}/{session.n_blocks}")
     print(f"key generation rate  : {outcome.key_generation_rate_bps:.3f} bit/s")
+    if outcome.degraded_mode:
+        print(
+            f"degraded mode        : {outcome.degraded_mode} "
+            f"({outcome.ood_windows} OOD windows)"
+        )
     if outcome.success:
         print(f"final 128-bit key    : {outcome.final_key.hex()}")
         return 0
@@ -106,6 +124,26 @@ def build_parser() -> argparse.ArgumentParser:
     establish.add_argument("--seed", type=int, default=0)
     establish.add_argument("--episodes", type=int, default=200)
     establish.add_argument("--epochs", type=int, default=90)
+    establish.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for crash-safe training checkpoints",
+    )
+    establish.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume training from --checkpoint-dir if a checkpoint exists",
+    )
+    establish.add_argument(
+        "--save-dir",
+        default=None,
+        help="save the trained model and reconciler into this directory",
+    )
+    establish.add_argument(
+        "--load-dir",
+        default=None,
+        help="skip training and load trained components from this directory",
+    )
     establish.set_defaults(handler=_cmd_establish)
 
     attack = sub.add_parser("attack", help="evaluate an attacker")
@@ -138,8 +176,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.exceptions import ReproError
+
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry

@@ -1,0 +1,211 @@
+"""Out-of-distribution guard for model-powered inference.
+
+The prediction/quantization model is only trustworthy on inputs that look
+like its training data.  :class:`InferenceGuard` compares incoming raw
+arRSSI windows against :class:`WindowStatistics` captured at training time
+(and persisted in the model artifact's metadata): non-finite values,
+per-window mean/scale shifts beyond a z-score threshold, and values far
+outside the observed dBm range all mark a window out-of-distribution.
+When too many windows are OOD, the key-agreement session falls back to
+Alice's conventional multi-bit quantizer path -- a degraded but sound mode
+(adaptive-quantization LPWAN keygen works without any model at all) that
+is always reported, never a silent success.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class WindowStatistics:
+    """Training-set statistics of raw arRSSI windows.
+
+    Captured by :meth:`PredictionQuantizationModel.fit` from the training
+    split's raw (un-normalized, dBm) Alice windows and embedded in the
+    model artifact, so a deployed model carries its own notion of
+    "in-distribution".
+
+    Attributes:
+        seq_len: Window length the model was trained on.
+        n_windows: Training windows the statistics were computed from.
+        mean_of_means: Mean of per-window means (dBm).
+        std_of_means: Standard deviation of per-window means (dBm).
+        mean_of_stds: Mean of per-window standard deviations (dB).
+        std_of_stds: Standard deviation of per-window standard deviations.
+        min_value: Smallest raw value seen in training (dBm).
+        max_value: Largest raw value seen in training (dBm).
+    """
+
+    seq_len: int
+    n_windows: int
+    mean_of_means: float
+    std_of_means: float
+    mean_of_stds: float
+    std_of_stds: float
+    min_value: float
+    max_value: float
+
+    @classmethod
+    def from_windows(cls, raw_windows: np.ndarray) -> "WindowStatistics":
+        """Compute statistics from a ``[window, seq_len]`` raw-window matrix."""
+        windows = np.asarray(raw_windows, dtype=float)
+        require(windows.ndim == 2, "raw windows must be [window, seq_len]")
+        require(windows.shape[0] >= 1, "need at least one window for statistics")
+        means = windows.mean(axis=1)
+        stds = windows.std(axis=1)
+        return cls(
+            seq_len=int(windows.shape[1]),
+            n_windows=int(windows.shape[0]),
+            mean_of_means=float(means.mean()),
+            std_of_means=float(means.std()),
+            mean_of_stds=float(stds.mean()),
+            std_of_stds=float(stds.std()),
+            min_value=float(windows.min()),
+            max_value=float(windows.max()),
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (for artifact metadata)."""
+        return {
+            "seq_len": self.seq_len,
+            "n_windows": self.n_windows,
+            "mean_of_means": self.mean_of_means,
+            "std_of_means": self.std_of_means,
+            "mean_of_stds": self.mean_of_stds,
+            "std_of_stds": self.std_of_stds,
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "WindowStatistics":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            seq_len=int(data["seq_len"]),
+            n_windows=int(data["n_windows"]),
+            mean_of_means=float(data["mean_of_means"]),
+            std_of_means=float(data["std_of_means"]),
+            mean_of_stds=float(data["mean_of_stds"]),
+            std_of_stds=float(data["std_of_stds"]),
+            min_value=float(data["min_value"]),
+            max_value=float(data["max_value"]),
+        )
+
+
+@dataclass(frozen=True)
+class GuardVerdict:
+    """What :meth:`InferenceGuard.check` concluded about a window batch.
+
+    Attributes:
+        ok: ``True`` when the batch is safe to feed the model.
+        n_windows: Windows inspected.
+        n_ood: Windows flagged out-of-distribution (or non-finite).
+        window_ok: Per-window boolean; ``False`` where flagged.
+        reasons: Distinct flag reasons observed (``"non-finite"``,
+            ``"mean-shift"``, ``"scale-shift"``, ``"range"``).
+    """
+
+    ok: bool
+    n_windows: int
+    n_ood: int
+    window_ok: np.ndarray
+    reasons: Tuple[str, ...]
+
+    @property
+    def ood_fraction(self) -> float:
+        """Fraction of inspected windows flagged OOD."""
+        return self.n_ood / self.n_windows if self.n_windows else 0.0
+
+
+class InferenceGuard:
+    """Validates arRSSI windows before they reach the learned model.
+
+    Args:
+        stats: Training-set window statistics to compare against.
+        z_threshold: Per-window mean/std may sit at most this many
+            training-set standard deviations from the training center.
+        range_slack_db: Values may exceed the training min/max by at most
+            this margin (dB) before the window is flagged.
+        min_scale_db: Floor on the training spread estimates, so a
+            low-diversity training set does not flag every live window.
+        max_ood_fraction: Batch verdict is ``ok`` while the flagged
+            fraction stays at or below this.
+    """
+
+    def __init__(
+        self,
+        stats: WindowStatistics,
+        z_threshold: float = 6.0,
+        range_slack_db: float = 15.0,
+        min_scale_db: float = 1.0,
+        max_ood_fraction: float = 0.25,
+    ):
+        require_positive(z_threshold, "z_threshold")
+        require_positive(min_scale_db, "min_scale_db")
+        require(range_slack_db >= 0.0, "range_slack_db must be >= 0")
+        require(
+            0.0 <= max_ood_fraction < 1.0,
+            "max_ood_fraction must be in [0, 1)",
+        )
+        self.stats = stats
+        self.z_threshold = float(z_threshold)
+        self.range_slack_db = float(range_slack_db)
+        self.min_scale_db = float(min_scale_db)
+        self.max_ood_fraction = float(max_ood_fraction)
+
+    def check(self, raw_windows: np.ndarray) -> GuardVerdict:
+        """Inspect a ``[window, seq_len]`` batch of raw arRSSI windows.
+
+        Shape errors (wrong rank or window length) raise
+        :class:`ValueError`-family validation errors -- they are caller
+        bugs, not channel conditions.  Distribution problems come back as
+        a verdict so the caller can degrade gracefully.
+        """
+        windows = np.atleast_2d(np.asarray(raw_windows, dtype=float))
+        require(windows.ndim == 2, "windows must be [window, seq_len]")
+        require(
+            windows.shape[1] == self.stats.seq_len,
+            f"window length {windows.shape[1]} != model seq_len {self.stats.seq_len}",
+        )
+        n = windows.shape[0]
+        reasons = []
+
+        finite = np.isfinite(windows).all(axis=1)
+        if not finite.all():
+            reasons.append("non-finite")
+
+        # Non-finite rows would poison the statistics below; compute the
+        # distribution checks on a sanitized copy and mask them back in.
+        safe = np.where(finite[:, None], windows, 0.0)
+        means = safe.mean(axis=1)
+        stds = safe.std(axis=1)
+        mean_scale = max(self.stats.std_of_means, self.min_scale_db)
+        std_scale = max(self.stats.std_of_stds, self.min_scale_db)
+        mean_ok = np.abs(means - self.stats.mean_of_means) <= self.z_threshold * mean_scale
+        std_ok = np.abs(stds - self.stats.mean_of_stds) <= self.z_threshold * std_scale
+        low = self.stats.min_value - self.range_slack_db
+        high = self.stats.max_value + self.range_slack_db
+        range_ok = ((safe >= low) & (safe <= high)).all(axis=1)
+        if not (mean_ok | ~finite).all():
+            reasons.append("mean-shift")
+        if not (std_ok | ~finite).all():
+            reasons.append("scale-shift")
+        if not (range_ok | ~finite).all():
+            reasons.append("range")
+
+        window_ok = finite & mean_ok & std_ok & range_ok
+        n_ood = int(n - window_ok.sum())
+        ok = (n_ood / n if n else 0.0) <= self.max_ood_fraction
+        return GuardVerdict(
+            ok=ok,
+            n_windows=n,
+            n_ood=n_ood,
+            window_ok=window_ok,
+            reasons=tuple(reasons),
+        )

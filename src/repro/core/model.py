@@ -14,27 +14,52 @@ units), FC-32 and FC-64-sigmoid, joint loss weight theta = 0.9 -- is the
 default.  Bob does not run the network: his bits come from a conventional
 multi-bit quantizer over his own measurements, which is also how the
 training targets are produced.
+
+The model's lifecycle is crash-safe: :meth:`fit` can periodically persist
+its full training state (weights, optimizer moments, RNG, early-stopping
+and history) to a checksummed atomic checkpoint and resume bit-for-bit
+after a crash; a divergence watchdog rolls NaN/exploding epochs back to
+the last good state with a reduced learning rate; and saved model
+artifacts embed architecture metadata plus training-window statistics
+that power the out-of-distribution :class:`~repro.core.guard.InferenceGuard`.
 """
 
 from __future__ import annotations
 
+import copy
+import math
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import NotTrainedError
+from repro.core.guard import InferenceGuard, WindowStatistics
+from repro.exceptions import NotTrainedError, TrainingDivergedError
 from repro.nn.callbacks import EarlyStopping, History
 from repro.nn.layers.bilstm import BiLSTM
 from repro.nn.layers.dense import Dense
 from repro.nn.losses import JointPredictionQuantizationLoss
-from repro.nn.optimizers import Adam
-from repro.nn.serialization import load_weights, save_weights
+from repro.nn.optimizers import Adam, Optimizer
+from repro.nn.serialization import assign_weights, save_weights
 from repro.probing.dataset import KeyGenDataset
 from repro.quantization.multibit import MultiBitQuantizer
+from repro.utils.artifact import (
+    load_artifact,
+    require_matching_architecture,
+    save_artifact,
+)
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import require, require_positive
+
+#: Artifact kind of a saved model.
+MODEL_ARTIFACT_KIND = "prediction-quantization-model"
+
+#: Artifact kind of a resumable training checkpoint.
+CHECKPOINT_ARTIFACT_KIND = "training-checkpoint"
+
+#: File name of the rolling training checkpoint inside ``checkpoint_dir``.
+CHECKPOINT_FILENAME = "training-state.npz"
 
 
 @dataclass
@@ -44,10 +69,16 @@ class TrainingReport:
     Attributes:
         history: Per-epoch joint-loss values (train and validation).
         epochs_run: Actual epochs executed (early stopping may cut short).
+        divergence_rollbacks: Times the watchdog rolled training back to
+            the last good checkpoint after a NaN/Inf or exploding loss.
+        resumed_from_epoch: First epoch executed by this call when it
+            resumed a checkpoint (``None`` for a fresh run).
     """
 
     history: History
     epochs_run: int
+    divergence_rollbacks: int = 0
+    resumed_from_epoch: Optional[int] = None
 
 
 class PredictionQuantizationModel:
@@ -130,6 +161,7 @@ class PredictionQuantizationModel:
             name="quantize",
         )
         self.loss = JointPredictionQuantizationLoss(theta=theta)
+        self.training_stats: Optional[WindowStatistics] = None
         self._trained = False
 
     # -- plumbing -------------------------------------------------------------
@@ -168,6 +200,25 @@ class PredictionQuantizationModel:
                 pairs.extend(layer.parameter_list())
         return pairs
 
+    def _ordered_parameters(self) -> List[np.ndarray]:
+        """Parameter arrays in the stable order used by the optimizer."""
+        return [
+            layer.parameters[key]
+            for layer in self.layers
+            for key in sorted(layer.parameters)
+        ]
+
+    def _architecture(self) -> Dict:
+        """Hyperparameters that a weight file must match to be loadable."""
+        return {
+            "seq_len": self.seq_len,
+            "hidden_units": self.hidden_units,
+            "key_bits": self.key_bits,
+            "theta": float(self.loss.theta),
+            "recurrent_cell": self.recurrent_cell,
+            "bits_per_sample": self.bob_quantizer.bits_per_sample,
+        }
+
     # -- targets ---------------------------------------------------------------
     def bob_bits(self, bob_raw_windows: np.ndarray) -> np.ndarray:
         """Bob's key bits: multi-bit quantization of his own raw windows.
@@ -181,6 +232,148 @@ class PredictionQuantizationModel:
             [self.bob_quantizer.quantize(row).bits for row in windows]
         ).astype(np.uint8)
 
+    # -- training-state snapshots -------------------------------------------------
+    def _capture_snapshot(
+        self,
+        optimizer: Optimizer,
+        early_stopping: Optional[EarlyStopping],
+        history: History,
+        epoch: int,
+        best_weights: Optional[List[dict]],
+        rollbacks: int,
+    ) -> Dict:
+        """Deep-copy everything needed to replay training from ``epoch`` + 1."""
+        return {
+            "epoch": int(epoch),
+            "rollbacks": int(rollbacks),
+            "weights": [layer.get_weights() for layer in self.layers],
+            "best_weights": (
+                None
+                if best_weights is None
+                else [{k: v.copy() for k, v in lw.items()} for lw in best_weights]
+            ),
+            "optimizer": optimizer.get_state(self._ordered_parameters()),
+            "rng_state": copy.deepcopy(self._rng.bit_generator.state),
+            "early_stopping": (
+                None if early_stopping is None else early_stopping.state_dict()
+            ),
+            "history": history.state_dict(),
+        }
+
+    def _restore_snapshot(
+        self,
+        snapshot: Dict,
+        optimizer: Optimizer,
+        early_stopping: Optional[EarlyStopping],
+        history: History,
+    ) -> Optional[List[dict]]:
+        """Roll model/optimizer/RNG/history back to a snapshot; returns best weights."""
+        for layer, layer_weights in zip(self.layers, snapshot["weights"]):
+            if layer.parameters:
+                layer.set_weights(layer_weights)
+        optimizer.set_state(self._ordered_parameters(), snapshot["optimizer"])
+        self._rng.bit_generator.state = copy.deepcopy(snapshot["rng_state"])
+        if early_stopping is not None and snapshot["early_stopping"] is not None:
+            early_stopping.load_state_dict(snapshot["early_stopping"])
+        history.load_state_dict(snapshot["history"])
+        best = snapshot["best_weights"]
+        if best is None:
+            return None
+        return [{k: v.copy() for k, v in lw.items()} for lw in best]
+
+    def _write_checkpoint(self, path: Path, snapshot: Dict) -> None:
+        """Persist a snapshot atomically as a checksummed artifact."""
+        arrays: Dict[str, np.ndarray] = {}
+        for index, layer_weights in enumerate(snapshot["weights"]):
+            for key, value in layer_weights.items():
+                arrays[f"w/{index}/{key}"] = value
+        if snapshot["best_weights"] is not None:
+            for index, layer_weights in enumerate(snapshot["best_weights"]):
+                for key, value in layer_weights.items():
+                    arrays[f"b/{index}/{key}"] = value
+        slot_kinds = {}
+        for name, values in snapshot["optimizer"]["slots"].items():
+            if values and isinstance(values[0], np.ndarray):
+                slot_kinds[name] = "arrays"
+                for j, value in enumerate(values):
+                    arrays[f"opt/{name}/{j}"] = value
+            else:
+                slot_kinds[name] = "scalars"
+                arrays[f"opt/{name}"] = np.asarray(values)
+        metadata = {
+            "architecture": self._architecture(),
+            "epoch": snapshot["epoch"],
+            "rollbacks": snapshot["rollbacks"],
+            "rng_state": snapshot["rng_state"],
+            "early_stopping": snapshot["early_stopping"],
+            "history": snapshot["history"],
+            "has_best_weights": snapshot["best_weights"] is not None,
+            "optimizer": {
+                "learning_rate": snapshot["optimizer"]["learning_rate"],
+                "iterations": snapshot["optimizer"]["iterations"],
+                "slot_kinds": slot_kinds,
+                "n_params": len(self._ordered_parameters()),
+            },
+        }
+        save_artifact(path, arrays, kind=CHECKPOINT_ARTIFACT_KIND, metadata=metadata)
+
+    def _load_checkpoint(
+        self,
+        path: Path,
+        optimizer: Optimizer,
+        early_stopping: Optional[EarlyStopping],
+        history: History,
+    ) -> Dict:
+        """Restore a persisted checkpoint; returns resume bookkeeping."""
+        artifact = load_artifact(path, kind=CHECKPOINT_ARTIFACT_KIND, allow_legacy=False)
+        require_matching_architecture(artifact, self._architecture(), path)
+        meta = artifact.metadata
+        # Build the layers, then overwrite weights and the RNG state; the
+        # build-time draws are erased by the restored generator state, so
+        # resumed training replays exactly what an uninterrupted run does.
+        self._forward(np.zeros((1, self.seq_len)))
+        weights: List[Dict[str, np.ndarray]] = [{} for _ in self.layers]
+        best: List[Dict[str, np.ndarray]] = [{} for _ in self.layers]
+        for key, value in artifact.arrays.items():
+            prefix, _, rest = key.partition("/")
+            if prefix in ("w", "b"):
+                index_text, _, param = rest.partition("/")
+                target = weights if prefix == "w" else best
+                target[int(index_text)][param] = value
+        for layer, layer_weights in zip(self.layers, weights):
+            if layer.parameters:
+                layer.set_weights(layer_weights)
+        params = self._ordered_parameters()
+        opt_meta = meta["optimizer"]
+        slots = {}
+        for name, kind in opt_meta["slot_kinds"].items():
+            if kind == "arrays":
+                slots[name] = [
+                    artifact.arrays[f"opt/{name}/{j}"]
+                    for j in range(int(opt_meta["n_params"]))
+                ]
+            else:
+                slots[name] = [v for v in artifact.arrays[f"opt/{name}"].tolist()]
+        optimizer.set_state(
+            params,
+            {
+                "learning_rate": opt_meta["learning_rate"],
+                "iterations": opt_meta["iterations"],
+                "slots": slots,
+            },
+        )
+        self._rng.bit_generator.state = meta["rng_state"]
+        history.load_state_dict(meta["history"])
+        if early_stopping is not None and meta["early_stopping"] is not None:
+            early_stopping.load_state_dict(meta["early_stopping"])
+        return {
+            "epoch": int(meta["epoch"]),
+            "rollbacks": int(meta["rollbacks"]),
+            "best_weights": (
+                [lw for lw in best] if meta.get("has_best_weights") else None
+            ),
+        }
+
     # -- training ----------------------------------------------------------------
     def fit(
         self,
@@ -191,31 +384,151 @@ class PredictionQuantizationModel:
         learning_rate: float = 2e-3,
         early_stopping: Optional[EarlyStopping] = None,
         verbose: bool = False,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+        clip_grad_norm: Optional[float] = None,
+        max_divergence_retries: int = 2,
+        divergence_factor: float = 1e3,
+        lr_backoff: float = 0.5,
     ) -> TrainingReport:
-        """Train on Alice->Bob window pairs with the joint loss (Eq. 3)."""
+        """Train on Alice->Bob window pairs with the joint loss (Eq. 3).
+
+        Crash safety:
+
+        - With ``checkpoint_dir`` set, the full training state (weights,
+          Adam moments, RNG, early-stopping counters, history) is written
+          every ``checkpoint_every`` epochs as an atomic, checksummed
+          artifact; ``resume=True`` continues from it and reproduces the
+          uninterrupted run bit-for-bit (a missing checkpoint starts fresh).
+        - A divergence watchdog detects NaN/Inf batch losses and epoch
+          losses exceeding ``divergence_factor`` times the best epoch so
+          far; it rolls back to the last good state, multiplies the
+          learning rate by ``lr_backoff``, and retries, raising
+          :class:`~repro.exceptions.TrainingDivergedError` after
+          ``max_divergence_retries`` rollbacks.
+        - ``clip_grad_norm`` optionally rescales each batch's global
+          gradient norm to at most that value before the optimizer step.
+        """
         require(train.seq_len == self.seq_len, "dataset seq_len mismatch")
         require_positive(epochs, "epochs")
+        require_positive(checkpoint_every, "checkpoint_every")
+        require(
+            not resume or checkpoint_dir is not None,
+            "resume=True requires checkpoint_dir",
+        )
+        if clip_grad_norm is not None:
+            require_positive(clip_grad_norm, "clip_grad_norm")
+        require(max_divergence_retries >= 0, "max_divergence_retries must be >= 0")
+        require(0.0 < lr_backoff < 1.0, "lr_backoff must be in (0, 1)")
         optimizer = Adam(learning_rate=learning_rate)
         history = History()
         z_train = self.bob_bits(train.bob_raw).astype(float)
         if validation is not None and len(validation):
             z_val = self.bob_bits(validation.bob_raw).astype(float)
         best_weights = None
+        self.training_stats = WindowStatistics.from_windows(train.alice_raw)
 
-        epochs_run = 0
-        for epoch in range(epochs):
+        checkpoint_path: Optional[Path] = None
+        if checkpoint_dir is not None:
+            checkpoint_path = Path(checkpoint_dir) / CHECKPOINT_FILENAME
+
+        start_epoch = 0
+        rollbacks = 0
+        resumed_from: Optional[int] = None
+        if resume and checkpoint_path is not None and checkpoint_path.exists():
+            state = self._load_checkpoint(
+                checkpoint_path, optimizer, early_stopping, history
+            )
+            start_epoch = state["epoch"] + 1
+            rollbacks = state["rollbacks"]
+            best_weights = state["best_weights"]
+            resumed_from = start_epoch
+        elif early_stopping is not None:
+            early_stopping.reset()
+
+        snapshot: Optional[Dict] = None
+        if resumed_from is not None:
+            snapshot = self._capture_snapshot(
+                optimizer, early_stopping, history, start_epoch - 1,
+                best_weights, rollbacks,
+            )
+
+        epochs_run = start_epoch
+        stop = False
+        epoch = start_epoch
+        while epoch < epochs:
             epochs_run = epoch + 1
             order = self._rng.permutation(len(train))
             losses = []
+            diverged = False
             for start in range(0, len(train), batch_size):
                 idx = order[start:start + batch_size]
                 y_true = train.bob[idx]
                 z_true = z_train[idx]
                 y_hat, z_hat = self._forward(train.alice[idx], training=True)
-                losses.append(self.loss.value(y_true, y_hat, z_true, z_hat))
+                if snapshot is None:
+                    # First forward pass ever: the layers are now built, so
+                    # a pre-update safety net can be captured for the
+                    # watchdog (divergence in the very first epoch rolls
+                    # back to the initialization).
+                    snapshot = self._capture_snapshot(
+                        optimizer, early_stopping, history, epoch - 1,
+                        best_weights, rollbacks,
+                    )
+                batch_loss = self.loss.value(y_true, y_hat, z_true, z_hat)
+                if not np.isfinite(batch_loss):
+                    diverged = True
+                    break
                 grad_y, grad_z = self.loss.gradients(y_true, y_hat, z_true, z_hat)
                 self._backward(grad_y, grad_z)
-                optimizer.apply(self._parameter_list())
+                pairs = self._parameter_list()
+                if clip_grad_norm is not None:
+                    norm = math.sqrt(
+                        sum(float(np.sum(grad * grad)) for _, grad in pairs)
+                    )
+                    if not np.isfinite(norm):
+                        diverged = True
+                        break
+                    if norm > clip_grad_norm:
+                        scale = clip_grad_norm / norm
+                        for _, grad in pairs:
+                            grad *= scale
+                losses.append(batch_loss)
+                optimizer.apply(pairs)
+
+            if not diverged and losses:
+                epoch_loss = float(np.mean(losses))
+                past = [
+                    value
+                    for value in history.metrics.get("loss", [])
+                    if np.isfinite(value)
+                ]
+                if not np.isfinite(epoch_loss):
+                    diverged = True
+                elif past and epoch_loss > divergence_factor * max(min(past), 1e-12):
+                    diverged = True
+
+            if diverged:
+                rollbacks += 1
+                if rollbacks > max_divergence_retries:
+                    raise TrainingDivergedError(
+                        f"training diverged at epoch {epoch} and the retry "
+                        f"budget ({max_divergence_retries}) is exhausted"
+                    )
+                reduced_lr = optimizer.learning_rate * lr_backoff
+                best_weights = self._restore_snapshot(
+                    snapshot, optimizer, early_stopping, history
+                )
+                optimizer.learning_rate = reduced_lr
+                if verbose:  # pragma: no cover - console output
+                    print(
+                        f"epoch {epoch}: diverged; rolled back to epoch "
+                        f"{snapshot['epoch']}, lr -> {reduced_lr:.2e}"
+                    )
+                epoch = snapshot["epoch"] + 1
+                continue
+
             record = {"loss": float(np.mean(losses))}
             monitored = record["loss"]
             if validation is not None and len(validation):
@@ -231,19 +544,44 @@ class PredictionQuantizationModel:
                 stop = early_stopping.update(epoch, monitored)
                 if early_stopping.best_epoch == epoch and early_stopping.restore_best:
                     best_weights = [layer.get_weights() for layer in self.layers]
-                if stop:
-                    break
+            snapshot = self._capture_snapshot(
+                optimizer, early_stopping, history, epoch, best_weights, rollbacks
+            )
+            if checkpoint_path is not None and (
+                (epoch + 1) % checkpoint_every == 0 or stop or epoch == epochs - 1
+            ):
+                self._write_checkpoint(checkpoint_path, snapshot)
+            if stop:
+                break
+            epoch += 1
         if best_weights is not None:
             for layer, weights in zip(self.layers, best_weights):
                 if layer.parameters:
                     layer.set_weights(weights)
         self._trained = True
-        return TrainingReport(history=history, epochs_run=epochs_run)
+        return TrainingReport(
+            history=history,
+            epochs_run=epochs_run,
+            divergence_rollbacks=rollbacks,
+            resumed_from_epoch=resumed_from,
+        )
 
     # -- inference ------------------------------------------------------------------
     def _require_trained(self) -> None:
         if not self._trained:
             raise NotTrainedError("PredictionQuantizationModel must be fit() first")
+
+    def inference_guard(self, **overrides) -> Optional[InferenceGuard]:
+        """An OOD guard built from this model's training statistics.
+
+        Returns ``None`` when no statistics are available (untrained model
+        or legacy weight file without embedded metadata); keyword
+        arguments override :class:`~repro.core.guard.InferenceGuard`
+        thresholds.
+        """
+        if self.training_stats is None:
+            return None
+        return InferenceGuard(self.training_stats, **overrides)
 
     def predict_sequences(self, alice_windows: np.ndarray) -> np.ndarray:
         """Predicted (normalized) Bob arRSSI sequences for Alice's windows."""
@@ -265,15 +603,36 @@ class PredictionQuantizationModel:
 
     # -- persistence -------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
-        """Persist the model weights (architecture is caller-owned)."""
+        """Persist the model as a checksummed artifact with metadata.
+
+        The artifact embeds the architecture hyperparameters (verified at
+        load time) and, when available, the training-window statistics
+        that power the inference guard.  The write is atomic.
+        """
         self._require_trained()
-        save_weights(self.layers, path)
+        metadata: Dict = {"architecture": self._architecture()}
+        if self.training_stats is not None:
+            metadata["training_stats"] = self.training_stats.to_dict()
+        save_weights(self.layers, path, kind=MODEL_ARTIFACT_KIND, metadata=metadata)
 
     def load(self, path: Union[str, Path]) -> None:
-        """Load weights saved by :meth:`save` into a same-shape model."""
+        """Load weights saved by :meth:`save` into a same-shape model.
+
+        Raises :class:`~repro.exceptions.CorruptArtifactError` on a
+        truncated or tampered file and
+        :class:`~repro.exceptions.ArtifactMismatchError` when the stored
+        architecture or artifact kind differs from this model.  Legacy
+        plain ``.npz`` files load with a warning and no statistics.
+        """
+        artifact = load_artifact(Path(path), kind=MODEL_ARTIFACT_KIND)
+        require_matching_architecture(artifact, self._architecture(), path)
         # Build layers with a dummy pass before loading.
         self._forward(np.zeros((1, self.seq_len)))
-        load_weights(self.layers, path)
+        assign_weights(self.layers, artifact.arrays)
+        stats = artifact.metadata.get("training_stats")
+        self.training_stats = (
+            WindowStatistics.from_dict(stats) if stats is not None else None
+        )
         self._trained = True
 
     def clone_architecture(self, seed: SeedLike = None) -> "PredictionQuantizationModel":
@@ -295,4 +654,5 @@ class PredictionQuantizationModel:
         for mine, theirs in zip(self.layers, other.layers):
             if theirs.parameters:
                 mine.set_weights(theirs.get_weights())
+        self.training_stats = other.training_stats
         self._trained = True

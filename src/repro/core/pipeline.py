@@ -228,12 +228,21 @@ class VehicleKeyPipeline:
         learning_rate: float = 1.5e-3,
         patience: int = 30,
         verbose: bool = False,
+        checkpoint_dir=None,
+        resume: bool = False,
     ) -> "VehicleKeyPipeline":
         """Collect data (unless given) and train both learned components.
 
         The defaults reproduce the paper-scale setting (200 epochs with
         validation-based early stopping).  Pass smaller ``n_episodes`` /
         ``epochs`` for quick runs; the model degrades gracefully.
+
+        ``checkpoint_dir`` enables crash-safe model training: the full
+        training state is checkpointed every epoch and ``resume=True``
+        continues an interrupted run bit-for-bit (see
+        :meth:`PredictionQuantizationModel.fit`).  Resuming requires the
+        same dataset; pass the one the interrupted run used (or rely on
+        the deterministic episode seeding, which regenerates it).
         """
         from repro.nn.callbacks import EarlyStopping
 
@@ -250,6 +259,8 @@ class VehicleKeyPipeline:
             learning_rate=learning_rate,
             early_stopping=EarlyStopping(patience=patience),
             verbose=verbose,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
         )
         # Size the reconciler's training mismatches to what the model
         # actually leaves uncorrected, with headroom for harder sessions.
@@ -270,7 +281,14 @@ class VehicleKeyPipeline:
 
     # -- key establishment ----------------------------------------------------------
     def build_session(self) -> KeyAgreementSession:
-        """The authenticated session runner for this pipeline's models."""
+        """The authenticated session runner for this pipeline's models.
+
+        The session carries the model's out-of-distribution inference
+        guard (built from the training-window statistics embedded in the
+        model); when live windows drift too far from the training
+        distribution, key extraction degrades to the conventional
+        quantizer path and the outcome reports it.
+        """
         return KeyAgreementSession(
             model=self.model,
             reconciler=self.reconciler,
@@ -278,6 +296,7 @@ class VehicleKeyPipeline:
             final_key_bits=self.config.final_key_bits,
             alice_confidence_margin=self.config.alice_confidence_margin,
             bob_guard_fraction=self.config.bob_guard_fraction,
+            inference_guard=self.model.inference_guard(),
         )
 
     def establish_key(
@@ -477,3 +496,18 @@ class KeyEstablishmentOutcome:
     def success(self) -> bool:
         """Whether both parties ended with the same final key."""
         return self.failure_reason is None and self.session.keys_match
+
+    @property
+    def degraded_mode(self) -> Optional[str]:
+        """``None``, or the slug of the fallback mode the session used.
+
+        ``"ood-quantizer-fallback"`` means the inference guard rejected
+        live windows as out-of-distribution and Alice's bits came from
+        her conventional quantizer instead of the learned model.
+        """
+        return self.session.degraded_mode
+
+    @property
+    def ood_windows(self) -> int:
+        """Windows the inference guard flagged out-of-distribution."""
+        return self.session.ood_windows

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.guard import InferenceGuard
 from repro.core.model import PredictionQuantizationModel
 from repro.exceptions import ProtocolError
 from repro.faults.messages import LossyMessageChannel
@@ -81,6 +82,10 @@ class ExtractionDetail:
         masks: Per-window boolean keep-masks (broadcast protocol state).
         kept_fraction: Fraction of samples surviving the consensus.
         consensus_bytes: Mask-exchange payload bytes.
+        degraded: ``True`` when the inference guard rejected the batch and
+            Alice's bits came from the conventional quantizer fallback
+            instead of the learned model.
+        ood_windows: Windows the inference guard flagged out-of-distribution.
     """
 
     alice_bits: np.ndarray
@@ -88,6 +93,8 @@ class ExtractionDetail:
     masks: List[np.ndarray]
     kept_fraction: float
     consensus_bytes: int
+    degraded: bool = False
+    ood_windows: int = 0
 
 
 @dataclass
@@ -113,6 +120,11 @@ class SessionResult:
             Alice's bounded re-requests (0 on a reliable transport).
         undelivered_blocks: Blocks whose syndrome never reached Alice
             within the re-request budget (discarded, never key material).
+        degraded_mode: ``None`` when the learned model produced Alice's
+            bits; the slug ``"ood-quantizer-fallback"`` when the inference
+            guard rejected at least one trace's windows and the session
+            fell back to Alice's conventional multi-bit quantizer.
+        ood_windows: Windows flagged out-of-distribution by the guard.
     """
 
     raw_agreement: AgreementSummary
@@ -129,6 +141,8 @@ class SessionResult:
     reconciliation_messages: int
     retransmitted_messages: int = 0
     undelivered_blocks: int = 0
+    degraded_mode: Optional[str] = None
+    ood_windows: int = 0
 
     @property
     def keys_match(self) -> bool:
@@ -161,6 +175,12 @@ class KeyAgreementSession:
             the bit layout stays fixed.
         session_nonce: Fresh public nonce; defaults to a digest of the
             trace timing (deterministic for reproducibility).
+        inference_guard: Optional out-of-distribution guard over Alice's
+            raw windows.  When the guard rejects a window batch, Alice's
+            bits come from her conventional guard-banded quantizer instead
+            of the learned model -- a degraded but sound mode reported via
+            :attr:`SessionResult.degraded_mode`, never a silent success.
+            ``None`` (the default) always trusts the model.
     """
 
     def __init__(
@@ -172,6 +192,7 @@ class KeyAgreementSession:
         alice_confidence_margin: float = 0.15,
         bob_guard_fraction: float = 0.30,
         session_nonce: bytes = None,
+        inference_guard: Optional[InferenceGuard] = None,
     ):
         require_positive(final_key_bits, "final_key_bits")
         require_in_range(alice_confidence_margin, 0.0, 0.49, "alice_confidence_margin")
@@ -188,6 +209,15 @@ class KeyAgreementSession:
             guard_band_fraction=bob_guard_fraction,
             fixed_thresholds=model.bob_quantizer.fixed_thresholds,
         )
+        # Alice's conventional-path quantizer, mirroring Bob's runtime
+        # configuration; only exercised when the inference guard rejects a
+        # window batch and the session degrades to quantizer-vs-quantizer.
+        self.alice_fallback_quantizer = MultiBitQuantizer(
+            bits_per_sample=model.bob_quantizer.bits_per_sample,
+            guard_band_fraction=bob_guard_fraction,
+            fixed_thresholds=model.bob_quantizer.fixed_thresholds,
+        )
+        self.inference_guard = inference_guard
         self.session_nonce = session_nonce
 
     # -- per-side bit extraction -----------------------------------------------
@@ -202,7 +232,17 @@ class KeyAgreementSession:
 
         The masks are what both parties broadcast during index
         reconciliation, so attack harnesses legitimately see them too.
+
+        When an :class:`~repro.core.guard.InferenceGuard` is configured
+        and rejects the batch's raw windows, extraction degrades to the
+        conventional quantizer path (see :meth:`_extract_detail_degraded`)
+        instead of feeding the model out-of-distribution inputs.
         """
+        verdict = None
+        if self.inference_guard is not None:
+            verdict = self.inference_guard.check(dataset.alice_raw)
+            if not verdict.ok:
+                return self._extract_detail_degraded(dataset, verdict)
         bits_per_sample = self.model.bob_quantizer.bits_per_sample
         alice_probs = self.model.predict_bit_probabilities(dataset.alice)
         alice_bits = (alice_probs > 0.5).astype(np.uint8)
@@ -240,15 +280,58 @@ class KeyAgreementSession:
             masks=masks,
             kept_fraction=kept_fraction,
             consensus_bytes=consensus_bytes,
+            ood_windows=0 if verdict is None else verdict.n_ood,
         )
 
-    def _extract_streams(self, dataset):
-        detail = self.extract_detail(dataset)
-        return (
-            detail.alice_bits,
-            detail.bob_bits,
-            detail.kept_fraction,
-            detail.consensus_bytes,
+    def _extract_detail_degraded(self, dataset, verdict) -> "ExtractionDetail":
+        """Conventional-quantizer extraction for OOD window batches.
+
+        Alice quantizes her *own* raw windows with a guard-banded
+        multi-bit quantizer mirroring Bob's -- the classic reciprocity
+        scheme that needs no model.  Windows containing non-finite values
+        contribute no samples (their keep-mask is all-``False``), so a
+        corrupted burst can reduce throughput but never poisons key
+        material.
+        """
+        alice_stream: List[np.ndarray] = []
+        bob_stream: List[np.ndarray] = []
+        masks: List[np.ndarray] = []
+        kept = 0
+        total = 0
+        consensus_bytes = 0
+        for index in range(len(dataset)):
+            bob_result = self.bob_quantizer.quantize(dataset.bob_raw[index])
+            window = dataset.alice_raw[index]
+            if np.isfinite(window).all():
+                alice_result = self.alice_fallback_quantizer.quantize(window)
+                keep = consensus_mask(bob_result.kept, alice_result.kept)
+            else:
+                keep = np.zeros(bob_result.kept.size, dtype=bool)
+            masks.append(keep)
+            total += keep.size
+            kept += int(keep.sum())
+            consensus_bytes += 2 * ((keep.size + 7) // 8)
+            if not keep.any():
+                continue
+            bob_stream.append(
+                self.bob_quantizer.quantize_with_mask(dataset.bob_raw[index], keep)
+            )
+            alice_stream.append(
+                self.alice_fallback_quantizer.quantize_with_mask(window, keep)
+            )
+        alice_all = (
+            np.concatenate(alice_stream) if alice_stream else np.zeros(0, np.uint8)
+        )
+        bob_all = np.concatenate(bob_stream) if bob_stream else np.zeros(0, np.uint8)
+        kept_fraction = kept / total if total else 0.0
+        return ExtractionDetail(
+            alice_bits=alice_all,
+            bob_bits=bob_all,
+            masks=masks,
+            kept_fraction=kept_fraction,
+            consensus_bytes=consensus_bytes,
+            degraded=True,
+            ood_windows=verdict.n_ood,
         )
 
     # -- message validation ------------------------------------------------------
@@ -305,17 +388,21 @@ class KeyAgreementSession:
         kept_fractions = []
         consensus_bytes = 0
         n_windows = 0
+        degraded = False
+        ood_windows = 0
         for part in traces:
             bob_seq, alice_seq = arrssi_sequences(part, self.feature_config)
             if len(alice_seq) < self.model.seq_len:
                 continue
             dataset = build_dataset(alice_seq, bob_seq, seq_len=self.model.seq_len)
             n_windows += len(dataset)
-            alice_bits, bob_bits, kept, mask_bytes = self._extract_streams(dataset)
-            alice_parts.append(alice_bits)
-            bob_parts.append(bob_bits)
-            kept_fractions.append(kept)
-            consensus_bytes += mask_bytes
+            detail = self.extract_detail(dataset)
+            alice_parts.append(detail.alice_bits)
+            bob_parts.append(detail.bob_bits)
+            kept_fractions.append(detail.kept_fraction)
+            consensus_bytes += detail.consensus_bytes
+            degraded = degraded or detail.degraded
+            ood_windows += detail.ood_windows
         alice_all = (
             np.concatenate(alice_parts) if alice_parts else np.zeros(0, np.uint8)
         )
@@ -450,4 +537,6 @@ class KeyAgreementSession:
             reconciliation_messages=messages,
             retransmitted_messages=retransmitted,
             undelivered_blocks=n_blocks - len(corrected),
+            degraded_mode="ood-quantizer-fallback" if degraded else None,
+            ood_windows=ood_windows,
         )

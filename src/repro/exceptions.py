@@ -48,3 +48,19 @@ class RetryBudgetExhausted(KeyEstablishmentError):
 
 class NotTrainedError(ReproError):
     """A learned component was used before it was trained or loaded."""
+
+
+class ArtifactError(ReproError):
+    """A persisted artifact (weights, trace, dataset) could not be used."""
+
+
+class CorruptArtifactError(ArtifactError):
+    """An artifact file is truncated, tampered with, or fails its checksum."""
+
+
+class ArtifactMismatchError(ArtifactError):
+    """An artifact was written by a different kind or architecture of object."""
+
+
+class TrainingDivergedError(ReproError):
+    """Training diverged (NaN/Inf or exploding loss) beyond the retry budget."""

@@ -107,11 +107,17 @@ def get_trained_pipeline(
     quick: bool = True,
     config: Optional[PipelineConfig] = None,
     cache_key_extra: str = "",
+    checkpoint_dir: Optional[str] = None,
 ) -> VehicleKeyPipeline:
     """A trained pipeline for a scenario, cached across experiments.
 
     Training dominates every learned experiment's runtime; Fig. 10, 12,
     13, 15 and the tables can share one trained pipeline per scenario.
+
+    ``checkpoint_dir`` enables crash-safe training for long full-scale
+    runs: the model checkpoints every epoch and a rerun of the same
+    experiment resumes from the last completed epoch instead of
+    retraining from scratch.
     """
     key = (scenario, seed, quick, cache_key_extra)
     if key in _PIPELINE_CACHE:
@@ -125,6 +131,8 @@ def get_trained_pipeline(
         n_episodes=scale.train_episodes,
         epochs=scale.train_epochs,
         reconciler_epochs=scale.reconciler_epochs,
+        checkpoint_dir=checkpoint_dir,
+        resume=checkpoint_dir is not None,
     )
     _PIPELINE_CACHE[key] = pipeline
     return pipeline

@@ -30,6 +30,21 @@ class History:
         """Minimum value of a metric over training."""
         return float(np.min(self.metrics[key]))
 
+    def state_dict(self) -> Dict:
+        """JSON-serializable snapshot (for training checkpoints)."""
+        return {
+            "epochs": list(self.epochs),
+            "metrics": {key: list(values) for key, values in self.metrics.items()},
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a snapshot captured by :meth:`state_dict` in place."""
+        self.epochs = [int(epoch) for epoch in state.get("epochs", [])]
+        self.metrics = {
+            key: [float(v) for v in values]
+            for key, values in state.get("metrics", {}).items()
+        }
+
 
 class EarlyStopping:
     """Stop training when a monitored loss stops improving.
@@ -49,6 +64,33 @@ class EarlyStopping:
         self.best_value: Optional[float] = None
         self.best_epoch: int = -1
         self._stale_epochs = 0
+
+    def reset(self) -> None:
+        """Forget all monitored history so the instance can drive a new run.
+
+        ``fit()`` calls this at the start of every fresh (non-resumed)
+        training run; without it a reused instance carries the previous
+        run's ``best_value`` and patience counter and can stop the new run
+        on its first epoch.
+        """
+        self.best_value = None
+        self.best_epoch = -1
+        self._stale_epochs = 0
+
+    def state_dict(self) -> Dict:
+        """JSON-serializable snapshot (for training checkpoints)."""
+        return {
+            "best_value": self.best_value,
+            "best_epoch": self.best_epoch,
+            "stale_epochs": self._stale_epochs,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a snapshot captured by :meth:`state_dict` in place."""
+        value = state.get("best_value")
+        self.best_value = None if value is None else float(value)
+        self.best_epoch = int(state.get("best_epoch", -1))
+        self._stale_epochs = int(state.get("stale_epochs", 0))
 
     def update(self, epoch: int, value: float) -> bool:
         """Record an epoch's monitored value; return ``True`` to stop."""

@@ -93,6 +93,8 @@ class Model:
         rng = as_generator(shuffle_seed)
         history = History()
         best_weights = None
+        if early_stopping is not None:
+            early_stopping.reset()
 
         for epoch in range(epochs):
             order = rng.permutation(len(x))

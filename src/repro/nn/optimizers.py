@@ -9,7 +9,7 @@ autoencoder, several cooperating networks.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +40,38 @@ class Optimizer(abc.ABC):
     def _update(self, param: np.ndarray, grad: np.ndarray) -> None:
         """Apply one parameter's update in place."""
 
+    # -- checkpointing ------------------------------------------------------
+    def get_state(self, params: Sequence[np.ndarray]) -> Dict:
+        """Snapshot the optimizer state for the given ordered parameters.
+
+        Per-parameter state is internally keyed by array identity, which
+        does not survive serialization; the snapshot re-keys it by the
+        *position* of each array in ``params``.  Restoring against the
+        same ordered parameter list (see :meth:`set_state`) reproduces the
+        optimizer bit-for-bit, which is what makes crash-resumed training
+        deterministic.
+        """
+        return {
+            "learning_rate": self.learning_rate,
+            "iterations": self.iterations,
+            "slots": self._slot_arrays(params),
+        }
+
+    def set_state(self, params: Sequence[np.ndarray], state: Dict) -> None:
+        """Restore a snapshot from :meth:`get_state` onto ``params``."""
+        self.learning_rate = float(state["learning_rate"])
+        self.iterations = int(state["iterations"])
+        self._load_slot_arrays(params, state["slots"])
+
+    def _slot_arrays(self, params: Sequence[np.ndarray]) -> Dict[str, List]:
+        """Per-parameter state arrays in ``params`` order (none by default)."""
+        return {}
+
+    def _load_slot_arrays(
+        self, params: Sequence[np.ndarray], slots: Dict[str, List]
+    ) -> None:
+        """Rebind per-parameter state arrays onto ``params`` (none by default)."""
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -61,6 +93,19 @@ class SGD(Optimizer):
         velocity = self.momentum * velocity - self.learning_rate * grad
         self._velocity[key] = velocity
         param += velocity
+
+    def _slot_arrays(self, params):
+        return {
+            "velocity": [
+                np.array(self._velocity.get(id(p), np.zeros_like(p))) for p in params
+            ]
+        }
+
+    def _load_slot_arrays(self, params, slots):
+        self._velocity = {
+            id(p): np.array(v, dtype=float)
+            for p, v in zip(params, slots["velocity"])
+        }
 
 
 class Adam(Optimizer):
@@ -100,3 +145,19 @@ class Adam(Optimizer):
         m_hat = m / (1.0 - self.beta_1**t)
         v_hat = v / (1.0 - self.beta_2**t)
         param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def _slot_arrays(self, params):
+        return {
+            "m": [np.array(self._m.get(id(p), np.zeros_like(p))) for p in params],
+            "v": [np.array(self._v.get(id(p), np.zeros_like(p))) for p in params],
+            "t": [int(self._t.get(id(p), 0)) for p in params],
+        }
+
+    def _load_slot_arrays(self, params, slots):
+        self._m = {
+            id(p): np.array(m, dtype=float) for p, m in zip(params, slots["m"])
+        }
+        self._v = {
+            id(p): np.array(v, dtype=float) for p, v in zip(params, slots["v"])
+        }
+        self._t = {id(p): int(t) for p, t in zip(params, slots["t"])}

@@ -82,26 +82,41 @@ class KeyGenDataset:
         indices = rng.permutation(len(self))[:count]
         return self.subset(np.sort(indices))
 
+    #: Artifact kind of a saved dataset.
+    ARTIFACT_KIND = "keygen-dataset"
+
     def save(self, path: Union[str, Path]) -> None:
-        """Persist to an ``.npz`` file."""
-        np.savez_compressed(
-            Path(path),
-            alice=self.alice,
-            bob=self.bob,
-            alice_raw=self.alice_raw,
-            bob_raw=self.bob_raw,
+        """Persist to a checksummed ``.npz`` artifact, written atomically."""
+        from repro.utils.artifact import save_artifact
+
+        save_artifact(
+            path,
+            {
+                "alice": self.alice,
+                "bob": self.bob,
+                "alice_raw": self.alice_raw,
+                "bob_raw": self.bob_raw,
+            },
+            kind=self.ARTIFACT_KIND,
         )
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "KeyGenDataset":
-        """Load a dataset previously written by :meth:`save`."""
-        with np.load(Path(path)) as data:
-            return cls(
-                alice=data["alice"],
-                bob=data["bob"],
-                alice_raw=data["alice_raw"],
-                bob_raw=data["bob_raw"],
-            )
+        """Load a dataset previously written by :meth:`save`.
+
+        Raises :class:`~repro.exceptions.CorruptArtifactError` on a
+        truncated or tampered file; plain ``.npz`` datasets written before
+        the artifact format load with a warning.
+        """
+        from repro.utils.artifact import load_artifact
+
+        data = load_artifact(Path(path), kind=cls.ARTIFACT_KIND).arrays
+        return cls(
+            alice=data["alice"],
+            bob=data["bob"],
+            alice_raw=data["alice_raw"],
+            bob_raw=data["bob_raw"],
+        )
 
 
 @dataclass

@@ -126,9 +126,16 @@ class ProbeTrace:
         )
         return last_round_end - float(self.round_start_s[0])
 
+    #: Artifact kind of a saved probe trace.
+    ARTIFACT_KIND = "probe-trace"
+
     def save(self, path) -> None:
-        """Persist the trace (including eavesdropper recordings) to ``.npz``."""
-        from pathlib import Path
+        """Persist the trace (including eavesdropper recordings) to ``.npz``.
+
+        The file is a checksummed artifact written atomically; a crash
+        mid-save never leaves a truncated trace under the final name.
+        """
+        from repro.utils.artifact import save_artifact
 
         arrays = {
             "alice_rssi": self.alice_rssi,
@@ -148,47 +155,52 @@ class ProbeTrace:
         for label, eve in self.eve.items():
             arrays[f"eve:{label}:of_alice"] = eve.of_alice_rssi
             arrays[f"eve:{label}:of_bob"] = eve.of_bob_rssi
-        np.savez_compressed(Path(path), **arrays)
+        save_artifact(path, arrays, kind=self.ARTIFACT_KIND)
 
     @classmethod
     def load(cls, path) -> "ProbeTrace":
-        """Load a trace written by :meth:`save`."""
-        from pathlib import Path
+        """Load a trace written by :meth:`save`.
 
+        Raises :class:`~repro.exceptions.CorruptArtifactError` on a
+        truncated or tampered file; plain ``.npz`` traces written before
+        the artifact format load with a warning.
+        """
         from repro.lora.airtime import CodingRate
+        from repro.utils.artifact import load_artifact
 
-        with np.load(Path(path)) as data:
-            phy = LoRaPHYConfig(
-                spreading_factor=int(data["phy_sf"][0]),
-                bandwidth_hz=float(data["phy_bw"][0]),
-                coding_rate=CodingRate(int(data["phy_cr"][0])),
-                carrier_frequency_hz=float(data["phy_f0"][0]),
-                payload_bytes=int(data["phy_payload"][0]),
+        artifact = load_artifact(path, kind=cls.ARTIFACT_KIND)
+        data = artifact.arrays
+        phy = LoRaPHYConfig(
+            spreading_factor=int(data["phy_sf"][0]),
+            bandwidth_hz=float(data["phy_bw"][0]),
+            coding_rate=CodingRate(int(data["phy_cr"][0])),
+            carrier_frequency_hz=float(data["phy_f0"][0]),
+            payload_bytes=int(data["phy_payload"][0]),
+        )
+        eve = {}
+        labels = {
+            key.split(":")[1]
+            for key in data
+            if key.startswith("eve:")
+        }
+        for label in labels:
+            eve[label] = EveTrace(
+                of_alice_rssi=data[f"eve:{label}:of_alice"],
+                of_bob_rssi=data[f"eve:{label}:of_bob"],
             )
-            eve = {}
-            labels = {
-                key.split(":")[1]
-                for key in data.files
-                if key.startswith("eve:")
-            }
-            for label in labels:
-                eve[label] = EveTrace(
-                    of_alice_rssi=data[f"eve:{label}:of_alice"],
-                    of_bob_rssi=data[f"eve:{label}:of_bob"],
-                )
-            return cls(
-                phy=phy,
-                alice_rssi=data["alice_rssi"],
-                bob_rssi=data["bob_rssi"],
-                round_start_s=data["round_start_s"],
-                valid=data["valid"],
-                eve=eve,
-                alice_prssi=data["alice_prssi"],
-                bob_prssi=data["bob_prssi"],
-                # Absent in traces written before the ARQ layer existed.
-                retries=data["retries"] if "retries" in data.files else None,
-                dropped=data["dropped"] if "dropped" in data.files else None,
-            )
+        return cls(
+            phy=phy,
+            alice_rssi=data["alice_rssi"],
+            bob_rssi=data["bob_rssi"],
+            round_start_s=data["round_start_s"],
+            valid=data["valid"],
+            eve=eve,
+            alice_prssi=data["alice_prssi"],
+            bob_prssi=data["bob_prssi"],
+            # Absent in traces written before the ARQ layer existed.
+            retries=data["retries"] if "retries" in data else None,
+            dropped=data["dropped"] if "dropped" in data else None,
+        )
 
     def valid_only(self) -> "ProbeTrace":
         """A copy with lost rounds removed (Eve's rounds filtered identically)."""

@@ -224,37 +224,67 @@ class AutoencoderReconciliation(Reconciler):
         )
 
     # -- persistence ------------------------------------------------------------
-    def save(self, path) -> None:
-        """Persist encoder/decoder weights to an ``.npz`` file."""
-        from repro.nn.serialization import save_weights
+    #: Artifact kind of a saved reconciler.
+    ARTIFACT_KIND = "autoencoder-reconciler"
 
-        self._require_trained()
-        layers = (
+    def _architecture(self) -> dict:
+        """Hyperparameters a weight file must match to be loadable."""
+        return {
+            "key_bits": self.key_bits,
+            "code_dim": self.code_dim,
+            "decoder_units": self.decoder_units,
+            "decoder_hidden_layers": self.decoder_hidden_layers,
+        }
+
+    def _all_layers(self):
+        return (
             self.encoder_bob.layers
             + self.encoder_alice.layers
             + self.decoder.layers
         )
-        save_weights(layers, path)
+
+    def save(self, path) -> None:
+        """Atomically persist all weights as a checksummed artifact.
+
+        The artifact embeds the reconciler's architecture hyperparameters,
+        verified again at load time.
+        """
+        from repro.nn.serialization import save_weights
+
+        self._require_trained()
+        save_weights(
+            self._all_layers(),
+            path,
+            kind=self.ARTIFACT_KIND,
+            metadata={"architecture": self._architecture()},
+        )
 
     def load(self, path) -> None:
         """Load weights written by :meth:`save` into a same-shape instance.
 
         The Bloom salt is public protocol state and must match the saving
         instance's; it is part of the constructor, not the weight file.
-        """
-        from repro.nn.serialization import load_weights
 
+        Raises :class:`~repro.exceptions.CorruptArtifactError` on a
+        truncated or tampered file and
+        :class:`~repro.exceptions.ArtifactMismatchError` when the stored
+        architecture or kind differs.  Legacy plain ``.npz`` files load
+        with a warning.
+        """
+        from repro.nn.serialization import assign_weights
+        from repro.utils.artifact import (
+            load_artifact,
+            require_matching_architecture,
+        )
+
+        artifact = load_artifact(path, kind=self.ARTIFACT_KIND)
+        require_matching_architecture(artifact, self._architecture(), path)
         dummy_key = np.zeros((1, self.key_bits))
         dummy_code = np.zeros((1, self.code_dim))
         self.encoder_bob.forward(dummy_key)
         self.encoder_alice.forward(dummy_key)
         self.decoder.forward(dummy_code)
-        layers = (
-            self.encoder_bob.layers
-            + self.encoder_alice.layers
-            + self.decoder.layers
-        )
-        load_weights(layers, path)
+        assign_weights(self._all_layers(), artifact.arrays)
         self._trained = True
 
     # -- introspection --------------------------------------------------------
