@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Fail CI when a kernel-benchmark speedup regresses past tolerance.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --current BENCH_kernels.json --baseline /tmp/baseline.json
+
+Compares the *speedup ratios* (before/after against the frozen reference
+kernels), not absolute seconds: ratios are what the fused kernels are
+accountable for and they transfer across machines of different absolute
+speed, so the committed ``BENCH_kernels.json`` works as the baseline on
+any runner.  A current speedup more than ``--tolerance`` (default 25%)
+below the baseline's fails the check, as does an entry that disappeared.
+Entries without a speedup (absolute-cost trackers like the end-to-end
+establish timing) are reported but never gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_entries(path: Path) -> dict:
+    payload = json.loads(path.read_text())
+    return payload["entries"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", type=Path, required=True,
+                        help="freshly generated BENCH_kernels.json")
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed baseline to compare against")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup drop (default 0.25)")
+    args = parser.parse_args(argv)
+
+    current = load_entries(args.current)
+    baseline = load_entries(args.baseline)
+
+    failures = []
+    for name, base_entry in sorted(baseline.items()):
+        base_speedup = base_entry.get("speedup")
+        if name not in current:
+            failures.append(f"{name}: missing from current results")
+            continue
+        cur_entry = current[name]
+        cur_speedup = cur_entry.get("speedup")
+        if base_speedup is None:
+            print(f"  {name}: {cur_entry['after_s']}s (absolute tracker, not gated)")
+            continue
+        if cur_speedup is None:
+            failures.append(f"{name}: baseline has speedup {base_speedup}, "
+                            "current has none")
+            continue
+        floor = base_speedup * (1.0 - args.tolerance)
+        status = "OK" if cur_speedup >= floor else "REGRESSED"
+        print(f"  {name}: {cur_speedup:.2f}x vs baseline {base_speedup:.2f}x "
+              f"(floor {floor:.2f}x) {status}")
+        if cur_speedup < floor:
+            failures.append(
+                f"{name}: speedup {cur_speedup:.2f}x fell below "
+                f"{floor:.2f}x ({base_speedup:.2f}x - {args.tolerance:.0%})"
+            )
+
+    if failures:
+        print("\nbenchmark regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression check passed "
+          f"({len(baseline)} entries, tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,6 +102,10 @@ def _cmd_experiments(args) -> int:
     forwarded = list(args.experiment_args)
     if args.full:
         forwarded.append("--full")
+    if args.jobs != 1:
+        forwarded.extend(["--jobs", str(args.jobs)])
+    if args.cache_dir:
+        forwarded.extend(["--cache-dir", args.cache_dir])
     return runner_main(forwarded)
 
 
@@ -163,6 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser("experiments", help="regenerate paper tables/figures")
     experiments.add_argument("experiment_args", nargs="*")
     experiments.add_argument("--full", action="store_true")
+    experiments.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the experiment fan-out",
+    )
+    experiments.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk trained-pipeline cache shared by workers and reruns",
+    )
     experiments.set_defaults(handler=_cmd_experiments)
 
     robustness = sub.add_parser(

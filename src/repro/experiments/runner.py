@@ -2,17 +2,29 @@
 
 Usage::
 
-    python -m repro.experiments.runner            # quick mode
-    python -m repro.experiments.runner --full     # paper-scale
+    python -m repro.experiments.runner              # quick mode, serial
+    python -m repro.experiments.runner --full       # paper-scale
     python -m repro.experiments.runner fig10 fig12-13
+    python -m repro.experiments.runner --jobs 4     # process-pool fan-out
+
+With ``--jobs N`` the selected experiments fan out over a process pool.
+Each experiment runs with exactly the same ``(quick, seed)`` arguments as
+the serial path and results are printed in selection order regardless of
+completion order, so the output -- and every ``ExperimentResult``
+payload -- is identical to a serial run.  Pair it with ``--cache-dir``
+so workers share trained pipelines through the on-disk cache instead of
+each retraining per scenario.
 """
 
 from __future__ import annotations
 
 import argparse
+import multiprocessing
+import os
 import sys
 import time
-from typing import Callable, Dict
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Tuple
 
 from repro.experiments import (
     ablations,
@@ -32,7 +44,7 @@ from repro.experiments import (
     table2_nist,
     table3_power,
 )
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import PIPELINE_CACHE_ENV, ExperimentResult
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig02": fig02_feasibility.run,
@@ -54,23 +66,79 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
+def _run_experiment(
+    name: str, quick: bool, seed: int
+) -> Tuple[str, ExperimentResult, float]:
+    """Run one experiment and time it.
+
+    Module-level so a :class:`ProcessPoolExecutor` can pickle it; workers
+    resolve ``name`` against :data:`EXPERIMENTS` on their side, which also
+    lets tests substitute the registry (inherited via fork).
+    """
+    start = time.time()
+    result = EXPERIMENTS[name](quick=quick, seed=seed)
+    return name, result, time.time() - start
+
+
+def run_selected(selected, quick: bool, seed: int, jobs: int = 1):
+    """Run experiments serially or fanned out over a process pool.
+
+    Yields ``(name, result, elapsed)`` in *selection* order either way:
+    with ``jobs > 1`` all experiments are submitted up front and results
+    are collected in the deterministic input order, not completion order.
+    Each worker receives the same per-experiment ``(quick, seed)``
+    arguments the serial path uses, so payloads are identical.
+    """
+    if jobs <= 1 or len(selected) <= 1:
+        for name in selected:
+            yield _run_experiment(name, quick, seed)
+        return
+    # fork (where available) keeps the in-memory pipeline cache and any
+    # REPRO_PIPELINE_CACHE setting visible to the workers.
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        context = None
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(selected)), mp_context=context
+    ) as pool:
+        futures = {
+            name: pool.submit(_run_experiment, name, quick, seed)
+            for name in selected
+        }
+        for name in selected:
+            yield futures[name].result()
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("experiments", nargs="*", help="subset of experiment ids")
     parser.add_argument("--full", action="store_true", help="paper-scale runs")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes; >1 fans experiments out over a process pool",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk trained-pipeline cache shared by workers and reruns "
+             f"(also settable via ${PIPELINE_CACHE_ENV})",
+    )
     args = parser.parse_args(argv)
 
     selected = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}")
+    if args.cache_dir:
+        # Exported (not passed per-call) so it reaches pool workers and
+        # any pipeline-training code path uniformly.
+        os.environ[PIPELINE_CACHE_ENV] = args.cache_dir
 
-    for name in selected:
-        start = time.time()
-        result = EXPERIMENTS[name](quick=not args.full, seed=args.seed)
-        elapsed = time.time() - start
+    for name, result, elapsed in run_selected(
+        selected, quick=not args.full, seed=args.seed, jobs=args.jobs
+    ):
         print(result.to_table())
         print(f"({name} regenerated in {elapsed:.1f} s)\n")
     return 0

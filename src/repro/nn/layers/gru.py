@@ -1,4 +1,4 @@
-"""GRU layer with full backpropagation through time.
+"""GRU layer with fused gate kernels and full backpropagation through time.
 
 Not used by the paper's architecture (which is BiLSTM-based), but
 included so the recurrent-cell choice can be ablated: the GRU has ~25%
@@ -9,27 +9,28 @@ Gate layout: the fused pre-activation for the update (z) and reset (r)
 gates is ``[x, h] W_zr + b_zr``; the candidate uses the reset-scaled
 state, ``h~ = tanh(x W_xh + (r * h) W_hh + b_h)``; the new state is
 ``h' = (1 - z) * h + z * h~``.
+
+The kernel follows the same performance recipe as the LSTM (see
+``docs/PERFORMANCE.md``): one ``[steps, batch, 2H]`` gate buffer written
+in place, ``out=`` ufuncs throughout the recurrence, weight gradients
+accumulated with a single :func:`numpy.tensordot` over all steps, and an
+inference fast path that skips the backward cache when
+``training=False``.  The pre-vectorization implementation is frozen in
+:mod:`repro.nn.layers.reference`.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.exceptions import NotTrainedError
+from repro.nn.activations import stable_sigmoid as _sigmoid
 from repro.nn.initializers import GlorotUniform, Orthogonal
 from repro.nn.layers.base import Layer
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import require, require_positive
-
-
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    out = np.empty_like(x)
-    positive = x >= 0
-    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
-    exp_x = np.exp(x[~positive])
-    out[~positive] = exp_x / (1.0 + exp_x)
-    return out
 
 
 class GRU(Layer):
@@ -57,6 +58,7 @@ class GRU(Layer):
         self._cache = None
 
     def build(self, input_shape: Tuple[int, ...]) -> None:
+        """Allocate the gate and candidate parameter blocks."""
         require(len(input_shape) == 3, "GRU input must be [batch, time, features]")
         in_features = int(input_shape[-1])
         h = self.units
@@ -75,85 +77,172 @@ class GRU(Layer):
         super().build(input_shape)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the recurrence over all timesteps.
+
+        With ``training=True`` the activations needed by :meth:`backward`
+        are cached; with ``training=False`` (inference) no history is
+        retained beyond the rolling hidden state.
+        """
         self.ensure_built(x.shape)
         batch, steps, _ = x.shape
-        h_units = self.units
+        h = self.units
         p = self.parameters
 
-        h_prev = np.zeros((batch, h_units))
-        z_gates = np.empty((steps, batch, h_units))
-        r_gates = np.empty_like(z_gates)
-        candidates = np.empty_like(z_gates)
-        h_in = np.empty_like(z_gates)
-        hiddens = np.empty_like(z_gates)
+        # One GEMM per projection for all steps, laid out [steps, batch, *]
+        # so each step's block is contiguous; the projections double as the
+        # activated-gate / candidate caches (written in place).
+        xs = np.ascontiguousarray(np.transpose(x, (1, 0, 2)))
+        gates = np.matmul(xs, p["kernel_gates"])
+        gates += p["bias_gates"]
+        candidates = np.matmul(xs, p["kernel_candidate"])
+        candidates += p["bias_candidate"]
 
-        gate_proj = x @ p["kernel_gates"] + p["bias_gates"]
-        candidate_proj = x @ p["kernel_candidate"] + p["bias_candidate"]
+        h_prev = np.zeros((batch, h))
+        hw = np.empty((batch, 2 * h))   # recurrent gate contribution, reused
+        rh = np.empty((batch, h))       # r * h_{t-1}, reused
+        ch = np.empty((batch, h))       # candidate recurrent term, reused
+        tmp = np.empty((batch, h))
+
+        if training:
+            hiddens = np.empty((steps, batch, h))
+        else:
+            hiddens = np.empty((steps, batch, h)) if self.return_sequences else None
+            h_buf = np.empty((batch, h))
+
         for t in range(steps):
-            gates = _sigmoid(gate_proj[:, t, :] + h_prev @ p["recurrent_gates"])
-            z = gates[:, :h_units]
-            r = gates[:, h_units:]
-            candidate = np.tanh(
-                candidate_proj[:, t, :] + (r * h_prev) @ p["recurrent_candidate"]
-            )
-            h_in[t] = h_prev
-            h_prev = (1.0 - z) * h_prev + z * candidate
-            z_gates[t], r_gates[t], candidates[t], hiddens[t] = z, r, candidate, h_prev
+            zr = gates[t]
+            np.matmul(h_prev, p["recurrent_gates"], out=hw)
+            zr += hw
+            _sigmoid(zr, out=zr)
+            z = zr[:, :h]
+            r = zr[:, h:]
+            cand = candidates[t]
+            np.multiply(r, h_prev, out=rh)
+            np.matmul(rh, p["recurrent_candidate"], out=ch)
+            cand += ch
+            np.tanh(cand, out=cand)
+            # h' = (1-z)*h + z*cand, in place into this step's slot.
+            h_new = hiddens[t] if hiddens is not None else h_buf
+            np.subtract(1.0, z, out=tmp)
+            np.multiply(tmp, h_prev, out=h_new)
+            np.multiply(z, cand, out=tmp)
+            h_new += tmp
+            h_prev = h_new
 
-        self._cache = {
-            "x": x, "z": z_gates, "r": r_gates,
-            "candidate": candidates, "h_in": h_in,
-        }
+        if training:
+            self._cache = {"xs": xs, "gates": gates, "candidates": candidates,
+                           "hiddens": hiddens}
+        else:
+            self._cache = None
+            if not self.return_sequences:
+                return h_prev.copy()
+            return np.transpose(hiddens, (1, 0, 2))
+
         output = np.transpose(hiddens, (1, 0, 2))
         if not self.return_sequences:
             return output[:, -1, :].copy()
         return output
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    #: :meth:`backward` accepts ``compute_input_grad=False`` (see
+    #: :meth:`repro.nn.model.Model.backward`).
+    can_skip_input_grad = True
+
+    def backward(
+        self, grad_output: np.ndarray, compute_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        """Backpropagate through time using the fused training cache."""
         cache = self._cache
-        x = cache["x"]
-        batch, steps, in_features = x.shape
-        h_units = self.units
+        if cache is None:
+            raise NotTrainedError(
+                f"layer {self.name!r} has no backward cache; run "
+                "forward(..., training=True) before backward() -- the "
+                "inference fast path does not retain activations"
+            )
+        xs = cache["xs"]
+        gates = cache["gates"]
+        candidates = cache["candidates"]
+        hiddens = cache["hiddens"]
+        steps, batch, in_features = xs.shape
+        h = self.units
         p = self.parameters
+        rc_t = np.ascontiguousarray(p["recurrent_candidate"].T)
+        rg_t = np.ascontiguousarray(p["recurrent_gates"].T)
 
         if self.return_sequences:
             grad_h_steps = np.transpose(grad_output, (1, 0, 2))
         else:
-            grad_h_steps = np.zeros((steps, batch, h_units))
+            grad_h_steps = np.zeros((steps, batch, h))
             grad_h_steps[-1] = grad_output
 
-        grads = {key: np.zeros_like(value) for key, value in p.items()}
-        d_x = np.zeros_like(x)
-        dh_next = np.zeros((batch, h_units))
+        d_gates = np.empty((steps, batch, 2 * h))
+        d_cand = np.empty((steps, batch, h))
+        dh = np.empty((batch, h))
+        d_rh = np.empty((batch, h))
+        gh = np.empty((batch, h))
+        tmp = np.empty((batch, h))
+        dh_next = np.zeros((batch, h))
+        zeros_h = np.zeros((batch, h))
 
         for t in reversed(range(steps)):
-            z = cache["z"][t]
-            r = cache["r"][t]
-            candidate = cache["candidate"][t]
-            h_prev = cache["h_in"][t]
-            dh = grad_h_steps[t] + dh_next
+            zr = gates[t]
+            z = zr[:, :h]
+            r = zr[:, h:]
+            candidate = candidates[t]
+            h_prev = hiddens[t - 1] if t > 0 else zeros_h
 
-            d_candidate = dh * z * (1.0 - candidate**2)
-            d_z = dh * (candidate - h_prev) * z * (1.0 - z)
-            d_rh = d_candidate @ p["recurrent_candidate"].T
-            d_r = d_rh * h_prev * r * (1.0 - r)
-            d_gates = np.concatenate([d_z, d_r], axis=1)
+            np.add(grad_h_steps[t], dh_next, out=dh)
+            dct = d_cand[t]
+            dzt = d_gates[t][:, :h]
+            drt = d_gates[t][:, h:]
 
-            grads["kernel_candidate"] += x[:, t, :].T @ d_candidate
-            grads["recurrent_candidate"] += (r * h_prev).T @ d_candidate
-            grads["bias_candidate"] += d_candidate.sum(axis=0)
-            grads["kernel_gates"] += x[:, t, :].T @ d_gates
-            grads["recurrent_gates"] += h_prev.T @ d_gates
-            grads["bias_gates"] += d_gates.sum(axis=0)
+            # d_candidate = dh * z * (1 - candidate^2)
+            np.multiply(dh, z, out=dct)
+            np.multiply(candidate, candidate, out=tmp)
+            np.subtract(1.0, tmp, out=tmp)
+            dct *= tmp
+            # d_z = dh * (candidate - h_prev) * z * (1-z)
+            np.subtract(candidate, h_prev, out=tmp)
+            np.multiply(dh, tmp, out=dzt)
+            dzt *= z
+            np.subtract(1.0, z, out=tmp)
+            dzt *= tmp
+            # d_r = (d_candidate W_hh^T) * h_prev * r * (1-r)
+            np.matmul(dct, rc_t, out=d_rh)
+            np.multiply(d_rh, h_prev, out=drt)
+            drt *= r
+            np.subtract(1.0, r, out=tmp)
+            drt *= tmp
+            # dh_next = dh*(1-z) + d_rh*r + d_gates W_zr^T
+            np.subtract(1.0, z, out=tmp)
+            np.multiply(dh, tmp, out=dh_next)
+            np.multiply(d_rh, r, out=tmp)
+            dh_next += tmp
+            np.matmul(d_gates[t], rg_t, out=gh)
+            dh_next += gh
 
-            d_x[:, t, :] = (
-                d_candidate @ p["kernel_candidate"].T + d_gates @ p["kernel_gates"].T
+        # Single tensordot over all steps replaces the per-step += GEMMs.
+        grads = {
+            "kernel_gates": np.tensordot(xs, d_gates, axes=([0, 1], [0, 1])),
+            "bias_gates": d_gates.sum(axis=(0, 1)),
+            "kernel_candidate": np.tensordot(xs, d_cand, axes=([0, 1], [0, 1])),
+            "bias_candidate": d_cand.sum(axis=(0, 1)),
+        }
+        if steps > 1:
+            # r*h_in is zero at t=0 (h_in = 0), so only the tail contributes.
+            rh_tail = gates[1:, :, h:] * hiddens[:-1]
+            grads["recurrent_candidate"] = np.tensordot(
+                rh_tail, d_cand[1:], axes=([0, 1], [0, 1])
             )
-            dh_next = (
-                dh * (1.0 - z)
-                + d_rh * r
-                + d_gates @ p["recurrent_gates"].T
+            grads["recurrent_gates"] = np.tensordot(
+                hiddens[:-1], d_gates[1:], axes=([0, 1], [0, 1])
             )
+        else:
+            grads["recurrent_candidate"] = np.zeros_like(p["recurrent_candidate"])
+            grads["recurrent_gates"] = np.zeros_like(p["recurrent_gates"])
 
         self.gradients = grads
-        return d_x
+        if not compute_input_grad:
+            return None
+        d_x = np.matmul(d_cand, p["kernel_candidate"].T)
+        d_x += np.matmul(d_gates, p["kernel_gates"].T)
+        return np.transpose(d_x, (1, 0, 2))

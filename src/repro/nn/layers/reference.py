@@ -1,0 +1,327 @@
+"""Frozen pre-vectorization recurrent kernels (correctness baselines).
+
+These are the original per-timestep loop implementations of the LSTM and
+GRU layers, kept verbatim from before the fused-kernel rewrite.  They are
+**not** used by the pipeline; they exist so that
+
+- the equivalence tests can pin the vectorized kernels to the exact
+  numbers the original implementation produced, and
+- the kernel microbenchmarks can report honest before/after speedups
+  (``BENCH_kernels.json``) on the machine they run on.
+
+Do not optimize this module; its value is that it never changes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.initializers import GlorotUniform, Orthogonal
+from repro.nn.layers.base import Layer
+from repro.nn.layers.bilstm import BiLSTM
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require, require_positive
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    """The original two-branch masked sigmoid, kept verbatim.
+
+    The live kernels use :func:`repro.nn.activations.stable_sigmoid`
+    (branch-free, ~3x faster, positive branch bitwise-identical to this
+    form and negative branch within 1 ulp); this copy preserves the exact
+    pre-refactor numerics the equivalence tests are pinned against.
+    """
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+class ReferenceLSTM(Layer):
+    """The original loop-per-timestep LSTM (see :class:`repro.nn.layers.lstm.LSTM`).
+
+    Args:
+        units: Hidden state width H.
+        return_sequences: If ``True`` (default) output is
+            ``[batch, time, H]``; otherwise the final hidden state.
+        go_backwards: Process the sequence in reverse time order.
+        seed: Weight-initialization randomness.
+    """
+
+    def __init__(
+        self,
+        units: int,
+        return_sequences: bool = True,
+        go_backwards: bool = False,
+        seed: SeedLike = None,
+        name=None,
+    ):
+        super().__init__(name=name)
+        require_positive(units, "units")
+        self.units = int(units)
+        self.return_sequences = bool(return_sequences)
+        self.go_backwards = bool(go_backwards)
+        self._rng = as_generator(seed)
+        self._cache = None
+
+    def build(self, input_shape: Tuple[int, ...]) -> None:
+        """Allocate kernel/recurrent/bias for the given input feature width."""
+        require(len(input_shape) == 3, "LSTM input must be [batch, time, features]")
+        in_features = int(input_shape[-1])
+        h = self.units
+        glorot = GlorotUniform()
+        orthogonal = Orthogonal()
+        bias = np.zeros(4 * h)
+        bias[h:2 * h] = 1.0  # forget-gate bias
+        self.parameters = {
+            "kernel": glorot((in_features, 4 * h), self._rng),
+            "recurrent": np.concatenate(
+                [orthogonal((h, h), self._rng) for _ in range(4)], axis=1
+            ),
+            "bias": bias,
+        }
+        super().build(input_shape)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """The original step loop; caches everything regardless of ``training``."""
+        self.ensure_built(x.shape)
+        if self.go_backwards:
+            x = x[:, ::-1, :]
+        batch, steps, _ = x.shape
+        h_units = self.units
+        w_x = self.parameters["kernel"]
+        w_h = self.parameters["recurrent"]
+        bias = self.parameters["bias"]
+
+        h_prev = np.zeros((batch, h_units))
+        c_prev = np.zeros((batch, h_units))
+        gates_i = np.empty((steps, batch, h_units))
+        gates_f = np.empty_like(gates_i)
+        gates_g = np.empty_like(gates_i)
+        gates_o = np.empty_like(gates_i)
+        cells = np.empty_like(gates_i)
+        cell_tanh = np.empty_like(gates_i)
+        hiddens = np.empty_like(gates_i)
+        h_in = np.empty_like(gates_i)  # h_{t-1} per step
+        c_in = np.empty_like(gates_i)  # c_{t-1} per step
+
+        x_proj = x @ w_x + bias
+        for t in range(steps):
+            z = x_proj[:, t, :] + h_prev @ w_h
+            i = _sigmoid(z[:, :h_units])
+            f = _sigmoid(z[:, h_units:2 * h_units])
+            g = np.tanh(z[:, 2 * h_units:3 * h_units])
+            o = _sigmoid(z[:, 3 * h_units:])
+            h_in[t], c_in[t] = h_prev, c_prev
+            c_prev = f * c_prev + i * g
+            tanh_c = np.tanh(c_prev)
+            h_prev = o * tanh_c
+            gates_i[t], gates_f[t], gates_g[t], gates_o[t] = i, f, g, o
+            cells[t], cell_tanh[t], hiddens[t] = c_prev, tanh_c, h_prev
+
+        self._cache = {
+            "x": x,
+            "i": gates_i, "f": gates_f, "g": gates_g, "o": gates_o,
+            "c": cells, "tanh_c": cell_tanh, "h_in": h_in, "c_in": c_in,
+        }
+        output = np.transpose(hiddens, (1, 0, 2))
+        if not self.return_sequences:
+            return output[:, -1, :].copy()
+        if self.go_backwards:
+            output = output[:, ::-1, :]
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """The original backward pass with per-step gradient accumulation."""
+        cache = self._cache
+        x = cache["x"]
+        batch, steps, in_features = x.shape
+        h_units = self.units
+        w_x = self.parameters["kernel"]
+        w_h = self.parameters["recurrent"]
+
+        if self.return_sequences:
+            grad_seq = grad_output
+            if self.go_backwards:
+                grad_seq = grad_seq[:, ::-1, :]
+            grad_h_steps = np.transpose(grad_seq, (1, 0, 2))
+        else:
+            grad_h_steps = np.zeros((steps, batch, h_units))
+            grad_h_steps[-1] = grad_output
+
+        d_wx = np.zeros_like(w_x)
+        d_wh = np.zeros_like(w_h)
+        d_b = np.zeros(4 * h_units)
+        d_x = np.zeros_like(x)
+        dh_next = np.zeros((batch, h_units))
+        dc_next = np.zeros((batch, h_units))
+
+        for t in reversed(range(steps)):
+            i, f, g, o = cache["i"][t], cache["f"][t], cache["g"][t], cache["o"][t]
+            tanh_c = cache["tanh_c"][t]
+            dh = grad_h_steps[t] + dh_next
+            do = dh * tanh_c
+            dct = dh * o * (1.0 - tanh_c**2) + dc_next
+            df = dct * cache["c_in"][t]
+            di = dct * g
+            dg = dct * i
+            dc_next = dct * f
+            dz = np.concatenate(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    dg * (1.0 - g**2),
+                    do * o * (1.0 - o),
+                ],
+                axis=1,
+            )
+            d_wx += x[:, t, :].T @ dz
+            d_wh += cache["h_in"][t].T @ dz
+            d_b += dz.sum(axis=0)
+            d_x[:, t, :] = dz @ w_x.T
+            dh_next = dz @ w_h.T
+
+        self.gradients = {"kernel": d_wx, "recurrent": d_wh, "bias": d_b}
+        if self.go_backwards:
+            d_x = d_x[:, ::-1, :]
+        return d_x
+
+
+class ReferenceGRU(Layer):
+    """The original loop-per-timestep GRU (see :class:`repro.nn.layers.gru.GRU`).
+
+    Args:
+        units: Hidden state width H.
+        return_sequences: If ``True`` (default) output is
+            ``[batch, time, H]``; otherwise the final state.
+        seed: Weight-initialization randomness.
+    """
+
+    def __init__(
+        self,
+        units: int,
+        return_sequences: bool = True,
+        seed: SeedLike = None,
+        name=None,
+    ):
+        super().__init__(name=name)
+        require_positive(units, "units")
+        self.units = int(units)
+        self.return_sequences = bool(return_sequences)
+        self._rng = as_generator(seed)
+        self._cache = None
+
+    def build(self, input_shape: Tuple[int, ...]) -> None:
+        """Allocate the gate and candidate parameter blocks."""
+        require(len(input_shape) == 3, "GRU input must be [batch, time, features]")
+        in_features = int(input_shape[-1])
+        h = self.units
+        glorot = GlorotUniform()
+        orthogonal = Orthogonal()
+        self.parameters = {
+            "kernel_gates": glorot((in_features, 2 * h), self._rng),
+            "recurrent_gates": np.concatenate(
+                [orthogonal((h, h), self._rng) for _ in range(2)], axis=1
+            ),
+            "bias_gates": np.zeros(2 * h),
+            "kernel_candidate": glorot((in_features, h), self._rng),
+            "recurrent_candidate": orthogonal((h, h), self._rng),
+            "bias_candidate": np.zeros(h),
+        }
+        super().build(input_shape)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """The original step loop; caches everything regardless of ``training``."""
+        self.ensure_built(x.shape)
+        batch, steps, _ = x.shape
+        h_units = self.units
+        p = self.parameters
+
+        h_prev = np.zeros((batch, h_units))
+        z_gates = np.empty((steps, batch, h_units))
+        r_gates = np.empty_like(z_gates)
+        candidates = np.empty_like(z_gates)
+        h_in = np.empty_like(z_gates)
+        hiddens = np.empty_like(z_gates)
+
+        gate_proj = x @ p["kernel_gates"] + p["bias_gates"]
+        candidate_proj = x @ p["kernel_candidate"] + p["bias_candidate"]
+        for t in range(steps):
+            gates = _sigmoid(gate_proj[:, t, :] + h_prev @ p["recurrent_gates"])
+            z = gates[:, :h_units]
+            r = gates[:, h_units:]
+            candidate = np.tanh(
+                candidate_proj[:, t, :] + (r * h_prev) @ p["recurrent_candidate"]
+            )
+            h_in[t] = h_prev
+            h_prev = (1.0 - z) * h_prev + z * candidate
+            z_gates[t], r_gates[t], candidates[t], hiddens[t] = z, r, candidate, h_prev
+
+        self._cache = {
+            "x": x, "z": z_gates, "r": r_gates,
+            "candidate": candidates, "h_in": h_in,
+        }
+        output = np.transpose(hiddens, (1, 0, 2))
+        if not self.return_sequences:
+            return output[:, -1, :].copy()
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """The original backward pass with per-step gradient accumulation."""
+        cache = self._cache
+        x = cache["x"]
+        batch, steps, in_features = x.shape
+        h_units = self.units
+        p = self.parameters
+
+        if self.return_sequences:
+            grad_h_steps = np.transpose(grad_output, (1, 0, 2))
+        else:
+            grad_h_steps = np.zeros((steps, batch, h_units))
+            grad_h_steps[-1] = grad_output
+
+        grads = {key: np.zeros_like(value) for key, value in p.items()}
+        d_x = np.zeros_like(x)
+        dh_next = np.zeros((batch, h_units))
+
+        for t in reversed(range(steps)):
+            z = cache["z"][t]
+            r = cache["r"][t]
+            candidate = cache["candidate"][t]
+            h_prev = cache["h_in"][t]
+            dh = grad_h_steps[t] + dh_next
+
+            d_candidate = dh * z * (1.0 - candidate**2)
+            d_z = dh * (candidate - h_prev) * z * (1.0 - z)
+            d_rh = d_candidate @ p["recurrent_candidate"].T
+            d_r = d_rh * h_prev * r * (1.0 - r)
+            d_gates = np.concatenate([d_z, d_r], axis=1)
+
+            grads["kernel_candidate"] += x[:, t, :].T @ d_candidate
+            grads["recurrent_candidate"] += (r * h_prev).T @ d_candidate
+            grads["bias_candidate"] += d_candidate.sum(axis=0)
+            grads["kernel_gates"] += x[:, t, :].T @ d_gates
+            grads["recurrent_gates"] += h_prev.T @ d_gates
+            grads["bias_gates"] += d_gates.sum(axis=0)
+
+            d_x[:, t, :] = (
+                d_candidate @ p["kernel_candidate"].T + d_gates @ p["kernel_gates"].T
+            )
+            dh_next = (
+                dh * (1.0 - z)
+                + d_rh * r
+                + d_gates @ p["recurrent_gates"].T
+            )
+
+        self.gradients = grads
+        return d_x
+
+
+class ReferenceBiLSTM(BiLSTM):
+    """The bidirectional wrapper over the frozen :class:`ReferenceLSTM` kernels."""
+
+    lstm_cls = ReferenceLSTM

@@ -46,8 +46,15 @@ class Model:
         return out
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Inference in batches (keeps memory bounded on big inputs)."""
+        """Inference in batches (keeps memory bounded on big inputs).
+
+        An empty input returns an empty array with the correct trailing
+        (output) shape rather than crashing on the batch concatenation.
+        """
         require_positive(batch_size, "batch_size")
+        if len(x) == 0:
+            # A zero-row forward pass still yields the stack's output shape.
+            return self.forward(x, training=False)
         outputs = [
             self.forward(x[i:i + batch_size], training=False)
             for i in range(0, len(x), batch_size)
@@ -55,18 +62,30 @@ class Model:
         return np.concatenate(outputs, axis=0)
 
     # -- training ----------------------------------------------------------
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        """Backpropagate an upstream gradient through the whole stack."""
+    def backward(
+        self, grad_output: np.ndarray, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        """Backpropagate an upstream gradient through the whole stack.
+
+        With ``need_input_grad=False`` the first layer is allowed to skip
+        computing the gradient with respect to the model *input* (nothing
+        consumes it during training); layers advertise support via
+        ``can_skip_input_grad`` and ``None`` is returned in that case.
+        """
         grad = grad_output
-        for layer in reversed(self.layers):
+        first = self.layers[0]
+        for layer in reversed(self.layers[1:]):
             grad = layer.backward(grad)
-        return grad
+        if not need_input_grad and getattr(first, "can_skip_input_grad", False):
+            first.backward(grad, compute_input_grad=False)
+            return None
+        return first.backward(grad)
 
     def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
         """One optimization step on a batch; returns the batch loss."""
         prediction = self.forward(x, training=True)
         batch_loss = self.loss.value(y, prediction)
-        self.backward(self.loss.gradient(y, prediction))
+        self.backward(self.loss.gradient(y, prediction), need_input_grad=False)
         self.optimizer.apply(self._parameter_list())
         return batch_loss
 

@@ -1,0 +1,271 @@
+"""Tests for the parallel experiment runner and the on-disk pipeline cache."""
+
+import json
+import time
+
+import pytest
+
+from repro.channel.scenario import ScenarioName, scenario_config
+from repro.core.pipeline import PipelineConfig, VehicleKeyPipeline
+from repro.experiments import common, runner
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    clear_pipeline_cache,
+    get_trained_pipeline,
+    pipeline_fingerprint,
+)
+from repro.experiments.runner import run_selected
+from tests.conftest import TINY_KWARGS
+
+MICRO_SCALE = Scale(
+    train_episodes=40,
+    train_epochs=6,
+    reconciler_epochs=4,
+    session_rounds=64,
+    n_sessions=1,
+    n_seeds=1,
+)
+
+
+def _stub_experiment(name, delay=0.0):
+    def run(quick, seed):
+        if delay:
+            time.sleep(delay)
+        result = ExperimentResult(name, f"stub {name}", ["seed", "quick", "value"])
+        result.add_row(seed=seed, quick=quick, value=hash(name) % 1000 / 1000.0)
+        return result
+
+    return run
+
+
+@pytest.fixture
+def stub_registry(monkeypatch):
+    # Later-listed stubs sleep *longer*, so under jobs > 1 they complete
+    # out of submission order -- the ordering assertion below is real.
+    names = ["s1", "s2", "s3", "s4"]
+    registry = {
+        name: _stub_experiment(name, delay=0.05 * i)
+        for i, name in enumerate(names)
+    }
+    monkeypatch.setattr(runner, "EXPERIMENTS", registry)
+    return names
+
+
+class TestParallelRunner:
+    def test_parallel_payloads_match_serial(self, stub_registry):
+        serial = [
+            (name, result.to_payload())
+            for name, result, _ in run_selected(stub_registry, True, 7, jobs=1)
+        ]
+        parallel = [
+            (name, result.to_payload())
+            for name, result, _ in run_selected(stub_registry, True, 7, jobs=4)
+        ]
+        assert parallel == serial
+
+    def test_result_order_is_selection_order(self, stub_registry):
+        order = [name for name, _, _ in run_selected(stub_registry, True, 0, jobs=4)]
+        assert order == stub_registry
+
+    def test_seed_and_scale_forwarded_to_workers(self, stub_registry):
+        for _, result, _ in run_selected(stub_registry, False, 42, jobs=2):
+            assert result.rows[0]["seed"] == 42
+            assert result.rows[0]["quick"] is False
+
+    def test_single_job_stays_serial(self, stub_registry):
+        results = list(run_selected(stub_registry, True, 0, jobs=1))
+        assert [name for name, _, _ in results] == stub_registry
+
+    def test_real_training_free_experiments_match(self):
+        selection = ["fig02", "fig04"]
+        serial = [
+            result.to_payload()
+            for _, result, _ in run_selected(selection, True, 3, jobs=1)
+        ]
+        parallel = [
+            result.to_payload()
+            for _, result, _ in run_selected(selection, True, 3, jobs=2)
+        ]
+        assert parallel == serial
+
+    def test_main_prints_in_selection_order(self, stub_registry, capsys):
+        assert runner.main(["s2", "s1", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("stub s2") < out.index("stub s1")
+
+    def test_main_exports_cache_dir(self, stub_registry, tmp_path, monkeypatch):
+        monkeypatch.delenv(common.PIPELINE_CACHE_ENV, raising=False)
+        target = str(tmp_path / "cache")
+        assert runner.main(["s1", "--cache-dir", target]) == 0
+        assert common.pipeline_cache_root() == tmp_path / "cache"
+
+    def test_cli_forwards_jobs_and_cache_dir(self, monkeypatch):
+        from repro import cli
+
+        captured = {}
+
+        def fake_runner_main(argv):
+            captured["argv"] = argv
+            return 0
+
+        monkeypatch.setattr("repro.experiments.runner.main", fake_runner_main)
+        assert cli.main(
+            ["experiments", "fig04", "--jobs", "4", "--cache-dir", "/tmp/c"]
+        ) == 0
+        assert captured["argv"] == ["fig04", "--jobs", "4", "--cache-dir", "/tmp/c"]
+
+
+class TestExperimentResultPayload:
+    def test_payload_is_canonical_json(self):
+        result = ExperimentResult("figX", "demo", ["b", "a"])
+        result.add_row(b=2, a=1.5)
+        payload = json.loads(result.to_payload())
+        assert payload["columns"] == ["b", "a"]
+        assert payload["rows"] == [{"a": 1.5, "b": 2}]
+
+    def test_payload_normalizes_numpy_scalars(self):
+        import numpy as np
+
+        result = ExperimentResult("figX", "demo", ["v"])
+        result.add_row(v=np.float64(0.25))
+        assert json.loads(result.to_payload())["rows"] == [{"v": 0.25}]
+
+    def test_identical_results_are_byte_identical(self):
+        def build():
+            result = ExperimentResult("figX", "demo", ["v"], notes="n")
+            result.add_row(v=0.1 + 0.2)
+            return result
+
+        assert build().to_payload() == build().to_payload()
+
+
+class TestPipelineFingerprint:
+    def setup_method(self):
+        self.config = PipelineConfig(
+            scenario=scenario_config(ScenarioName.V2I_URBAN), **TINY_KWARGS
+        )
+
+    def test_stable_for_same_inputs(self):
+        a = pipeline_fingerprint(ScenarioName.V2I_URBAN, 0, MICRO_SCALE, self.config)
+        b = pipeline_fingerprint(ScenarioName.V2I_URBAN, 0, MICRO_SCALE, self.config)
+        assert a == b
+
+    def test_sensitive_to_every_training_input(self):
+        base = pipeline_fingerprint(ScenarioName.V2I_URBAN, 0, MICRO_SCALE, self.config)
+        assert base != pipeline_fingerprint(
+            ScenarioName.V2V_URBAN, 0, MICRO_SCALE, self.config
+        )
+        assert base != pipeline_fingerprint(
+            ScenarioName.V2I_URBAN, 1, MICRO_SCALE, self.config
+        )
+        assert base != pipeline_fingerprint(
+            ScenarioName.V2I_URBAN, 0, common.get_scale(True), self.config
+        )
+        other_config = PipelineConfig(
+            scenario=scenario_config(ScenarioName.V2I_URBAN),
+            **{**TINY_KWARGS, "hidden_units": 8},
+        )
+        assert base != pipeline_fingerprint(
+            ScenarioName.V2I_URBAN, 0, MICRO_SCALE, other_config
+        )
+        assert base != pipeline_fingerprint(
+            ScenarioName.V2I_URBAN, 0, MICRO_SCALE, self.config, "variant"
+        )
+
+
+class TestDiskPipelineCache:
+    """End-to-end disk-cache behaviour with a micro-scale pipeline."""
+
+    @pytest.fixture(autouse=True)
+    def micro_scale(self, monkeypatch):
+        monkeypatch.setattr(common, "_QUICK", MICRO_SCALE)
+        clear_pipeline_cache()
+        yield
+        clear_pipeline_cache()
+
+    @pytest.fixture
+    def tiny_config(self):
+        return PipelineConfig(
+            scenario=scenario_config(ScenarioName.V2I_URBAN), **TINY_KWARGS
+        )
+
+    def test_cache_round_trip_skips_retraining(self, tiny_config, tmp_path, monkeypatch):
+        cache = tmp_path / "pipelines"
+        trained = get_trained_pipeline(
+            ScenarioName.V2I_URBAN, seed=5, config=tiny_config, cache_dir=cache
+        )
+        entries = list(cache.iterdir())
+        assert len(entries) == 1
+        assert (entries[0] / common._COMPLETE_MARKER).is_file()
+        assert (entries[0] / "model.npz").is_file()
+        assert (entries[0] / "reconciler.npz").is_file()
+
+        clear_pipeline_cache()
+
+        def fail_train(self, **kwargs):
+            raise AssertionError("cache hit must not retrain")
+
+        monkeypatch.setattr(VehicleKeyPipeline, "train", fail_train)
+        restored = get_trained_pipeline(
+            ScenarioName.V2I_URBAN, seed=5, config=tiny_config, cache_dir=cache
+        )
+
+        # A restored pipeline behaves identically to the trained one:
+        # name-keyed seed streams make session randomness independent of
+        # how the weights came to be.
+        trace = trained.collect_trace("cache-check", n_rounds=64)
+        original = trained.build_session().run(trace)
+        reloaded = restored.build_session().run(trace)
+        assert reloaded.final_key_alice == original.final_key_alice
+        assert reloaded.raw_agreement.mean == original.raw_agreement.mean
+
+    def test_incomplete_entry_is_ignored(self, tiny_config, tmp_path):
+        cache = tmp_path / "pipelines"
+        fingerprint = pipeline_fingerprint(
+            ScenarioName.V2I_URBAN, 5, MICRO_SCALE, tiny_config
+        )
+        (cache / fingerprint).mkdir(parents=True)  # no artifacts, no marker
+        pipeline = get_trained_pipeline(
+            ScenarioName.V2I_URBAN, seed=5, config=tiny_config, cache_dir=cache
+        )
+        # Training ran and repaired the entry.
+        assert (cache / fingerprint / common._COMPLETE_MARKER).is_file()
+        assert pipeline.training_report is not None
+
+    def test_corrupt_entry_falls_back_to_training(
+        self, tiny_config, tmp_path, monkeypatch
+    ):
+        cache = tmp_path / "pipelines"
+        get_trained_pipeline(
+            ScenarioName.V2I_URBAN, seed=5, config=tiny_config, cache_dir=cache
+        )
+        entry = next(cache.iterdir())
+        payload = (entry / "model.npz").read_bytes()
+        (entry / "model.npz").write_bytes(payload[: len(payload) // 2])
+
+        clear_pipeline_cache()
+        calls = []
+        original_train = VehicleKeyPipeline.train
+
+        def counting_train(self, **kwargs):
+            calls.append(1)
+            return original_train(self, **kwargs)
+
+        monkeypatch.setattr(VehicleKeyPipeline, "train", counting_train)
+        get_trained_pipeline(
+            ScenarioName.V2I_URBAN, seed=5, config=tiny_config, cache_dir=cache
+        )
+        assert calls  # corrupt artifact forced a retrain
+
+    def test_env_var_enables_cache(self, tiny_config, tmp_path, monkeypatch):
+        cache = tmp_path / "env-cache"
+        monkeypatch.setenv(common.PIPELINE_CACHE_ENV, str(cache))
+        get_trained_pipeline(ScenarioName.V2I_URBAN, seed=5, config=tiny_config)
+        assert any(cache.iterdir())
+
+    def test_cache_disabled_by_default(self, tiny_config, tmp_path, monkeypatch):
+        monkeypatch.delenv(common.PIPELINE_CACHE_ENV, raising=False)
+        get_trained_pipeline(ScenarioName.V2I_URBAN, seed=6, config=tiny_config)
+        # nothing written anywhere under tmp_path
+        assert not any(tmp_path.iterdir())

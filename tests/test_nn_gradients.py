@@ -52,7 +52,9 @@ def numeric_input_grad(layer, x, probe):
 def check_layer(layer, x):
     out = layer.forward(x)
     probe = RNG.standard_normal(out.shape)
-    layer.forward(x)  # fresh cache for the analytic pass
+    # The analytic pass needs training=True: the recurrent layers'
+    # inference fast path skips the backward cache entirely.
+    layer.forward(x, training=True)
     analytic_input = layer.backward(probe)
     analytic_params = {k: v.copy() for k, v in layer.gradients.items()}
 
