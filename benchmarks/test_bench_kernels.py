@@ -272,11 +272,19 @@ class TestEndToEnd:
         pipeline = VehicleKeyPipeline(config, seed=11)
         pipeline.train(n_episodes=60, epochs=20, reconciler_epochs=8)
         pipeline.establish_key(episode="bench-warmup", n_rounds=128)
-        elapsed = _min_of(
-            lambda: pipeline.establish_key(episode="bench", n_rounds=256), reps=3
+        # "before" forces the frozen per-round probing loop; "after" is
+        # the default vectorized fault-free path.  Both produce
+        # bit-identical keys, so this times exactly the probing hot path
+        # inside a real establishment -- and gives the entry the speedup
+        # column the regression gate needs (it tracked absolute cost
+        # only, ungated, before the fast path existed).
+        before, after = _compare(
+            lambda: pipeline.establish_key(
+                episode="bench", n_rounds=256, probing_fast_path=False
+            ),
+            lambda: pipeline.establish_key(episode="bench", n_rounds=256),
+            reps=3,
+            warmup=0,
         )
-        # No "before" column: the pre-refactor kernels cannot be injected
-        # into a built pipeline; this entry tracks the absolute protocol
-        # cost over time instead of a speedup.
-        entry = _record("establish_session@tiny_r256", None, elapsed)
-        assert entry["after_s"] > 0.0
+        entry = _record("establish_session@tiny_r256", before, after)
+        assert entry["speedup"] > 1.0

@@ -201,7 +201,11 @@ class RelativeMotion:
         speeds = self.relative_speed_m_s(times)
         increments = 0.5 * (speeds[1:] + speeds[:-1]) * self._step
         base = 0.0 if current == 0 else float(self._grid_cumulative[-1])
-        extension = base + np.cumsum(increments)
+        # Seed the running sum with the stored base so accumulation stays
+        # strictly sequential: grid values are then bit-identical no matter
+        # how queries chunked the growth (one bulk query vs many small
+        # ones), which the vectorized probing fast path relies on.
+        extension = np.cumsum(np.concatenate([[base], increments]))[1:]
         if current == 0:
             self._grid_cumulative = np.concatenate([[0.0], extension])
         else:

@@ -59,21 +59,33 @@ class GudmundsonShadowing:
         # Grid values at displacements step * (offset + i) for i in range(len).
         self._values: List[float] = [self._draw_initial()]
         self._offset = 0  # grid index of self._values[0]
+        # Independent innovation streams per growth direction.  Each grid
+        # node then consumes a fixed draw (the |index|-th of its
+        # direction's stream) no matter which caller forced the extension
+        # or how queries were chunked -- several consumers share one
+        # realization (e.g. an eavesdropper's shifted view), and the
+        # vectorized probing path queries them in a different order than
+        # the per-round loop.  Upward growth keeps consuming the main
+        # stream (spawn() does not advance it), so realizations that only
+        # ever grow upward -- every eavesdropper-free scenario -- are
+        # unchanged from the original single-stream implementation.
+        self._up_rng = self._rng
+        (self._down_rng,) = self._rng.spawn(1)
 
     def _draw_initial(self) -> float:
         return float(self._rng.normal(0.0, self.sigma_db)) if self.sigma_db else 0.0
 
-    def _innovation(self, anchor: float) -> float:
+    def _innovation(self, anchor: float, rng: np.random.Generator) -> float:
         if self.sigma_db == 0:
             return 0.0
         noise_std = self.sigma_db * np.sqrt(1.0 - self._rho**2)
-        return self._rho * anchor + float(self._rng.normal(0.0, noise_std))
+        return self._rho * anchor + float(rng.normal(0.0, noise_std))
 
     def _ensure_index(self, index: int) -> None:
         while index >= self._offset + len(self._values):
-            self._values.append(self._innovation(self._values[-1]))
+            self._values.append(self._innovation(self._values[-1], self._up_rng))
         while index < self._offset:
-            self._values.insert(0, self._innovation(self._values[0]))
+            self._values.insert(0, self._innovation(self._values[0], self._down_rng))
             self._offset -= 1
 
     def value_at(self, displacement_m) -> np.ndarray:

@@ -49,6 +49,8 @@ def _cmd_establish(args) -> int:
         if args.save_dir:
             pipeline.save(args.save_dir)
             print(f"saved trained components to {args.save_dir}")
+    if args.sessions > 1:
+        return _establish_batch(pipeline, args.sessions)
     outcome = pipeline.establish_key(episode="cli")
     session = outcome.session
     print(f"raw agreement        : {outcome.raw_agreement_rate:.2%}")
@@ -65,6 +67,25 @@ def _cmd_establish(args) -> int:
         return 0
     print("final key            : (not enough verified bits this session)")
     return 1
+
+
+def _establish_batch(pipeline, n_sessions: int) -> int:
+    """Run ``n_sessions`` concurrent establishments through the batched engine."""
+    from repro.core.batch import BatchedSessionRunner
+
+    report = BatchedSessionRunner(pipeline, episode_prefix="cli").run(n_sessions)
+    for index, outcome in enumerate(report.outcomes):
+        status = "ok" if outcome.success else f"failed ({outcome.failure_reason})"
+        key = outcome.final_key.hex() if outcome.success else "-"
+        print(
+            f"session {index:3d} : {status:32s} "
+            f"raw {outcome.raw_agreement_rate:6.2%}  "
+            f"kgr {outcome.key_generation_rate_bps:7.3f} bit/s  key {key}"
+        )
+    print(f"sessions             : {report.n_successful}/{report.n_sessions} successful")
+    print(f"batch wall time      : {report.elapsed_s:.2f} s")
+    print(f"throughput           : {report.sessions_per_sec:.2f} sessions/s")
+    return 0 if report.n_successful == report.n_sessions else 1
 
 
 def _cmd_attack(args) -> int:
@@ -147,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--load-dir",
         default=None,
         help="skip training and load trained components from this directory",
+    )
+    establish.add_argument(
+        "--sessions",
+        type=int,
+        default=1,
+        help="run N concurrent key establishments through the batched engine",
     )
     establish.set_defaults(handler=_cmd_establish)
 

@@ -3,6 +3,7 @@
 - :mod:`repro.core.model` -- the BiLSTM prediction + quantization network.
 - :mod:`repro.core.pipeline` -- end-to-end key establishment.
 - :mod:`repro.core.session` -- the authenticated two-party message protocol.
+- :mod:`repro.core.batch` -- batched multi-session establishment engine.
 - :mod:`repro.core.baselines` -- LoRa-Key, Han et al. and Gao et al.
 - :mod:`repro.core.transfer` -- cross-scenario fine-tuning (Fig. 14).
 - :mod:`repro.core.power` -- execution timing and the RPi4 energy model.
@@ -17,11 +18,15 @@ __all__ = [
     "PredictionQuantizationModel",
     "VehicleKeyPipeline",
     "KeyEstablishmentOutcome",
+    "BatchedSessionRunner",
+    "BatchReport",
 ]
 
 _LAZY_EXPORTS = {
     "VehicleKeyPipeline": ("repro.core.pipeline", "VehicleKeyPipeline"),
     "KeyEstablishmentOutcome": ("repro.core.pipeline", "KeyEstablishmentOutcome"),
+    "BatchedSessionRunner": ("repro.core.batch", "BatchedSessionRunner"),
+    "BatchReport": ("repro.core.batch", "BatchReport"),
 }
 
 

@@ -94,6 +94,59 @@ class PipelineConfig:
         return cls(**overrides)
 
 
+def build_episode_protocol(
+    config: PipelineConfig,
+    episode_seeds: SeedSequenceFactory,
+    interference: Sequence = (),
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    fast_path: bool = True,
+) -> Tuple[ProbingProtocol, Tuple[object, object], object]:
+    """Fresh trajectories/channel/protocol for one probing episode.
+
+    Module-level (and model-free) so process-pool workers can build an
+    episode from just the picklable config and its seed factory; returns
+    ``(protocol, (alice, bob), channel)``.
+    """
+    alice, bob = config.scenario.build_trajectories(episode_seeds)
+    motion = RelativeMotion(alice, bob)
+    channel = config.scenario.build_channel(episode_seeds, motion)
+    # A null plan is the ideal link; skipping the fault model entirely
+    # keeps the no-fault path bit-identical to the seed behaviour.
+    fault_model = None
+    if fault_plan is not None and not fault_plan.is_null:
+        fault_model = LinkFaultModel(fault_plan, episode_seeds)
+    protocol = ProbingProtocol(
+        channel=channel,
+        phy=config.phy,
+        alice_device=config.alice_device,
+        bob_device=config.bob_device,
+        interference=interference,
+        fault_model=fault_model,
+        retry_policy=retry_policy,
+        fast_path=fast_path,
+    )
+    return protocol, (alice, bob), channel
+
+
+def _episode_dataset(
+    config: PipelineConfig, root_seed: int, episode_label: str
+) -> Optional[KeyGenDataset]:
+    """One training episode's window dataset (``None`` if it fell short).
+
+    Worker for parallel dataset collection.  Episode seeds are derived by
+    *name* from the root seed, so the result is byte-identical no matter
+    which process (or how many) runs the episode.
+    """
+    episode_seeds = SeedSequenceFactory(root_seed).child(f"episode-{episode_label}")
+    protocol, _, _ = build_episode_protocol(config, episode_seeds)
+    trace = protocol.run(config.rounds_per_episode, episode_seeds)
+    bob_seq, alice_seq = arrssi_sequences(trace, config.feature_config)
+    if len(alice_seq) < config.seq_len:
+        return None  # an episode that lost too many packets
+    return build_dataset(alice_seq, bob_seq, seq_len=config.seq_len)
+
+
 class VehicleKeyPipeline:
     """Train and run Vehicle-Key in a simulated IoV scenario.
 
@@ -137,25 +190,17 @@ class VehicleKeyPipeline:
         interference: Sequence = (),
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        fast_path: bool = True,
     ) -> Tuple[ProbingProtocol, SeedSequenceFactory, object, object]:
         """Fresh trajectories/channel/protocol for one probing episode."""
         episode_seeds = self.seeds.child(f"episode-{episode}")
-        alice, bob = self.config.scenario.build_trajectories(episode_seeds)
-        motion = RelativeMotion(alice, bob)
-        channel = self.config.scenario.build_channel(episode_seeds, motion)
-        # A null plan is the ideal link; skipping the fault model entirely
-        # keeps the no-fault path bit-identical to the seed behaviour.
-        fault_model = None
-        if fault_plan is not None and not fault_plan.is_null:
-            fault_model = LinkFaultModel(fault_plan, episode_seeds)
-        protocol = ProbingProtocol(
-            channel=channel,
-            phy=self.config.phy,
-            alice_device=self.config.alice_device,
-            bob_device=self.config.bob_device,
+        protocol, (alice, bob), channel = build_episode_protocol(
+            self.config,
+            episode_seeds,
             interference=interference,
-            fault_model=fault_model,
+            fault_plan=fault_plan,
             retry_policy=retry_policy,
+            fast_path=fast_path,
         )
         return protocol, episode_seeds, (alice, bob), channel
 
@@ -167,6 +212,7 @@ class VehicleKeyPipeline:
         interference: Sequence = (),
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        fast_path: bool = True,
     ) -> ProbeTrace:
         """Run one probing episode; returns its trace.
 
@@ -180,12 +226,16 @@ class VehicleKeyPipeline:
             fault_plan: Optional link-fault injection for this episode;
                 the probing layer then runs its ARQ retry loop.
             retry_policy: ARQ budget/backoff used with a fault plan.
+            fast_path: Allow the protocol's vectorized fault-free path
+                (default).  ``False`` forces the per-round loop; traces
+                are bit-identical either way.
         """
         protocol, episode_seeds, (alice, bob), channel = self.build_protocol(
             episode,
             interference=interference,
             fault_plan=fault_plan,
             retry_policy=retry_policy,
+            fast_path=fast_path,
         )
         eavesdroppers: List[EavesdropperSetup] = [
             builder(self.config.scenario, episode_seeds, channel, alice, bob)
@@ -195,20 +245,54 @@ class VehicleKeyPipeline:
         return protocol.run(rounds, episode_seeds, eavesdroppers=eavesdroppers)
 
     def collect_dataset(
-        self, n_episodes: int = 12, episode_prefix: str = "train"
+        self,
+        n_episodes: int = 12,
+        episode_prefix: str = "train",
+        jobs: int = 1,
     ) -> KeyGenDataset:
         """Windows from several independent episodes, concatenated.
 
         Windows never straddle episode boundaries.
+
+        Args:
+            n_episodes: Independent probing episodes to collect.
+            episode_prefix: Label prefix; episode ``i`` is seeded from
+                ``{prefix}-{i}``.
+            jobs: Worker processes.  Episodes are seeded by name, so the
+                dataset is byte-identical for any ``jobs`` value; parallel
+                collection requires the pipeline to have an integer root
+                seed.
         """
         require_positive(n_episodes, "n_episodes")
-        parts: List[KeyGenDataset] = []
-        for index in range(n_episodes):
-            trace = self.collect_trace(f"{episode_prefix}-{index}")
-            bob_seq, alice_seq = arrssi_sequences(trace, self.config.feature_config)
-            if len(alice_seq) < self.config.seq_len:
-                continue  # an episode that lost too many packets
-            parts.append(build_dataset(alice_seq, bob_seq, seq_len=self.config.seq_len))
+        labels = [f"{episode_prefix}-{index}" for index in range(n_episodes)]
+        if jobs > 1 and n_episodes > 1:
+            require(
+                self.seeds.root_seed is not None,
+                "parallel dataset collection needs an integer root seed",
+            )
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                context = None
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, n_episodes), mp_context=context
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _episode_dataset, self.config, self.seeds.root_seed, label
+                    )
+                    for label in labels
+                ]
+                results = [future.result() for future in futures]
+        else:
+            results = [
+                _episode_dataset(self.config, self.seeds.root_seed, label)
+                for label in labels
+            ]
+        parts: List[KeyGenDataset] = [part for part in results if part is not None]
         require(bool(parts), "no episode produced a full window; check the link budget")
         return KeyGenDataset(
             alice=np.concatenate([p.alice for p in parts]),
@@ -309,6 +393,7 @@ class VehicleKeyPipeline:
         max_attempts: int = 1,
         reprobe_airtime_budget_s: Optional[float] = None,
         raise_on_failure: bool = False,
+        probing_fast_path: bool = True,
     ) -> "KeyEstablishmentOutcome":
         """Probe a fresh episode and run the full key agreement.
 
@@ -337,6 +422,9 @@ class VehicleKeyPipeline:
                 failed outcome.  A final-key mismatch always surfaces as
                 ``success=False`` with ``failure_reason="key-mismatch"``
                 and is never returned as a silent pair of different keys.
+            probing_fast_path: Allow the vectorized fault-free probing
+                path (default).  ``False`` forces the per-round loop --
+                traces, and therefore keys, are bit-identical either way.
         """
         require(max_attempts >= 1, "max_attempts must be >= 1")
         plan = fault_plan if fault_plan is not None and not fault_plan.is_null else None
@@ -357,6 +445,7 @@ class VehicleKeyPipeline:
                         n_rounds=rounds,
                         fault_plan=plan,
                         retry_policy=retry_policy,
+                        fast_path=probing_fast_path,
                     )
                 )
             channel = None
@@ -380,6 +469,37 @@ class VehicleKeyPipeline:
                 budget_stopped = True
                 break
 
+        return self.build_outcome(
+            result,
+            traces,
+            attempts=attempts,
+            budget_stopped=budget_stopped,
+            raise_on_failure=raise_on_failure,
+        )
+
+    def build_outcome(
+        self,
+        result: SessionResult,
+        traces: Sequence[ProbeTrace],
+        attempts: int = 1,
+        budget_stopped: bool = False,
+        raise_on_failure: bool = False,
+    ) -> "KeyEstablishmentOutcome":
+        """Grade a completed session into a :class:`KeyEstablishmentOutcome`.
+
+        Shared by :meth:`establish_key` and the batched multi-session
+        engine so both report failures, airtime and key-generation rate
+        identically.
+
+        Args:
+            result: The session's message-level result.
+            traces: The probing traces the session consumed.
+            attempts: Probing bursts that were run.
+            budget_stopped: Whether a re-probe airtime budget cut the
+                attempt loop short.
+            raise_on_failure: Raise the typed establishment error instead
+                of returning a failed outcome.
+        """
         failure_reason = None
         if result.final_key_alice is None:
             exhausted = budget_stopped or attempts > 1

@@ -227,7 +227,9 @@ class KeyAgreementSession:
         margins = np.abs(probabilities - 0.5).reshape(-1, bits_per_sample)
         return margins.min(axis=1) >= self.alice_confidence_margin
 
-    def extract_detail(self, dataset) -> "ExtractionDetail":
+    def extract_detail(
+        self, dataset, alice_probabilities: Optional[np.ndarray] = None
+    ) -> "ExtractionDetail":
         """Consensus extraction with per-window masks (public protocol state).
 
         The masks are what both parties broadcast during index
@@ -237,6 +239,15 @@ class KeyAgreementSession:
         and rejects the batch's raw windows, extraction degrades to the
         conventional quantizer path (see :meth:`_extract_detail_degraded`)
         instead of feeding the model out-of-distribution inputs.
+
+        Args:
+            dataset: The window dataset to extract bits from.
+            alice_probabilities: Optional precomputed output of
+                ``model.predict_bit_probabilities(dataset.alice)``, used
+                by the batched multi-session engine to amortize one big
+                forward pass across sessions.  The guard (if any) still
+                runs first; a degraded batch ignores the precomputed
+                values, exactly as it ignores the model.
         """
         verdict = None
         if self.inference_guard is not None:
@@ -244,7 +255,14 @@ class KeyAgreementSession:
             if not verdict.ok:
                 return self._extract_detail_degraded(dataset, verdict)
         bits_per_sample = self.model.bob_quantizer.bits_per_sample
-        alice_probs = self.model.predict_bit_probabilities(dataset.alice)
+        if alice_probabilities is not None:
+            alice_probs = np.asarray(alice_probabilities)
+            require(
+                len(alice_probs) == len(dataset),
+                "alice_probabilities must cover every dataset window",
+            )
+        else:
+            alice_probs = self.model.predict_bit_probabilities(dataset.alice)
         alice_bits = (alice_probs > 0.5).astype(np.uint8)
 
         alice_stream: List[np.ndarray] = []
@@ -356,6 +374,7 @@ class KeyAgreementSession:
         tamper=None,
         channel: Optional[LossyMessageChannel] = None,
         max_rerequests: int = 2,
+        alice_probabilities: Optional[List[np.ndarray]] = None,
     ) -> SessionResult:
         """Execute the session.
 
@@ -375,6 +394,11 @@ class KeyAgreementSession:
             max_rerequests: Re-request rounds allowed when ``channel`` is
                 lossy.  Ignored on a reliable transport, where the single
                 pass always delivers every block.
+            alice_probabilities: Optional precomputed model outputs, one
+                array per trace that yields at least ``seq_len`` windows
+                (in trace order) -- the batched engine's hook for sharing
+                a single stacked forward pass across sessions.  ``None``
+                runs the model per dataset as usual.
         """
         traces = [trace] if isinstance(trace, ProbeTrace) else list(trace)
         require(bool(traces), "need at least one probing trace")
@@ -390,13 +414,15 @@ class KeyAgreementSession:
         n_windows = 0
         degraded = False
         ood_windows = 0
+        precomputed = list(alice_probabilities) if alice_probabilities else None
         for part in traces:
             bob_seq, alice_seq = arrssi_sequences(part, self.feature_config)
             if len(alice_seq) < self.model.seq_len:
                 continue
             dataset = build_dataset(alice_seq, bob_seq, seq_len=self.model.seq_len)
             n_windows += len(dataset)
-            detail = self.extract_detail(dataset)
+            probs = precomputed.pop(0) if precomputed else None
+            detail = self.extract_detail(dataset, alice_probabilities=probs)
             alice_parts.append(detail.alice_bits)
             bob_parts.append(detail.bob_bits)
             kept_fractions.append(detail.kept_fraction)

@@ -28,6 +28,25 @@ from repro.lora.radio import TransceiverModel
 from repro.utils.rng import SeedLike, as_generator
 
 
+def quantize_packet_rssi(value_dbm, resolution_db: float = 1.0):
+    """Quantize a whole-packet RSSI report to the register resolution.
+
+    The rule is *round half toward +infinity*: ``floor(x / res + 0.5) * res``.
+    Earlier revisions used Python's ``round()``, whose round-half-even
+    ("banker's") tie behaviour silently depends on the parity of the
+    neighbouring register step; this rule is documented, direction-stable
+    at ties, and vectorizes bit-identically (``np.floor`` is elementwise),
+    so the loop and vectorized probing paths share one implementation.
+
+    Accepts scalars or arrays; scalars return a plain ``float``.
+    """
+    scaled = np.asarray(value_dbm, dtype=float) / resolution_db
+    quantized = np.floor(scaled + 0.5) * resolution_db
+    if np.isscalar(value_dbm):
+        return float(quantized)
+    return quantized
+
+
 def packet_rssi(register_samples: np.ndarray, resolution_db: float = 1.0) -> float:
     """Averaged packet RSSI from register samples, re-quantized like the chip.
 
@@ -93,21 +112,72 @@ class RegisterRssiSampler:
             raise ConfigurationError(
                 "received_power_dbm must return one power value per sample time"
             )
+        noise = rng.normal(0.0, self.device.rssi_noise_std_db, size=truth.shape)
+        return self._register_readings(truth, noise)
+
+    def sample_many(
+        self,
+        received_power_dbm: Callable[[np.ndarray], np.ndarray],
+        reception_starts_s: np.ndarray,
+        standard_noise: np.ndarray,
+    ) -> np.ndarray:
+        """Register-RSSI matrix for many packet receptions at once.
+
+        Vectorized equivalent of calling :meth:`sample` once per
+        reception: the channel is evaluated over the full
+        ``[reception, symbol]`` time grid in one call and the smoothing /
+        noise / quantization pipeline runs on whole matrices.  Every
+        arithmetic step mirrors :meth:`sample` operation-for-operation, so
+        with ``standard_noise`` drawn from the same generator stream the
+        result is bit-identical to the per-reception loop.
+
+        Args:
+            received_power_dbm: Vectorized time-to-power function (dBm);
+                called once with the flattened grid.
+            reception_starts_s: Start time of each reception, shape
+                ``[n_receptions]``.
+            standard_noise: *Standard* normal draws of shape
+                ``[n_receptions, n_samples]``; scaled internally by the
+                device's noise level (``Generator.normal(0, std)`` computes
+                ``std * z`` from the same standard-normal stream).
+
+        Returns:
+            ``[n_receptions, n_samples]`` register readings in dBm.
+        """
+        starts = np.asarray(reception_starts_s, dtype=float)
+        symbol = self.phy.symbol_time_s
+        offsets = symbol * (1.0 + np.arange(self.n_samples))
+        times = starts[:, np.newaxis] + offsets
+        truth = np.asarray(received_power_dbm(times.ravel()), dtype=float)
+        if truth.shape != (times.size,):
+            raise ConfigurationError(
+                "received_power_dbm must return one power value per sample time"
+            )
+        truth = truth.reshape(times.shape)
+        noise = self.device.rssi_noise_std_db * np.asarray(standard_noise, dtype=float)
+        if noise.shape != truth.shape:
+            raise ConfigurationError(
+                "standard_noise must supply one draw per register sample"
+            )
+        return self._register_readings(truth, noise)
+
+    def _register_readings(self, truth: np.ndarray, noise: np.ndarray) -> np.ndarray:
+        """Smooth, bias, corrupt and quantize true powers into readings.
+
+        Operates on the trailing (symbol) axis, so one implementation
+        serves both the single-reception and the batched entry points.
+        """
         alpha = self.device.rssi_smoothing_alpha
         if alpha < 1.0:
             # The RSSI register is an exponential average of recent symbol
             # powers; the filter state starts at the first symbol's power.
             smoothed = np.empty_like(truth)
-            state = truth[0]
-            for index, value in enumerate(truth):
-                state = (1.0 - alpha) * state + alpha * value
-                smoothed[index] = state
+            state = truth[..., 0].copy()
+            for index in range(truth.shape[-1]):
+                state = (1.0 - alpha) * state + alpha * truth[..., index]
+                smoothed[..., index] = state
             truth = smoothed
-        noisy = (
-            truth
-            + self.device.rssi_offset_db
-            + rng.normal(0.0, self.device.rssi_noise_std_db, size=truth.shape)
-        )
+        noisy = truth + self.device.rssi_offset_db + noise
         quantized = (
             np.round(noisy / self.device.rssi_resolution_db)
             * self.device.rssi_resolution_db

@@ -14,6 +14,22 @@ magnitude larger than the propagation delay, propagation is ignored
 (Sec. II-A makes the same argument).  Any eavesdroppers receive both
 transmissions through their *own* channels, sampled at exactly the same
 instants as the legitimate receivers.
+
+Two execution paths produce the same trace:
+
+- :meth:`ProbingProtocol.run_loop` is the frozen per-round loop -- the
+  correctness baseline, and the only path that supports ARQ fault
+  injection (retransmission timing depends on which packets were lost,
+  so the timeline cannot be precomputed).
+- The vectorized fast path (taken automatically by
+  :meth:`ProbingProtocol.run` on a fault-free link) exploits that
+  without faults every round's start time is a deterministic affine
+  function of the round index: it precomputes the full
+  ``[n_rounds, n_samples]`` timestamp grid, evaluates the channel stack
+  once per direction over the whole grid, and draws all measurement
+  noise in bulk from the same per-party seed streams -- reproducing the
+  loop path bit-for-bit (``tests/test_probing_vectorized.py`` pins
+  this).
 """
 
 from __future__ import annotations
@@ -30,7 +46,7 @@ from repro.faults.retry import RetryPolicy
 from repro.lora.airtime import LoRaPHYConfig
 from repro.lora.link_budget import LinkBudget
 from repro.lora.radio import TransceiverModel
-from repro.lora.rssi import RegisterRssiSampler
+from repro.lora.rssi import RegisterRssiSampler, quantize_packet_rssi
 from repro.probing.trace import EveTrace, ProbeTrace
 from repro.utils.rng import SeedSequenceFactory
 from repro.utils.validation import require, require_positive
@@ -76,6 +92,10 @@ class ProbingProtocol:
             ``None`` reproduces the ideal link bit-for-bit.
         retry_policy: Retransmission budget/backoff used with a fault
             model (defaults to :class:`~repro.faults.retry.RetryPolicy`).
+        fast_path: Allow :meth:`run` to take the vectorized fault-free
+            path (the default).  ``False`` forces the frozen per-round
+            loop, e.g. for before/after benchmarking; results are
+            bit-identical either way.
     """
 
     def __init__(
@@ -89,6 +109,7 @@ class ProbingProtocol:
         interference: Sequence = (),
         fault_model: Optional[LinkFaultModel] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        fast_path: bool = True,
     ):
         require(inter_round_gap_s >= 0, "inter_round_gap_s must be >= 0")
         self.channel = channel
@@ -100,6 +121,7 @@ class ProbingProtocol:
         self.interference = list(interference)
         self.fault_model = fault_model
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.fast_path = bool(fast_path)
 
     def round_period_s(self) -> float:
         """Duration of one complete probe/response round."""
@@ -118,6 +140,11 @@ class ProbingProtocol:
         start_time_s: float = 0.0,
     ) -> ProbeTrace:
         """Execute ``n_rounds`` probe/response rounds.
+
+        Dispatches to the vectorized fast path when the link is
+        fault-free (and ``fast_path`` was not disabled); otherwise runs
+        the per-round loop.  Both paths produce bit-identical traces, so
+        callers never need to care which one executed.
 
         Args:
             n_rounds: Rounds to attempt.
@@ -142,6 +169,27 @@ class ProbingProtocol:
         Alice's round ``k`` with Bob's round ``k+1``.  A round whose
         retry budget runs out is discarded (``valid=False``,
         ``dropped=True``) instead of desynchronizing the trace.
+        """
+        if self.fast_path and self.fault_model is None:
+            return self._run_vectorized(n_rounds, seeds, eavesdroppers, start_time_s)
+        return self.run_loop(n_rounds, seeds, eavesdroppers, start_time_s)
+
+    def run_loop(
+        self,
+        n_rounds: int,
+        seeds: SeedSequenceFactory,
+        eavesdroppers: Sequence[EavesdropperSetup] = (),
+        start_time_s: float = 0.0,
+    ) -> ProbeTrace:
+        """Per-round reference implementation of :meth:`run`.
+
+        This is the frozen correctness baseline: one probe/response
+        attempt at a time, measuring each reception as it happens.  It is
+        the only path that supports ARQ fault injection (retransmission
+        timing depends on which packets were lost, so the timeline cannot
+        be precomputed) and the oracle the vectorized fast path is pinned
+        against.  Arguments and return value are exactly those of
+        :meth:`run`.
         """
         require_positive(n_rounds, "n_rounds")
         airtime = self.phy.airtime_s
@@ -175,23 +223,8 @@ class ProbingProtocol:
             s.label: np.empty((n_rounds, n_samples)) for s in eavesdroppers
         }
 
-        def receiver_power(trajectory):
-            def power(times: np.ndarray) -> np.ndarray:
-                total = self.link_budget.received_power_dbm(
-                    self.channel.path_gain_db(times)
-                )
-                if self.interference:
-                    positions = trajectory.position_m(times)
-                    for source in self.interference:
-                        total = combine_power_dbm(
-                            total, source.power_dbm(times, positions)
-                        )
-                return total
-
-            return power
-
-        alice_power = receiver_power(self.channel.motion.trajectory_a)
-        bob_power = receiver_power(self.channel.motion.trajectory_b)
+        alice_power = self._receiver_power(self.channel.motion.trajectory_a)
+        bob_power = self._receiver_power(self.channel.motion.trajectory_b)
         faults = self.fault_model
         policy = self.retry_policy
         sf = self.phy.spreading_factor
@@ -325,6 +358,140 @@ class ProbingProtocol:
             dropped=dropped,
         )
 
+    def _receiver_power(self, trajectory):
+        """Receiver-side power-vs-time function for one endpoint.
+
+        Combines the reciprocal channel's path gain with any interference
+        picked up at the receiver's own position.  Shared by the loop and
+        vectorized paths so both evaluate the identical channel stack.
+        """
+
+        def power(times: np.ndarray) -> np.ndarray:
+            total = self.link_budget.received_power_dbm(
+                self.channel.path_gain_db(times)
+            )
+            if self.interference:
+                positions = trajectory.position_m(times)
+                for source in self.interference:
+                    total = combine_power_dbm(
+                        total, source.power_dbm(times, positions)
+                    )
+            return total
+
+        return power
+
+    def _run_vectorized(
+        self,
+        n_rounds: int,
+        seeds: SeedSequenceFactory,
+        eavesdroppers: Sequence[EavesdropperSetup] = (),
+        start_time_s: float = 0.0,
+    ) -> ProbeTrace:
+        """Grid-based fast path for fault-free probing.
+
+        Without faults the round timeline is deterministic, so the full
+        ``[n_rounds, n_samples]`` reception-time grid is known up front:
+        the channel stack is evaluated once per direction over the whole
+        grid and all measurement noise is drawn in bulk from the same
+        per-party streams the loop consumes round by round.  Every
+        arithmetic step mirrors :meth:`run_loop` exactly (timestamp
+        association order included), so the returned trace is
+        bit-identical to the loop's -- ``tests/test_probing_vectorized.py``
+        pins this.
+        """
+        require_positive(n_rounds, "n_rounds")
+        airtime = self.phy.airtime_s
+
+        alice_sampler = RegisterRssiSampler(self.phy, self.alice_device)
+        bob_sampler = RegisterRssiSampler(self.phy, self.bob_device)
+        alice_noise = seeds.generator("alice-rssi-noise")
+        bob_noise = seeds.generator("bob-rssi-noise")
+        n_samples = alice_sampler.n_samples
+
+        # Round timeline.  The start times are affine in the round index,
+        # but we reproduce the loop's running-cursor additions (same
+        # association order) rather than closing the form, so the
+        # timestamps -- and everything downstream -- match bit-for-bit.
+        probe_starts = np.empty(n_rounds)
+        response_starts = np.empty(n_rounds)
+        cursor = float(start_time_s)
+        for k in range(n_rounds):
+            probe_starts[k] = cursor
+            response_start = cursor + airtime + self.bob_device.processing_delay_s
+            response_starts[k] = response_start
+            cursor = (
+                response_start
+                + airtime
+                + self.alice_device.processing_delay_s
+                + self.inter_round_gap_s
+            )
+
+        alice_power = self._receiver_power(self.channel.motion.trajectory_a)
+        bob_power = self._receiver_power(self.channel.motion.trajectory_b)
+
+        # Each round consumes n_samples register-noise draws plus one
+        # packet-RSSI draw per party, in that order; a single row-major
+        # bulk draw therefore replays the loop's stream exactly.
+        z_bob = bob_noise.standard_normal((n_rounds, n_samples + 1))
+        z_alice = alice_noise.standard_normal((n_rounds, n_samples + 1))
+
+        bob_rssi = bob_sampler.sample_many(
+            bob_power, probe_starts, z_bob[:, :n_samples]
+        )
+        bob_prssi = quantize_packet_rssi(
+            bob_rssi.mean(axis=1)
+            + self.bob_device.packet_rssi_noise_std_db * z_bob[:, n_samples],
+            self.bob_device.rssi_resolution_db,
+        )
+        alice_rssi = alice_sampler.sample_many(
+            alice_power, response_starts, z_alice[:, :n_samples]
+        )
+        alice_prssi = quantize_packet_rssi(
+            alice_rssi.mean(axis=1)
+            + self.alice_device.packet_rssi_noise_std_db * z_alice[:, n_samples],
+            self.alice_device.rssi_resolution_db,
+        )
+
+        eve_traces: Dict[str, EveTrace] = {}
+        for setup in eavesdroppers:
+            sampler = RegisterRssiSampler(self.phy, setup.device)
+            gen = seeds.generator(f"eve-{setup.label}-rssi-noise")
+            # Per round the loop draws n_samples for the probe overhear,
+            # then n_samples for the response overhear.
+            z_eve = gen.standard_normal((n_rounds, 2 * n_samples))
+            of_alice = sampler.sample_many(
+                self._eve_power(setup.channel_from_alice),
+                probe_starts,
+                z_eve[:, :n_samples],
+            )
+            of_bob = sampler.sample_many(
+                self._eve_power(setup.channel_from_bob),
+                response_starts,
+                z_eve[:, n_samples:],
+            )
+            eve_traces[setup.label] = EveTrace(
+                of_alice_rssi=of_alice, of_bob_rssi=of_bob
+            )
+
+        probe_gain = self.channel.path_gain_db(probe_starts + airtime / 2.0)
+        response_gain = self.channel.path_gain_db(response_starts + airtime / 2.0)
+        valid = self.link_budget.is_decodable(
+            probe_gain, self.phy
+        ) & self.link_budget.is_decodable(response_gain, self.phy)
+
+        return ProbeTrace(
+            phy=self.phy,
+            alice_rssi=alice_rssi,
+            bob_rssi=bob_rssi,
+            round_start_s=probe_starts,
+            valid=np.asarray(valid, dtype=bool),
+            eve=eve_traces,
+            alice_prssi=np.asarray(alice_prssi, dtype=float),
+            bob_prssi=np.asarray(bob_prssi, dtype=float),
+            retries=np.zeros(n_rounds, dtype=np.int32),
+            dropped=np.zeros(n_rounds, dtype=bool),
+        )
+
     def _packet_rssi(
         self,
         register_samples: np.ndarray,
@@ -334,11 +501,14 @@ class ProbingProtocol:
         """The chip's whole-packet RSSI report for one reception.
 
         Mean of the register samples plus the PacketRssi register's own
-        calibration error, quantized to the register resolution.
+        calibration error, quantized to the register resolution with
+        :func:`~repro.lora.rssi.quantize_packet_rssi` (round half toward
+        +infinity -- the documented rule shared with the vectorized
+        path).
         """
         value = float(np.mean(register_samples))
         value += float(rng.normal(0.0, device.packet_rssi_noise_std_db))
-        return round(value / device.rssi_resolution_db) * device.rssi_resolution_db
+        return quantize_packet_rssi(value, device.rssi_resolution_db)
 
     def _eve_power(self, channel: ReciprocalChannel):
         budget = self.link_budget

@@ -1,0 +1,124 @@
+"""The batched multi-session engine vs a sequential establish_key loop.
+
+``BatchedSessionRunner`` amortizes trace generation and the model
+forward pass across sessions; these tests pin that the amortization is
+*pure* -- every per-session outcome (keys, verified blocks, agreement
+numbers, byte accounting) equals what a sequential
+``establish_key(episode=label)`` loop over the same labels produces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchedSessionRunner, BatchReport
+from repro.exceptions import ConfigurationError
+
+
+def sequential_outcomes(pipeline, runner, n_sessions):
+    """The sequential-loop reference for a batch's episode labels."""
+    return [
+        pipeline.establish_key(episode=label, n_rounds=runner.n_rounds)
+        for label in runner.session_labels(n_sessions)
+    ]
+
+
+def assert_outcomes_identical(batched, sequential):
+    """Exact equality of everything a session outcome reports."""
+    assert batched.session.final_key_alice == sequential.session.final_key_alice
+    assert batched.session.final_key_bob == sequential.session.final_key_bob
+    assert batched.session.verified_blocks == sequential.session.verified_blocks
+    assert batched.session.agreed_bits == sequential.session.agreed_bits
+    assert batched.session.n_blocks == sequential.session.n_blocks
+    assert batched.session.n_windows == sequential.session.n_windows
+    assert batched.session.kept_fraction == sequential.session.kept_fraction
+    assert batched.session.consensus_bytes == sequential.session.consensus_bytes
+    assert (
+        batched.session.reconciliation_bytes
+        == sequential.session.reconciliation_bytes
+    )
+    assert batched.session.raw_agreement.mean == sequential.session.raw_agreement.mean
+    assert batched.failure_reason == sequential.failure_reason
+    assert batched.probing_time_s == sequential.probing_time_s
+    assert batched.key_generation_rate_bps == sequential.key_generation_rate_bps
+
+
+class TestBatchedEngine:
+    def test_matches_sequential_loop(self, tiny_pipeline):
+        runner = BatchedSessionRunner(
+            tiny_pipeline, n_rounds=192, episode_prefix="batch-eq"
+        )
+        report = runner.run(3)
+        reference = sequential_outcomes(tiny_pipeline, runner, 3)
+        assert report.n_sessions == 3
+        for batched, sequential in zip(report.outcomes, reference):
+            assert_outcomes_identical(batched, sequential)
+
+    def test_report_accounting(self, tiny_pipeline):
+        runner = BatchedSessionRunner(
+            tiny_pipeline, n_rounds=128, episode_prefix="batch-acct"
+        )
+        report = runner.run(2)
+        assert isinstance(report, BatchReport)
+        assert report.elapsed_s > 0.0
+        assert report.sessions_per_sec > 0.0
+        assert 0 <= report.n_successful <= report.n_sessions
+
+    def test_sessions_get_independent_episodes(self, tiny_pipeline):
+        report = BatchedSessionRunner(
+            tiny_pipeline, n_rounds=128, episode_prefix="batch-indep"
+        ).run(2)
+        first, second = (outcome.session for outcome in report.outcomes)
+        if first.final_key_alice is not None and second.final_key_alice is not None:
+            assert first.final_key_alice != second.final_key_alice
+
+    def test_too_short_trace_degrades_not_crashes(self, tiny_pipeline):
+        # 2 rounds cannot fill a seq_len-16 window: the session must
+        # report an entropy failure, exactly like the sequential path.
+        runner = BatchedSessionRunner(
+            tiny_pipeline, n_rounds=2, episode_prefix="batch-short"
+        )
+        report = runner.run(1)
+        outcome = report.outcomes[0]
+        assert not outcome.success
+        assert outcome.failure_reason is not None
+
+    def test_rejects_nonpositive_sessions(self, tiny_pipeline):
+        runner = BatchedSessionRunner(tiny_pipeline, n_rounds=64)
+        with pytest.raises(ConfigurationError):
+            runner.run(0)
+
+
+class TestPrecomputedProbabilities:
+    def test_session_rejects_mismatched_probabilities(self, tiny_pipeline):
+        session = tiny_pipeline.build_session()
+        trace = tiny_pipeline.collect_trace("precomp-bad", n_rounds=192)
+        bad = [np.full((1, tiny_pipeline.config.key_bits), 0.5)]
+        with pytest.raises(ConfigurationError):
+            session.run(trace, alice_probabilities=bad)
+
+
+class TestCliBatch:
+    def test_sessions_flag_runs_batched_engine(self, tiny_pipeline, monkeypatch):
+        from repro import cli
+
+        class _StubPipeline:
+            """Stands in for the freshly-trained CLI pipeline."""
+
+            @staticmethod
+            def for_scenario(name, seed=0):
+                return tiny_pipeline
+
+        monkeypatch.setattr(
+            "repro.core.pipeline.VehicleKeyPipeline", _StubPipeline
+        )
+        monkeypatch.setattr(tiny_pipeline, "load", lambda directory: tiny_pipeline)
+        code = cli.main(
+            ["establish", "--sessions", "2", "--load-dir", "unused"]
+        )
+        assert code in (0, 1)  # ran to completion either way
+
+    def test_sessions_default_is_single_session(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["establish"])
+        assert args.sessions == 1

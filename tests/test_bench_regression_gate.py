@@ -1,0 +1,91 @@
+"""Unit tests for the benchmark regression gate itself.
+
+``scripts/check_bench_regression.py`` is what keeps the perf trajectory
+honest in CI, so its comparison semantics (missing entries, new entries,
+regressions, improvements, ungated absolute trackers) are pinned here.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "check_bench_regression.py"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    """The regression-gate module, imported from scripts/."""
+    spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_bench(path: Path, entries: dict) -> Path:
+    """Write a BENCH_*.json payload in the benchmarks' schema."""
+    path.write_text(json.dumps({"entries": entries}))
+    return path
+
+
+def run_gate(gate, tmp_path, current, baseline, tolerance=None):
+    """Invoke the gate's main() on two in-memory benchmark payloads."""
+    argv = [
+        "--current",
+        str(write_bench(tmp_path / "current.json", current)),
+        "--baseline",
+        str(write_bench(tmp_path / "baseline.json", baseline)),
+    ]
+    if tolerance is not None:
+        argv += ["--tolerance", str(tolerance)]
+    return gate.main(argv)
+
+
+ENTRY = {"before_s": 1.0, "after_s": 0.25, "speedup": 4.0}
+
+
+class TestGateSemantics:
+    def test_identical_results_pass(self, gate, tmp_path):
+        assert run_gate(gate, tmp_path, {"k": dict(ENTRY)}, {"k": dict(ENTRY)}) == 0
+
+    def test_missing_entry_fails(self, gate, tmp_path):
+        assert run_gate(gate, tmp_path, {}, {"k": dict(ENTRY)}) == 1
+
+    def test_new_current_entry_is_allowed(self, gate, tmp_path):
+        # A freshly added benchmark has no baseline yet; it must not block.
+        current = {"k": dict(ENTRY), "brand-new": dict(ENTRY)}
+        assert run_gate(gate, tmp_path, current, {"k": dict(ENTRY)}) == 0
+
+    def test_regression_past_tolerance_fails(self, gate, tmp_path):
+        slow = {"before_s": 1.0, "after_s": 0.5, "speedup": 2.0}
+        assert run_gate(gate, tmp_path, {"k": slow}, {"k": dict(ENTRY)}) == 1
+
+    def test_regression_within_tolerance_passes(self, gate, tmp_path):
+        slightly_slow = {"before_s": 1.0, "after_s": 0.3, "speedup": 3.3}
+        assert (
+            run_gate(gate, tmp_path, {"k": slightly_slow}, {"k": dict(ENTRY)}, 0.25)
+            == 0
+        )
+
+    def test_improvement_passes(self, gate, tmp_path):
+        faster = {"before_s": 1.0, "after_s": 0.1, "speedup": 10.0}
+        assert run_gate(gate, tmp_path, {"k": faster}, {"k": dict(ENTRY)}) == 0
+
+    def test_absolute_tracker_never_gates(self, gate, tmp_path):
+        # speedup=None entries track absolute cost; even a big slowdown
+        # must not fail the gate.
+        base = {"k": {"before_s": None, "after_s": 0.5, "speedup": None}}
+        cur = {"k": {"before_s": None, "after_s": 50.0, "speedup": None}}
+        assert run_gate(gate, tmp_path, cur, base) == 0
+
+    def test_lost_speedup_fails(self, gate, tmp_path):
+        # Baseline has a gated speedup but the current run recorded none:
+        # that silently un-gates the entry, so it must fail loudly.
+        cur = {"k": {"before_s": None, "after_s": 0.25, "speedup": None}}
+        assert run_gate(gate, tmp_path, cur, {"k": dict(ENTRY)}) == 1
+
+    def test_tolerance_flag_respected(self, gate, tmp_path):
+        slow = {"before_s": 1.0, "after_s": 0.5, "speedup": 2.0}
+        assert run_gate(gate, tmp_path, {"k": slow}, {"k": dict(ENTRY)}, 0.6) == 0
+        assert run_gate(gate, tmp_path, {"k": slow}, {"k": dict(ENTRY)}, 0.4) == 1
