@@ -1,0 +1,99 @@
+"""Chaos-harness benchmarks: cost and verdict of the invariant sweep.
+
+Trains the chaos-sized pipeline once, runs a fixed-seed randomized
+fault/attack sweep, asserts that every safety invariant held (zero
+violations -- the same verdict the ``repro chaos`` CI smoke job
+enforces at larger scale), and persists the timings to
+``BENCH_chaos.json`` at the repo root.
+
+Both entries are absolute-cost trackers (``speedup: null``):
+``scripts/check_bench_regression.py`` reports them and fails CI if
+either entry disappears, but does not gate on the absolute seconds,
+which do not transfer across runners.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.faults import chaos
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+
+#: Sessions in the timed sweep -- large enough to mix null, faulted,
+#: attacked and duty-cycled combinations, small enough for ~1 min.
+N_SESSIONS = 40
+SWEEP_SEED = 0
+
+#: Collected by the tests below, written once at module teardown.
+_ENTRIES = {}
+
+
+def _record(name, before_s, after_s, **extra):
+    _ENTRIES[name] = {
+        "before_s": round(before_s, 6) if before_s is not None else None,
+        "after_s": round(after_s, 6),
+        "speedup": round(before_s / after_s, 3) if before_s is not None else None,
+        **extra,
+    }
+    return _ENTRIES[name]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_results():
+    """Persist everything the module measured to ``BENCH_chaos.json``."""
+    yield
+    if not _ENTRIES:
+        return
+    payload = {
+        "benchmark": "chaos-invariant-harness",
+        "units": "seconds, single run (absolute-cost trackers)",
+        "before": None,
+        "after": "build_chaos_pipeline + run_chaos randomized sweep",
+        "numpy": np.__version__,
+        "entries": dict(sorted(_ENTRIES.items())),
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n[benchmarks] wrote {RESULTS_PATH} with {len(_ENTRIES)} entries")
+
+
+@pytest.fixture(scope="module")
+def chaos_pipeline():
+    """The chaos-sized trained pipeline, timing its own construction."""
+    start = time.perf_counter()
+    pipeline = chaos.build_chaos_pipeline()
+    elapsed = time.perf_counter() - start
+    _record("chaos_pipeline_train", None, elapsed)
+    return pipeline
+
+
+def test_chaos_sweep_holds_invariants(chaos_pipeline):
+    """The benchmark sweep itself must come back clean."""
+    start = time.perf_counter()
+    report = chaos.run_chaos(chaos_pipeline, N_SESSIONS, seed=SWEEP_SEED)
+    elapsed = time.perf_counter() - start
+
+    assert report.ok, [violation.detail for violation in report.violations]
+    assert report.n_sessions == N_SESSIONS
+    # The sweep must exercise the machinery it claims to: some sessions
+    # attacked, some faulted, and a mix of successes and structured ends.
+    assert report.attacked_sessions > 0
+    assert report.faulted_sessions > 0
+    assert report.successes > 0
+    assert report.aborts > 0
+
+    _record(
+        f"chaos_sweep@{N_SESSIONS}_sessions",
+        None,
+        elapsed,
+        sessions_per_sec=round(N_SESSIONS / elapsed, 3),
+        seed=SWEEP_SEED,
+        successes=report.successes,
+        aborts=report.aborts,
+        attacked_sessions=report.attacked_sessions,
+        faulted_sessions=report.faulted_sessions,
+        violations=len(report.violations),
+    )

@@ -42,6 +42,7 @@ from repro.exceptions import (
     KeyEstablishmentError,
     InsufficientEntropyError,
     RetryBudgetExhausted,
+    SessionAborted,
 )
 
 __all__ = [
@@ -55,12 +56,14 @@ __all__ = [
     "KeyEstablishmentError",
     "InsufficientEntropyError",
     "RetryBudgetExhausted",
+    "SessionAborted",
     "ScenarioName",
     "ScenarioConfig",
     "VehicleKeyPipeline",
     "KeyEstablishmentOutcome",
     "FaultPlan",
     "RetryPolicy",
+    "AdversaryPlan",
 ]
 
 # Re-exports of the main user-facing classes are resolved lazily (PEP 562)
@@ -73,6 +76,7 @@ _LAZY_EXPORTS = {
     "KeyEstablishmentOutcome": ("repro.core.pipeline", "KeyEstablishmentOutcome"),
     "FaultPlan": ("repro.faults.plan", "FaultPlan"),
     "RetryPolicy": ("repro.faults.retry", "RetryPolicy"),
+    "AdversaryPlan": ("repro.faults.adversary", "AdversaryPlan"),
 }
 
 

@@ -116,8 +116,14 @@ class StopAndGoTrajectory(Trajectory):
         self._boundaries = [0.0]
         self._speeds: list = []
         self._cumulative = [0.0]
+        # ndarray views of the segment lists, rebuilt only when the
+        # trajectory extends; per-round scalar queries would otherwise
+        # re-convert every list on every call.
+        self._segment_cache = None
 
     def _extend_to(self, horizon_s: float) -> None:
+        if self._boundaries[-1] > horizon_s:
+            return
         while self._boundaries[-1] <= horizon_s:
             duration = float(self._rng.exponential(self._segment_duration))
             duration = max(duration, 1.0)
@@ -128,14 +134,23 @@ class StopAndGoTrajectory(Trajectory):
             self._speeds.append(speed)
             self._cumulative.append(self._cumulative[-1] + speed * duration)
             self._boundaries.append(self._boundaries[-1] + duration)
+        self._segment_cache = None
+
+    def _segment_arrays(self):
+        """ndarray views of (boundaries, cumulative, speeds)."""
+        if self._segment_cache is None:
+            self._segment_cache = (
+                np.asarray(self._boundaries),
+                np.asarray(self._cumulative),
+                np.asarray(self._speeds),
+            )
+        return self._segment_cache
 
     def _distance_along(self, t: np.ndarray) -> np.ndarray:
         flat = np.atleast_1d(t).ravel()
         require(np.all(flat >= 0), "StopAndGoTrajectory is defined for t >= 0")
         self._extend_to(float(flat.max(initial=0.0)) + 1.0)
-        bounds = np.asarray(self._boundaries)
-        cumulative = np.asarray(self._cumulative)
-        speeds = np.asarray(self._speeds)
+        bounds, cumulative, speeds = self._segment_arrays()
         idx = np.clip(np.searchsorted(bounds, flat, side="right") - 1, 0, len(speeds) - 1)
         dist = cumulative[idx] + speeds[idx] * (flat - bounds[idx])
         return dist.reshape(np.shape(t))
@@ -148,8 +163,7 @@ class StopAndGoTrajectory(Trajectory):
         t = np.asarray(time_s, dtype=float)
         flat = np.atleast_1d(t).ravel()
         self._extend_to(float(flat.max(initial=0.0)) + 1.0)
-        bounds = np.asarray(self._boundaries)
-        speeds = np.asarray(self._speeds)
+        bounds, _, speeds = self._segment_arrays()
         idx = np.clip(np.searchsorted(bounds, flat, side="right") - 1, 0, len(speeds) - 1)
         speed = speeds[idx].reshape(np.shape(t))
         return speed[..., np.newaxis] * self._direction

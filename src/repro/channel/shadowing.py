@@ -59,6 +59,10 @@ class GudmundsonShadowing:
         # Grid values at displacements step * (offset + i) for i in range(len).
         self._values: List[float] = [self._draw_initial()]
         self._offset = 0  # grid index of self._values[0]
+        # ndarray view of ``_values``, rebuilt only when the grid grows;
+        # per-round scalar queries would otherwise pay a list-to-array
+        # conversion of the whole grid on every call.
+        self._grid_cache: np.ndarray = None
         # Independent innovation streams per growth direction.  Each grid
         # node then consumes a fixed draw (the |index|-th of its
         # direction's stream) no matter which caller forced the extension
@@ -82,11 +86,16 @@ class GudmundsonShadowing:
         return self._rho * anchor + float(rng.normal(0.0, noise_std))
 
     def _ensure_index(self, index: int) -> None:
+        if (
+            self._offset <= index < self._offset + len(self._values)
+        ):
+            return
         while index >= self._offset + len(self._values):
             self._values.append(self._innovation(self._values[-1], self._up_rng))
         while index < self._offset:
             self._values.insert(0, self._innovation(self._values[0], self._down_rng))
             self._offset -= 1
+        self._grid_cache = None
 
     def value_at(self, displacement_m) -> np.ndarray:
         """Shadowing value(s) in dB at the given route displacement(s).
@@ -99,7 +108,9 @@ class GudmundsonShadowing:
         if disp.size:
             self._ensure_index(int(np.floor(disp.min() / self._step)))
             self._ensure_index(int(np.floor(disp.max() / self._step)) + 1)
-        grid_values = np.asarray(self._values)
+        if self._grid_cache is None:
+            self._grid_cache = np.asarray(self._values)
+        grid_values = self._grid_cache
         positions = disp / self._step - self._offset
         idx = np.clip(positions.astype(int), 0, grid_values.size - 2)
         frac = positions - idx

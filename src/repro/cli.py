@@ -7,6 +7,7 @@ Usage::
     python -m repro validate-channel
     python -m repro experiments fig12-13 --full
     python -m repro robustness --seed 3
+    python -m repro chaos --sessions 200 --seed 0
 
 ``python -m repro experiments ...`` forwards to
 :mod:`repro.experiments.runner`.
@@ -139,6 +140,44 @@ def _cmd_robustness(args) -> int:
     return runner_main(forwarded)
 
 
+def _cmd_chaos(args) -> int:
+    """Run the chaos invariant harness; exit non-zero on any violation."""
+    from repro.faults.chaos import INVARIANTS, build_chaos_pipeline, run_chaos
+
+    print(f"training chaos pipeline for {args.scenario.value} ...")
+    pipeline = build_chaos_pipeline(scenario=args.scenario)
+    print(
+        f"sweeping {args.sessions} random fault x attack combinations "
+        f"(seed {args.seed}) ..."
+    )
+    report = run_chaos(
+        pipeline,
+        args.sessions,
+        seed=args.seed,
+        n_rounds=args.rounds,
+        max_attempts=args.max_attempts,
+    )
+    print(f"sessions             : {report.n_sessions}")
+    print(f"  with faults        : {report.faulted_sessions}")
+    print(f"  with attacks       : {report.attacked_sessions}")
+    print(f"successful keys      : {report.successes}")
+    print(f"structured aborts    : {report.aborts}  {report.abort_reasons}")
+    print(f"failure reasons      : {report.failure_reasons}")
+    counts = report.violation_counts()
+    for invariant in INVARIANTS:
+        print(f"invariant {invariant:28s}: {counts[invariant]} violation(s)")
+    for violation in report.violations:
+        print(
+            f"VIOLATION [{violation.invariant}] session {violation.session} "
+            f"(seed {violation.seed}): {violation.detail}"
+        )
+    if report.ok:
+        print("all invariants held")
+        return 0
+    print(f"{len(report.violations)} invariant violation(s)")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI's argument parser."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -210,6 +249,26 @@ def build_parser() -> argparse.ArgumentParser:
     robustness.add_argument("--seed", type=int, default=0)
     robustness.add_argument("--full", action="store_true")
     robustness.set_defaults(handler=_cmd_robustness)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep random fault x attack combinations against safety invariants",
+    )
+    chaos.add_argument("--scenario", type=_scenario, default=ScenarioName.V2I_URBAN)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--sessions", type=int, default=50,
+        help="number of seeded random fault/attack combinations to run",
+    )
+    chaos.add_argument(
+        "--rounds", type=int, default=None,
+        help="probing rounds per session (default: the chaos pipeline's 96)",
+    )
+    chaos.add_argument(
+        "--max-attempts", type=int, default=2,
+        help="probing bursts per session (>1 exercises abort re-sync)",
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
     return parser
 
 

@@ -22,6 +22,15 @@ episode label (``tests/test_batched_sessions.py`` pins this): the
 stacked forward pass computes each window row independently, and the
 session layer consumes the precomputed probabilities through the same
 guarded extraction path it would otherwise compute itself.
+
+The amortized path assumes the fault-free vectorized protocol.  When a
+:class:`~repro.faults.plan.FaultPlan` or
+:class:`~repro.faults.adversary.AdversaryPlan` is active, the runner
+falls back to one :meth:`establish_key` call per session -- faults and
+attacks need the per-round ARQ loop and per-session adversary state, so
+they are executed rather than silently ignored, and batched outcomes
+stay identical to the sequential loop under faults too (pinned by the
+same test module).
 """
 
 from __future__ import annotations
@@ -33,6 +42,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.pipeline import KeyEstablishmentOutcome, VehicleKeyPipeline
+from repro.faults.adversary import AdversaryPlan
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.probing.dataset import build_dataset
 from repro.probing.features import arrssi_sequences
 from repro.probing.trace import ProbeTrace
@@ -80,6 +92,13 @@ class BatchedSessionRunner:
         episode_prefix: Label prefix; session ``i`` probes episode
             ``{prefix}-{i}``, so a batch covers the same independent
             channel realizations the sequential loop would.
+        fault_plan: Optional fault injection applied to every session.
+            Any active plan disables the amortized fast path (see
+            :attr:`amortized`).
+        retry_policy: ARQ budget/backoff used with an active fault or
+            adversary plan.
+        adversary_plan: Optional active-attack plan applied to every
+            session; also disables the amortized fast path.
     """
 
     def __init__(
@@ -87,6 +106,9 @@ class BatchedSessionRunner:
         pipeline: VehicleKeyPipeline,
         n_rounds: Optional[int] = None,
         episode_prefix: str = "batch",
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        adversary_plan: Optional[AdversaryPlan] = None,
     ):
         self.pipeline = pipeline
         self.n_rounds = (
@@ -96,6 +118,23 @@ class BatchedSessionRunner:
         )
         require_positive(self.n_rounds, "n_rounds")
         self.episode_prefix = episode_prefix
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
+        self.adversary_plan = adversary_plan
+
+    @property
+    def amortized(self) -> bool:
+        """Whether the batch may take the stacked-inference fast path.
+
+        Faults and active attacks require the per-round ARQ loop and
+        per-session adversary/channel state, so any active plan forces
+        per-session execution.
+        """
+        if self.fault_plan is not None and not self.fault_plan.is_null:
+            return False
+        if self.adversary_plan is not None and not self.adversary_plan.is_null:
+            return False
+        return True
 
     def session_labels(self, n_sessions: int) -> List[str]:
         """The episode labels a batch of ``n_sessions`` probes."""
@@ -106,9 +145,12 @@ class BatchedSessionRunner:
 
         Returns a :class:`BatchReport`; its per-session outcomes match a
         sequential ``establish_key`` loop over the same episode labels
-        bit-for-bit.
+        bit-for-bit.  With an active fault or adversary plan the batch
+        *is* that sequential loop (see :attr:`amortized`).
         """
         require_positive(n_sessions, "n_sessions")
+        if not self.amortized:
+            return self._run_per_session(n_sessions)
         start = time.perf_counter()
         session = self.pipeline.build_session()
         model = self.pipeline.model
@@ -152,5 +194,26 @@ class BatchedSessionRunner:
             result = session.run(trace, alice_probabilities=probs)
             outcomes.append(self.pipeline.build_outcome(result, [trace]))
 
+        elapsed = time.perf_counter() - start
+        return BatchReport(outcomes=outcomes, elapsed_s=elapsed)
+
+    def _run_per_session(self, n_sessions: int) -> BatchReport:
+        """Fault/adversary fallback: one ``establish_key`` per session.
+
+        Exactly the sequential loop a caller would write, so fault and
+        attack semantics (ARQ, lossy syndrome channels, per-session
+        adversary state, structured aborts) apply unchanged.
+        """
+        start = time.perf_counter()
+        outcomes = [
+            self.pipeline.establish_key(
+                episode=label,
+                n_rounds=self.n_rounds,
+                fault_plan=self.fault_plan,
+                retry_policy=self.retry_policy,
+                adversary_plan=self.adversary_plan,
+            )
+            for label in self.session_labels(n_sessions)
+        ]
         elapsed = time.perf_counter() - start
         return BatchReport(outcomes=outcomes, elapsed_s=elapsed)

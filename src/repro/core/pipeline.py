@@ -27,7 +27,9 @@ from repro.exceptions import (
     InsufficientEntropyError,
     KeyEstablishmentError,
     RetryBudgetExhausted,
+    SessionAborted,
 )
+from repro.faults.adversary import ActiveAdversary, AdversaryPlan, build_adversary
 from repro.faults.link import LinkFaultModel
 from repro.faults.messages import LossyMessageChannel
 from repro.faults.plan import FaultPlan
@@ -100,6 +102,7 @@ def build_episode_protocol(
     interference: Sequence = (),
     fault_plan: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    adversary: Optional[ActiveAdversary] = None,
     fast_path: bool = True,
 ) -> Tuple[ProbingProtocol, Tuple[object, object], object]:
     """Fresh trajectories/channel/protocol for one probing episode.
@@ -124,6 +127,7 @@ def build_episode_protocol(
         interference=interference,
         fault_model=fault_model,
         retry_policy=retry_policy,
+        adversary=adversary,
         fast_path=fast_path,
     )
     return protocol, (alice, bob), channel
@@ -190,6 +194,7 @@ class VehicleKeyPipeline:
         interference: Sequence = (),
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        adversary: Optional[ActiveAdversary] = None,
         fast_path: bool = True,
     ) -> Tuple[ProbingProtocol, SeedSequenceFactory, object, object]:
         """Fresh trajectories/channel/protocol for one probing episode."""
@@ -200,6 +205,7 @@ class VehicleKeyPipeline:
             interference=interference,
             fault_plan=fault_plan,
             retry_policy=retry_policy,
+            adversary=adversary,
             fast_path=fast_path,
         )
         return protocol, episode_seeds, (alice, bob), channel
@@ -212,6 +218,7 @@ class VehicleKeyPipeline:
         interference: Sequence = (),
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        adversary: Optional[ActiveAdversary] = None,
         fast_path: bool = True,
     ) -> ProbeTrace:
         """Run one probing episode; returns its trace.
@@ -226,6 +233,9 @@ class VehicleKeyPipeline:
             fault_plan: Optional link-fault injection for this episode;
                 the probing layer then runs its ARQ retry loop.
             retry_policy: ARQ budget/backoff used with a fault plan.
+            adversary: Optional active attacker whose probing-layer
+                attacks (jamming, replay, injection) are woven into the
+                episode's ARQ loop.
             fast_path: Allow the protocol's vectorized fault-free path
                 (default).  ``False`` forces the per-round loop; traces
                 are bit-identical either way.
@@ -235,6 +245,7 @@ class VehicleKeyPipeline:
             interference=interference,
             fault_plan=fault_plan,
             retry_policy=retry_policy,
+            adversary=adversary,
             fast_path=fast_path,
         )
         eavesdroppers: List[EavesdropperSetup] = [
@@ -390,6 +401,7 @@ class VehicleKeyPipeline:
         trace: ProbeTrace = None,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        adversary_plan: Optional[AdversaryPlan] = None,
         max_attempts: int = 1,
         reprobe_airtime_budget_s: Optional[float] = None,
         raise_on_failure: bool = False,
@@ -408,6 +420,14 @@ class VehicleKeyPipeline:
                 drop/duplication/reorder on the syndrome exchange
                 (absorbed by bounded re-requests).
             retry_policy: ARQ budget/backoff under the fault plan.
+            adversary_plan: Optional active-attack plan.  A fresh seeded
+                :class:`~repro.faults.adversary.ActiveAdversary` is built
+                per probing attempt, attacking both the probing layer and
+                the syndrome/confirmation exchange; attacks compose with
+                ``fault_plan``.  An aborted session discards its suspect
+                bits and re-syncs with a fresh probing burst on the next
+                attempt (bounded by ``max_attempts``).  A null plan is
+                bit-identical to no adversary.
             max_attempts: Probing bursts allowed before giving up.  When a
                 session ends without enough verified bits, a fresh episode
                 is probed and the surviving bits of all bursts are pooled.
@@ -418,36 +438,56 @@ class VehicleKeyPipeline:
                 further burst is probed and the outcome reports
                 ``retry-budget-exhausted``.
             raise_on_failure: Raise :class:`InsufficientEntropyError` /
-                :class:`RetryBudgetExhausted` instead of returning a
-                failed outcome.  A final-key mismatch always surfaces as
-                ``success=False`` with ``failure_reason="key-mismatch"``
-                and is never returned as a silent pair of different keys.
+                :class:`RetryBudgetExhausted` /
+                :class:`~repro.exceptions.SessionAborted` instead of
+                returning a failed outcome.  A final-key mismatch always
+                surfaces as ``success=False`` with
+                ``failure_reason="key-mismatch"`` and is never returned
+                as a silent pair of different keys.
             probing_fast_path: Allow the vectorized fault-free probing
                 path (default).  ``False`` forces the per-round loop --
                 traces, and therefore keys, are bit-identical either way.
         """
         require(max_attempts >= 1, "max_attempts must be >= 1")
         plan = fault_plan if fault_plan is not None and not fault_plan.is_null else None
+        attack_plan = (
+            adversary_plan
+            if adversary_plan is not None and not adversary_plan.is_null
+            else None
+        )
         rounds = n_rounds if n_rounds is not None else self.config.session_rounds
         session = self.build_session()
 
-        traces: List[ProbeTrace] = [] if trace is None else [trace]
+        all_traces: List[ProbeTrace] = [] if trace is None else [trace]
+        # ``pool`` holds the traces feeding the *current* session; an
+        # abort empties it (desync recovery: suspect bits are discarded
+        # and the next attempt re-syncs from a fresh burst) while
+        # ``all_traces`` keeps everything for airtime accounting.
+        pool: List[ProbeTrace] = list(all_traces)
         result: SessionResult = None
         budget_stopped = False
         attempts = 0
+        aborted_attempts = 0
+        adversary_events = None
         for attempt in range(max_attempts):
             attempts = attempt + 1
             label = episode if attempt == 0 else f"{episode}-reprobe-{attempt}"
-            if attempt > 0 or not traces:
-                traces.append(
-                    self.collect_trace(
-                        label,
-                        n_rounds=rounds,
-                        fault_plan=plan,
-                        retry_policy=retry_policy,
-                        fast_path=probing_fast_path,
-                    )
+            adversary = None
+            if attack_plan is not None:
+                adversary = build_adversary(
+                    attack_plan, self.seeds.child(f"episode-{label}")
                 )
+            if attempt > 0 or not pool:
+                collected = self.collect_trace(
+                    label,
+                    n_rounds=rounds,
+                    fault_plan=plan,
+                    retry_policy=retry_policy,
+                    adversary=adversary,
+                    fast_path=probing_fast_path,
+                )
+                pool.append(collected)
+                all_traces.append(collected)
             channel = None
             if plan is not None and plan.messages.active:
                 channel = LossyMessageChannel(
@@ -456,12 +496,27 @@ class VehicleKeyPipeline:
                         "fault-messages"
                     ),
                 )
+            run_kwargs = {"channel": channel}
+            if adversary is not None:
+                run_kwargs["adversary"] = adversary
             result = session.run(
-                traces[0] if len(traces) == 1 else traces, channel=channel
+                pool[0] if len(pool) == 1 else pool, **run_kwargs
             )
+            if adversary is not None:
+                counts = adversary.event_counts()
+                if adversary_events is None:
+                    adversary_events = counts
+                else:
+                    adversary_events = {
+                        key: adversary_events.get(key, 0) + value
+                        for key, value in counts.items()
+                    }
+            if result.abort is not None:
+                aborted_attempts += 1
+                pool = []
             if result.final_key_alice is not None:
                 break
-            probing_so_far = sum(t.duration_s for t in traces)
+            probing_so_far = sum(t.duration_s for t in all_traces)
             if (
                 reprobe_airtime_budget_s is not None
                 and probing_so_far >= reprobe_airtime_budget_s
@@ -471,10 +526,12 @@ class VehicleKeyPipeline:
 
         return self.build_outcome(
             result,
-            traces,
+            all_traces,
             attempts=attempts,
             budget_stopped=budget_stopped,
             raise_on_failure=raise_on_failure,
+            aborted_attempts=aborted_attempts,
+            adversary_events=adversary_events,
         )
 
     def build_outcome(
@@ -484,6 +541,8 @@ class VehicleKeyPipeline:
         attempts: int = 1,
         budget_stopped: bool = False,
         raise_on_failure: bool = False,
+        aborted_attempts: int = 0,
+        adversary_events=None,
     ) -> "KeyEstablishmentOutcome":
         """Grade a completed session into a :class:`KeyEstablishmentOutcome`.
 
@@ -499,9 +558,17 @@ class VehicleKeyPipeline:
                 attempt loop short.
             raise_on_failure: Raise the typed establishment error instead
                 of returning a failed outcome.
+            aborted_attempts: Attempts ended by a session abort (desync
+                recovery re-probed after each).
+            adversary_events: Accumulated attack-event counters from the
+                active adversary, when one was configured.
         """
+        # A state-machine abort outranks every inferred failure: its slug
+        # is the ground truth for why no key exists.
         failure_reason = None
-        if result.final_key_alice is None:
+        if result.abort is not None:
+            failure_reason = result.abort.reason
+        elif result.final_key_alice is None:
             exhausted = budget_stopped or attempts > 1
             failure_reason = (
                 RetryBudgetExhausted.reason
@@ -516,6 +583,8 @@ class VehicleKeyPipeline:
                 f"{failure_reason} ({result.agreed_bits} verified bits, "
                 f"need {self.config.final_key_bits})"
             )
+            if result.abort is not None:
+                raise SessionAborted(message, abort=result.abort)
             if failure_reason == RetryBudgetExhausted.reason:
                 raise RetryBudgetExhausted(message)
             if failure_reason == InsufficientEntropyError.reason:
@@ -528,6 +597,17 @@ class VehicleKeyPipeline:
             result.reconciliation_messages + 2, result.total_public_bytes
         )
         kgr = key_generation_rate(result.agreed_bits, probing_time, airtime)
+        retry_limit = next(
+            (t.retry_limit for t in traces if t.retry_limit is not None), None
+        )
+        max_round_retries = max((t.max_round_retries for t in traces), default=0)
+        replays_rejected = sum(t.total_replays_rejected for t in traces)
+        detections = (
+            replays_rejected
+            + result.rejected_messages
+            + result.mac_failures
+            + (1 if result.confirmed is False else 0)
+        )
         return KeyEstablishmentOutcome(
             session=result,
             probing_time_s=probing_time,
@@ -537,6 +617,18 @@ class VehicleKeyPipeline:
             attempts=attempts,
             total_retries=sum(t.total_retries for t in traces),
             dropped_rounds=sum(t.n_dropped_rounds for t in traces),
+            retry_limit_per_round=retry_limit,
+            max_round_retries=max_round_retries,
+            retry_budget_remaining=(
+                None if retry_limit is None else retry_limit - max_round_retries
+            ),
+            total_backoff_s=sum(t.total_backoff_s for t in traces),
+            time_to_abort_s=(
+                probing_time + airtime if result.abort is not None else None
+            ),
+            attack_detections=detections,
+            adversary_events=adversary_events,
+            aborted_attempts=aborted_attempts,
         )
 
     # -- persistence ------------------------------------------------------------
@@ -581,11 +673,32 @@ class KeyEstablishmentOutcome:
         reconciliation_airtime_s: Airtime spent on reconciliation traffic.
         key_generation_rate_bps: Agreed key-material bits per protocol second.
         failure_reason: ``None`` on success; otherwise a machine-readable
-            slug (``"insufficient-entropy"``, ``"retry-budget-exhausted"``
-            or ``"key-mismatch"``).
+            slug (``"insufficient-entropy"``, ``"retry-budget-exhausted"``,
+            ``"key-mismatch"``, or one of the state-machine abort reasons
+            in :data:`repro.core.statemachine.ABORT_REASONS`).
         attempts: Probing bursts consumed (1 unless re-probing fired).
         total_retries: ARQ retransmissions across all probing bursts.
         dropped_rounds: Probing rounds discarded after exhausting retries.
+        retry_limit_per_round: The ARQ policy's per-round retry budget, or
+            ``None`` when probing ran without an ARQ layer.
+        max_round_retries: The worst single round's retransmission count.
+        retry_budget_remaining: Unused retries in the worst round
+            (``retry_limit_per_round - max_round_retries``); ``None``
+            without ARQ.  Never negative on a budget-respecting run -- the
+            chaos harness asserts exactly that.
+        total_backoff_s: Wall-clock time spent in ARQ timeouts/backoff.
+        time_to_abort_s: Protocol time elapsed when the state machine
+            aborted (probing plus reconciliation airtime); ``None`` when
+            the session completed.
+        attack_detections: Detected attack events -- rejected replays,
+            rejected/malformed messages, MAC failures and failed
+            confirmations.
+        adversary_events: Attack-event counters from the configured
+            :class:`~repro.faults.adversary.ActiveAdversary` (``None``
+            without one): what was actually *launched*, the denominator
+            for detection rates.
+        aborted_attempts: Attempts ended by a session abort before the
+            final one.
     """
 
     session: SessionResult
@@ -596,6 +709,14 @@ class KeyEstablishmentOutcome:
     attempts: int = 1
     total_retries: int = 0
     dropped_rounds: int = 0
+    retry_limit_per_round: Optional[int] = None
+    max_round_retries: int = 0
+    retry_budget_remaining: Optional[int] = None
+    total_backoff_s: float = 0.0
+    time_to_abort_s: Optional[float] = None
+    attack_detections: int = 0
+    adversary_events: Optional[dict] = None
+    aborted_attempts: int = 0
 
     @property
     def agreement_rate(self) -> float:
@@ -614,8 +735,18 @@ class KeyEstablishmentOutcome:
 
     @property
     def success(self) -> bool:
-        """Whether both parties ended with the same final key."""
+        """Whether both parties ended with the same *confirmed* final key."""
         return self.failure_reason is None and self.session.keys_match
+
+    @property
+    def aborted(self) -> bool:
+        """Whether the final session ended in a state-machine abort."""
+        return self.session.abort is not None
+
+    @property
+    def abort_reason(self) -> Optional[str]:
+        """The final session's abort slug, or ``None``."""
+        return None if self.session.abort is None else self.session.abort.reason
 
     @property
     def degraded_mode(self) -> Optional[str]:

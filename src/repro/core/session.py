@@ -13,11 +13,21 @@ probing trace:
    guard-banded quantizers.
 4. **Reconciliation** -- the surviving bits are pooled into fixed-size
    blocks; for each block Bob sends one autoencoder syndrome plus a MAC
-   (Sec. IV-C).  The MAC doubles as key confirmation: a block whose
-   reconciliation failed, or whose syndrome was tampered with, fails
-   verification and is discarded.
+   (Sec. IV-C).  A block whose reconciliation failed, or whose syndrome
+   was tampered with, fails verification and is discarded.
 5. **Privacy amplification** -- verified blocks are hashed into the
    final 128-bit key.
+6. **Key confirmation** -- both parties exchange domain-separated hash
+   commitments over the amplified key; a mismatch aborts the session and
+   releases no key, so a reported success is cryptographically grounded
+   rather than inferred from bit agreement.
+
+The whole exchange runs under an explicit authenticated state machine
+(:mod:`repro.core.statemachine`): attacker-controlled input -- replayed
+nonces, malformed or spoofed syndromes, wholesale MAC failure, tampered
+confirmations -- drives the session into a terminal, machine-readable
+:class:`~repro.core.statemachine.SessionAbort` instead of raising or
+silently corrupting state.
 """
 
 from __future__ import annotations
@@ -30,7 +40,16 @@ import numpy as np
 
 from repro.core.guard import InferenceGuard
 from repro.core.model import PredictionQuantizationModel
-from repro.exceptions import ProtocolError
+from repro.core.statemachine import (
+    ABORT_CONFIRMATION,
+    ABORT_MAC,
+    ABORT_MALFORMED,
+    ABORT_REPLAY,
+    SessionAbort,
+    SessionState,
+    SessionStateMachine,
+)
+from repro.faults.adversary import ActiveAdversary
 from repro.faults.messages import LossyMessageChannel
 from repro.metrics.agreement import AgreementSummary, agreement_statistics
 from repro.privacy.amplification import amplify_to_bytes
@@ -125,6 +144,20 @@ class SessionResult:
             guard rejected at least one trace's windows and the session
             fell back to Alice's conventional multi-bit quantizer.
         ood_windows: Windows flagged out-of-distribution by the guard.
+        abort: Structured :class:`~repro.core.statemachine.SessionAbort`
+            when the state machine aborted the session; ``None`` on a
+            clean completion.  An aborted session never carries final
+            keys.
+        confirmed: ``True`` when the key-confirmation hash exchange
+            verified on both sides, ``False`` when it ran and failed,
+            ``None`` when it never ran (no candidate key to confirm).
+        confirmation_bytes: Public payload bytes of the confirmation
+            round (two hash commitments; 0 when it never ran).
+        mac_failures: Syndrome messages whose MAC verification failed.
+        rejected_messages: Messages rejected before MAC verification
+            (stale nonce, malformed structure, unknown block).
+        final_state: Terminal :class:`~repro.core.statemachine.SessionState`
+            value (``"complete"`` or ``"aborted"``).
     """
 
     raw_agreement: AgreementSummary
@@ -143,6 +176,12 @@ class SessionResult:
     undelivered_blocks: int = 0
     degraded_mode: Optional[str] = None
     ood_windows: int = 0
+    abort: Optional[SessionAbort] = None
+    confirmed: Optional[bool] = None
+    confirmation_bytes: int = 0
+    mac_failures: int = 0
+    rejected_messages: int = 0
+    final_state: Optional[str] = None
 
     @property
     def keys_match(self) -> bool:
@@ -153,9 +192,18 @@ class SessionResult:
         )
 
     @property
+    def aborted(self) -> bool:
+        """Whether the authenticated state machine aborted the session."""
+        return self.abort is not None
+
+    @property
     def total_public_bytes(self) -> int:
         """All public-channel payload bytes the session consumed."""
-        return self.consensus_bytes + self.reconciliation_bytes
+        return (
+            self.consensus_bytes
+            + self.reconciliation_bytes
+            + self.confirmation_bytes
+        )
 
 
 class KeyAgreementSession:
@@ -354,18 +402,30 @@ class KeyAgreementSession:
 
     # -- message validation ------------------------------------------------------
     @staticmethod
-    def _validate_message(message: SyndromeMessage) -> None:
-        """Reject structurally malformed syndrome messages early.
+    def _validate_message(message: SyndromeMessage) -> Optional[str]:
+        """Describe what is structurally wrong with a message, if anything.
 
         A negative block index or an empty nonce would previously flow
-        into array indexing / MAC bodies as silent garbage.
+        into array indexing / MAC bodies as silent garbage.  Attacker
+        input must never raise out of the session, so the problem is
+        returned as a detail string (``None`` when the message is well
+        formed) and the caller converts it into a structured abort.
         """
         if message.block_index < 0:
-            raise ProtocolError(
-                f"syndrome block index must be >= 0, got {message.block_index}"
-            )
+            return f"syndrome block index must be >= 0, got {message.block_index}"
         if not message.session_nonce:
-            raise ProtocolError("syndrome message carries an empty session nonce")
+            return "syndrome message carries an empty session nonce"
+        return None
+
+    @staticmethod
+    def _confirmation_commit(tag: bytes, nonce: bytes, key: bytes) -> bytes:
+        """One party's key-confirmation commitment.
+
+        A truncated domain-separated hash over the amplified key: the
+        ``tag`` distinguishes the two directions so neither party can
+        reflect the other's commitment back.
+        """
+        return hashlib.sha256(tag + nonce + key).digest()[:16]
 
     # -- the session -------------------------------------------------------------
     def run(
@@ -375,6 +435,7 @@ class KeyAgreementSession:
         channel: Optional[LossyMessageChannel] = None,
         max_rerequests: int = 2,
         alice_probabilities: Optional[List[np.ndarray]] = None,
+        adversary: Optional[ActiveAdversary] = None,
     ) -> SessionResult:
         """Execute the session.
 
@@ -399,14 +460,29 @@ class KeyAgreementSession:
                 (in trace order) -- the batched engine's hook for sharing
                 a single stacked forward pass across sessions.  ``None``
                 runs the model per dataset as usual.
+            adversary: Optional active attacker whose message-layer
+                attacks (syndrome tamper/replay/spoof, confirmation
+                tamper) are woven into the exchange.  Attacker input
+                never raises out of the session: a replayed nonce, a
+                malformed message, or a wholesale MAC failure drives the
+                state machine into a structured
+                :class:`~repro.core.statemachine.SessionAbort` carried on
+                the returned result, and an aborted session releases no
+                key material.
+
+        Returns:
+            The :class:`SessionResult`, with ``abort``/``confirmed``/
+            ``final_state`` reporting the state machine's verdict.
         """
         traces = [trace] if isinstance(trace, ProbeTrace) else list(trace)
         require(bool(traces), "need at least one probing trace")
+        machine = SessionStateMachine()
         nonce = self.session_nonce
         if nonce is None:
             nonce = hashlib.sha256(
                 np.ascontiguousarray(traces[0].round_start_s).tobytes()
             ).digest()[:8]
+        machine.advance(SessionState.EXTRACTING)
 
         alice_parts, bob_parts = [], []
         kept_fractions = []
@@ -450,6 +526,10 @@ class KeyAgreementSession:
         reconciliation_bytes = 0
         messages = 0
         retransmitted = 0
+        mac_failures = 0
+        rejected = 0
+        if n_blocks:
+            machine.advance(SessionState.RECONCILING)
 
         def bob_message(block: int) -> SyndromeMessage:
             """Bob's (re)transmission of one block's syndrome."""
@@ -468,15 +548,40 @@ class KeyAgreementSession:
             )
 
         def alice_receive(message: SyndromeMessage) -> None:
-            """Alice's handling of one arrival (idempotent per block)."""
-            self._validate_message(message)
+            """Alice's handling of one arrival (idempotent per block).
+
+            Attacker-controlled input never raises: structural damage and
+            stale nonces abort the state machine; MAC failures leave the
+            block unverified (and counted) so a later retransmission can
+            still succeed.
+            """
+            nonlocal mac_failures, rejected
+            if machine.aborted:
+                return
+            problem = self._validate_message(message)
+            if problem is not None:
+                rejected += 1
+                machine.abort(ABORT_MALFORMED, problem)
+                return
             if message.session_nonce != nonce:
-                raise ProtocolError("session nonce mismatch: possible replay")
+                rejected += 1
+                machine.abort(
+                    ABORT_REPLAY,
+                    "session nonce mismatch: stale or replayed message",
+                )
+                return
             block = message.block_index
             if block >= n_blocks:
-                raise ProtocolError(
-                    f"syndrome for unknown block {block} (have {n_blocks})"
+                rejected += 1
+                machine.abort(
+                    ABORT_MALFORMED,
+                    f"syndrome for unknown block {block} (have {n_blocks})",
                 )
+                return
+            if block in verified_set:
+                # Idempotent: a duplicate -- or a forgery racing a block
+                # that already verified -- never overwrites key material.
+                return
             corrected_key = self.reconciler.alice_correct(
                 alice_blocks[block], message.syndrome
             )
@@ -487,13 +592,19 @@ class KeyAgreementSession:
                 message.mac,
             ):
                 verified_set.add(block)
+            else:
+                mac_failures += 1
 
-        # First pass sends every block; further passes (lossy transport
-        # only) re-request the blocks that did not verify -- lost ones and
-        # MAC failures alike -- until the re-request budget runs out.
+        # First pass sends every block; further passes (lossy or attacked
+        # transport only) re-request the blocks that did not verify --
+        # lost ones and MAC failures alike -- until the re-request budget
+        # runs out.
+        unreliable = channel is not None or (
+            adversary is not None and adversary.plan.attacks_messages
+        )
         outstanding = list(range(n_blocks))
         for request_round in range(max(0, max_rerequests) + 1):
-            if not outstanding:
+            if not outstanding or machine.aborted:
                 break
             if request_round > 0:
                 retransmitted += len(outstanding)
@@ -502,6 +613,8 @@ class KeyAgreementSession:
                 message = bob_message(block)
                 if tamper is not None:
                     message = tamper(message)
+                if adversary is not None:
+                    message = adversary.corrupt_syndrome(message)
                 messages += 1
                 reconciliation_bytes += message.payload_bytes()
                 if channel is None:
@@ -510,13 +623,30 @@ class KeyAgreementSession:
                     arrivals.extend(channel.deliver(message))
             if channel is not None:
                 arrivals.extend(channel.flush())
+            if adversary is not None:
+                arrivals.extend(
+                    adversary.spoof_syndromes(
+                        nonce, n_blocks, self.reconciler.code_dim
+                    )
+                )
             for message in arrivals:
                 alice_receive(message)
-            if channel is None:
+            if not unreliable:
                 # Reliable transport: everything arrived; MAC failures are
                 # reconciliation failures, which a resend cannot fix.
                 break
             outstanding = [b for b in outstanding if b not in verified_set]
+
+        # Wholesale MAC failure: syndromes arrived but not one verified.
+        # That is indistinguishable from a man-in-the-middle rewriting the
+        # exchange, so the session aborts rather than reporting a merely
+        # unproductive run.
+        if not machine.aborted and n_blocks and corrected and not verified_set:
+            machine.abort(
+                ABORT_MAC,
+                f"all {len(corrected)} received syndromes failed MAC "
+                "verification",
+            )
 
         verified = sorted(verified_set)
         received = sorted(corrected)
@@ -542,11 +672,47 @@ class KeyAgreementSession:
             if verified
             else np.zeros(0, dtype=np.uint8)
         )
-        if verified_alice.size >= self.final_key_bits:
+        if verified_alice.size >= self.final_key_bits and not machine.aborted:
             final_alice = amplify_to_bytes(verified_alice, self.final_key_bits)
             final_bob = amplify_to_bytes(verified_bob, self.final_key_bits)
         else:
             final_alice = final_bob = None
+
+        # Key confirmation: both parties commit to the amplified key with
+        # domain-separated truncated hashes.  Only a key that survives the
+        # exchange is released, so ``keys_match`` is cryptographically
+        # checked rather than inferred from bit agreement.
+        confirmed: Optional[bool] = None
+        confirmation_bytes = 0
+        if final_alice is not None and final_bob is not None:
+            machine.advance(SessionState.CONFIRMING)
+            bob_commit = self._confirmation_commit(
+                b"vehicle-key-confirm-bob", nonce, final_bob
+            )
+            if adversary is not None:
+                bob_commit = adversary.tamper_confirmation(bob_commit)
+            confirmation_bytes += len(bob_commit)
+            alice_accepts = bob_commit == self._confirmation_commit(
+                b"vehicle-key-confirm-bob", nonce, final_alice
+            )
+            alice_commit = self._confirmation_commit(
+                b"vehicle-key-confirm-alice", nonce, final_alice
+            )
+            if adversary is not None:
+                alice_commit = adversary.tamper_confirmation(alice_commit)
+            confirmation_bytes += len(alice_commit)
+            bob_accepts = alice_commit == self._confirmation_commit(
+                b"vehicle-key-confirm-alice", nonce, final_bob
+            )
+            confirmed = alice_accepts and bob_accepts
+            if not confirmed:
+                machine.abort(
+                    ABORT_CONFIRMATION,
+                    "key-confirmation hash exchange failed",
+                )
+                final_alice = final_bob = None
+        if not machine.terminal:
+            machine.advance(SessionState.COMPLETE)
 
         return SessionResult(
             raw_agreement=raw,
@@ -565,4 +731,10 @@ class KeyAgreementSession:
             undelivered_blocks=n_blocks - len(corrected),
             degraded_mode="ood-quantizer-fallback" if degraded else None,
             ood_windows=ood_windows,
+            abort=machine.abort_record,
+            confirmed=confirmed,
+            confirmation_bytes=confirmation_bytes,
+            mac_failures=mac_failures,
+            rejected_messages=rejected,
+            final_state=machine.state.value,
         )

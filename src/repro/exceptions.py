@@ -46,6 +46,27 @@ class RetryBudgetExhausted(KeyEstablishmentError):
     reason = "retry-budget-exhausted"
 
 
+class SessionAborted(KeyEstablishmentError):
+    """The authenticated session state machine aborted the run.
+
+    Raised (with ``raise_on_failure=True``) when a session ends in the
+    ``ABORTED`` state: a replayed or malformed message, a total MAC
+    verification failure, or a failed key-confirmation round.  The
+    structured :class:`~repro.core.statemachine.SessionAbort` record is
+    attached as :attr:`abort`; its ``reason`` slug (not the generic class
+    ``reason``) is what :attr:`KeyEstablishmentOutcome.failure_reason`
+    reports.
+    """
+
+    reason = "session-aborted"
+
+    def __init__(self, message: str, abort=None):
+        super().__init__(message)
+        #: The :class:`~repro.core.statemachine.SessionAbort` that ended
+        #: the session (``None`` when raised without one).
+        self.abort = abort
+
+
 class NotTrainedError(ReproError):
     """A learned component was used before it was trained or loaded."""
 

@@ -28,6 +28,7 @@ from typing import Callable, Dict, Tuple
 
 from repro.experiments import (
     ablations,
+    active_adversary,
     duty_cycle,
     fig02_feasibility,
     fig03_prssi_vs_rrssi,
@@ -63,6 +64,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablations": ablations.run,
     "duty-cycle": duty_cycle.run,
     "robustness": robustness_sweep.run,
+    "active-adversary": active_adversary.run,
 }
 
 

@@ -1,14 +1,23 @@
-"""Fault injection and recovery: lossy links, retries, graceful failure.
+"""Fault injection, active adversaries, and recovery.
 
 The robustness layer of the reproduction.  A seeded
-:class:`~repro.faults.plan.FaultPlan` describes which faults to inject
-(burst packet loss, SNR-dependent PER, RSSI register glitches,
-reconciliation-message drop/duplication/reorder); the probing protocol's
-ARQ layer and the session's bounded re-requests absorb them, and the
-pipeline converts what cannot be absorbed into structured failures
+:class:`~repro.faults.plan.FaultPlan` describes which *benign* faults to
+inject (burst packet loss, SNR-dependent PER, RSSI register glitches,
+reconciliation-message drop/duplication/reorder); a seeded
+:class:`~repro.faults.adversary.AdversaryPlan` describes which *active
+attacks* to launch (probe replay/injection, reactive jamming, syndrome
+tamper/replay/spoof, confirmation tampering).  The probing protocol's
+ARQ layer and the session's bounded re-requests absorb the faults, the
+authenticated state machine converts attacks into structured aborts, and
+the pipeline converts what cannot be absorbed into structured failures
 instead of silent key mismatches.
+
+The chaos invariant harness lives in :mod:`repro.faults.chaos`; import
+it as a submodule (it depends on the pipeline layer, which depends on
+this package, so it cannot be re-exported here without a cycle).
 """
 
+from repro.faults.adversary import ActiveAdversary, AdversaryPlan, build_adversary
 from repro.faults.link import (
     GilbertElliottProcess,
     LinkFaultModel,
@@ -24,6 +33,9 @@ from repro.faults.plan import (
 from repro.faults.retry import RetryPolicy
 
 __all__ = [
+    "ActiveAdversary",
+    "AdversaryPlan",
+    "build_adversary",
     "FaultPlan",
     "LossConfig",
     "MessageFaultConfig",

@@ -1,0 +1,282 @@
+"""Active-adversary injection: replay, injection, spoofing, jamming.
+
+The link/register/message faults of :mod:`repro.faults.plan` model
+*nature*; this module models an *attacker*.  A frozen
+:class:`AdversaryPlan` declares which attacks to mount and how often, and
+a seeded :class:`ActiveAdversary` executes them against one session:
+
+- **probe replay** -- retransmit a stale captured probe; Bob's
+  sequence-window check must reject it (and the collision costs Alice a
+  retry), never fold it into the trace;
+- **probe injection** -- transmit a forged probe carrying the *current*
+  sequence number at an attacker-chosen power, poisoning Bob's RSSI
+  measurement for that round (reciprocity breaks, so the downstream MAC /
+  confirmation layers must catch the damage);
+- **reactive jamming** -- burst interference on either link direction,
+  driven by the same Gilbert-Elliott chain the natural loss model uses;
+- **syndrome tamper/replay/spoof** -- modify Bob's syndromes in flight,
+  replay stale-nonce syndromes, or inject wholly forged ones (the nonce is
+  public, so a spoofer can copy it; the MAC is what stops them);
+- **confirmation tamper** -- corrupt the final key-confirmation hashes.
+
+Attacks compose with a :class:`~repro.faults.plan.FaultPlan`: natural loss
+and adversarial interference stack.  All adversary randomness comes from
+dedicated named seed streams (``adversary-*``), so enabling an attack
+never perturbs the legitimate measurement-noise streams -- a null plan is
+bit-identical to no adversary at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.faults.link import DIRECTIONS, GilbertElliottProcess
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import require, require_in_range
+
+#: Nonce an adversary replays from a "previous session" -- any value that
+#: differs from the live session's fresh nonce exercises the same check.
+STALE_NONCE = b"\x00stale!\x00"
+
+
+@dataclass(frozen=True)
+class AdversaryPlan:
+    """Declarative description of one active attacker.
+
+    Attributes:
+        probe_replay_rate: Per-attempt probability the attacker replays a
+            stale captured probe during the probe slot.
+        probe_injection_rate: Per-attempt probability the attacker injects
+            a forged probe with the current sequence number.
+        injection_rssi_dbm: Received power of injected probes at Bob.
+        injection_jitter_db: Std-dev of the injected probe's sample noise.
+        jamming_rate: Stationary probability of a reactive-jamming burst
+            hitting one transmission (per direction).
+        jamming_mean_burst: Mean jamming-burst length in packets.
+        syndrome_tamper_rate: Per-message probability a syndrome's payload
+            is modified in flight.
+        syndrome_replay_rate: Per-message probability a stale-nonce
+            syndrome is substituted for Bob's.
+        syndrome_spoof_rate: Per request round, probability the attacker
+            injects one forged syndrome message (public nonce copied,
+            forged MAC).
+        confirmation_tamper: Corrupt the key-confirmation hash exchange.
+    """
+
+    probe_replay_rate: float = 0.0
+    probe_injection_rate: float = 0.0
+    injection_rssi_dbm: float = -55.0
+    injection_jitter_db: float = 1.0
+    jamming_rate: float = 0.0
+    jamming_mean_burst: float = 3.0
+    syndrome_tamper_rate: float = 0.0
+    syndrome_replay_rate: float = 0.0
+    syndrome_spoof_rate: float = 0.0
+    confirmation_tamper: bool = False
+
+    def __post_init__(self) -> None:
+        require_in_range(self.probe_replay_rate, 0.0, 1.0, "probe_replay_rate")
+        require_in_range(
+            self.probe_injection_rate, 0.0, 1.0, "probe_injection_rate"
+        )
+        require(self.injection_jitter_db >= 0.0, "injection_jitter_db must be >= 0")
+        require_in_range(self.jamming_rate, 0.0, 0.999, "jamming_rate")
+        require(self.jamming_mean_burst >= 1.0, "jamming_mean_burst must be >= 1")
+        require_in_range(self.syndrome_tamper_rate, 0.0, 1.0, "syndrome_tamper_rate")
+        require_in_range(self.syndrome_replay_rate, 0.0, 1.0, "syndrome_replay_rate")
+        require_in_range(self.syndrome_spoof_rate, 0.0, 1.0, "syndrome_spoof_rate")
+
+    @classmethod
+    def none(cls) -> "AdversaryPlan":
+        """The identity plan: no attack at all."""
+        return cls()
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan mounts no attack (identical to no adversary)."""
+        return not (
+            self.probe_replay_rate > 0.0
+            or self.probe_injection_rate > 0.0
+            or self.jamming_rate > 0.0
+            or self.syndrome_tamper_rate > 0.0
+            or self.syndrome_replay_rate > 0.0
+            or self.syndrome_spoof_rate > 0.0
+            or self.confirmation_tamper
+        )
+
+    @property
+    def attacks_probing(self) -> bool:
+        """Whether any probing-layer attack is enabled."""
+        return (
+            self.probe_replay_rate > 0.0
+            or self.probe_injection_rate > 0.0
+            or self.jamming_rate > 0.0
+        )
+
+    @property
+    def attacks_messages(self) -> bool:
+        """Whether any reconciliation-message attack is enabled."""
+        return (
+            self.syndrome_tamper_rate > 0.0
+            or self.syndrome_replay_rate > 0.0
+            or self.syndrome_spoof_rate > 0.0
+        )
+
+
+class ActiveAdversary:
+    """One session's worth of seeded active attacks.
+
+    All randomness comes from named streams of ``seeds``
+    (``adversary-probe``, ``adversary-message``, ``adversary-jam-*``), so
+    the attack pattern is reproducible per session and independent of the
+    legitimate protocol's streams.  The adversary also keeps per-attack
+    event counters so detection rates can be computed against what was
+    actually launched.
+
+    Args:
+        plan: What to mount.
+        seeds: Seed factory, normally the probing episode's.
+    """
+
+    def __init__(self, plan: AdversaryPlan, seeds: SeedSequenceFactory):
+        self.plan = plan
+        self._probe_rng = seeds.generator("adversary-probe")
+        self._message_rng = seeds.generator("adversary-message")
+        self._jam: Dict[str, GilbertElliottProcess] = {
+            direction: GilbertElliottProcess(
+                plan.jamming_rate,
+                plan.jamming_mean_burst,
+                seeds.generator(f"adversary-jam-{direction}"),
+            )
+            for direction in DIRECTIONS
+        }
+        #: Attack-event counters, keyed by event name.
+        self.events: Dict[str, int] = {
+            "probes_replayed": 0,
+            "probes_injected": 0,
+            "transmissions_jammed": 0,
+            "syndromes_tampered": 0,
+            "syndromes_replayed": 0,
+            "syndromes_spoofed": 0,
+            "confirmations_tampered": 0,
+        }
+
+    def event_counts(self) -> Dict[str, int]:
+        """Snapshot of the attack-event counters (copy)."""
+        return dict(self.events)
+
+    @property
+    def attacks_launched(self) -> int:
+        """Total attack events mounted so far."""
+        return sum(self.events.values())
+
+    # -- probing-layer attacks -------------------------------------------------
+    def jams(self, direction: str) -> bool:
+        """Whether a reactive-jamming burst destroys one transmission."""
+        if self.plan.jamming_rate <= 0.0:
+            return False
+        jammed = self._jam[direction].step()
+        if jammed:
+            self.events["transmissions_jammed"] += 1
+        return jammed
+
+    def replays_probe(self) -> bool:
+        """Whether the attacker replays a stale probe this attempt."""
+        if self.plan.probe_replay_rate <= 0.0:
+            return False
+        fired = bool(self._probe_rng.random() < self.plan.probe_replay_rate)
+        if fired:
+            self.events["probes_replayed"] += 1
+        return fired
+
+    def injects_probe(self) -> bool:
+        """Whether the attacker injects a forged current-seq probe."""
+        if self.plan.probe_injection_rate <= 0.0:
+            return False
+        fired = bool(self._probe_rng.random() < self.plan.probe_injection_rate)
+        if fired:
+            self.events["probes_injected"] += 1
+        return fired
+
+    def injected_register_samples(self, n_samples: int) -> np.ndarray:
+        """The register-RSSI vector Bob records for an injected probe."""
+        return self.plan.injection_rssi_dbm + (
+            self.plan.injection_jitter_db * self._probe_rng.standard_normal(n_samples)
+        )
+
+    # -- reconciliation-message attacks ----------------------------------------
+    def corrupt_syndrome(self, message):
+        """Maybe tamper with / replay-substitute one syndrome in flight.
+
+        Draw order is fixed (tamper, then replay) so the attack pattern is
+        deterministic in the seed regardless of which rates are enabled.
+        Returns the (possibly modified) message.
+        """
+        if self.plan.syndrome_tamper_rate > 0.0 and bool(
+            self._message_rng.random() < self.plan.syndrome_tamper_rate
+        ):
+            self.events["syndromes_tampered"] += 1
+            bad = np.asarray(message.syndrome, dtype=float).copy()
+            if bad.size:
+                position = int(self._message_rng.integers(0, bad.size))
+                bad[position] += float(self._message_rng.normal(0.0, 4.0)) + 2.0
+            message = dataclasses.replace(message, syndrome=bad)
+        if self.plan.syndrome_replay_rate > 0.0 and bool(
+            self._message_rng.random() < self.plan.syndrome_replay_rate
+        ):
+            self.events["syndromes_replayed"] += 1
+            message = dataclasses.replace(message, session_nonce=STALE_NONCE)
+        return message
+
+    def spoof_syndromes(self, nonce: bytes, n_blocks: int, code_dim: int) -> List:
+        """Forged syndrome messages injected after one request round.
+
+        The session nonce is public protocol state, so the spoofer copies
+        it; the MAC key is not, so the forged MAC can only be noise.  At
+        most one spoof per request round keeps the attack rate
+        interpretable.
+        """
+        from repro.core.session import SyndromeMessage
+
+        if self.plan.syndrome_spoof_rate <= 0.0 or n_blocks <= 0:
+            return []
+        if not bool(self._message_rng.random() < self.plan.syndrome_spoof_rate):
+            return []
+        self.events["syndromes_spoofed"] += 1
+        block = int(self._message_rng.integers(0, n_blocks))
+        syndrome = self._message_rng.normal(0.0, 2.0, size=code_dim)
+        mac = self._message_rng.bytes(16)
+        return [
+            SyndromeMessage(
+                block_index=block,
+                session_nonce=nonce,
+                syndrome=syndrome,
+                mac=mac,
+            )
+        ]
+
+    def tamper_confirmation(self, payload: bytes) -> bytes:
+        """Maybe corrupt one key-confirmation hash in flight."""
+        if not self.plan.confirmation_tamper or not payload:
+            return payload
+        self.events["confirmations_tampered"] += 1
+        position = int(self._message_rng.integers(0, len(payload)))
+        flipped = payload[position] ^ (1 << int(self._message_rng.integers(0, 8)))
+        return payload[:position] + bytes([flipped]) + payload[position + 1 :]
+
+
+def build_adversary(
+    plan: Optional[AdversaryPlan], seeds: SeedSequenceFactory
+) -> Optional[ActiveAdversary]:
+    """An :class:`ActiveAdversary` for a non-null plan, else ``None``.
+
+    Mirrors the fault layer's convention: a null plan is treated exactly
+    like no adversary at all, keeping the unattacked path bit-identical.
+    """
+    if plan is None or plan.is_null:
+        return None
+    return ActiveAdversary(plan, seeds)

@@ -1,0 +1,386 @@
+"""Chaos invariant harness: random faults x attacks vs. safety invariants.
+
+Deterministic fault tests prove that one specific attack produces one
+specific structured failure.  The chaos harness attacks the *composition*:
+it sweeps seeded random combinations of :class:`~repro.faults.plan.FaultPlan`,
+:class:`~repro.faults.adversary.AdversaryPlan` and
+:class:`~repro.faults.retry.RetryPolicy` (including duty-cycled regional
+plans) through :meth:`~repro.core.pipeline.VehicleKeyPipeline.establish_key`
+and asserts the machine-checked safety invariants that must hold for
+*every* combination:
+
+``silent-key-mismatch``
+    ``success=True`` always means both parties hold the same confirmed
+    key and the state machine did not abort.
+``key-after-failed-verification``
+    An aborted or confirmation-failed session never releases key bytes.
+``uncaught-exception``
+    Attacker-controlled input never raises out of ``establish_key``.
+``retry-budget-exceeded``
+    No probing round ever spends more retries than the policy allows.
+``duty-cycle-violated``
+    Under a regional plan, accumulated backoff time is never less than
+    the band-mandated minimum for the retries actually spent.
+``undetected-replay``
+    A replayed (stale-nonce) syndrome that cannot have been dropped in
+    flight always drives the session into an abort.
+
+Any violation is recorded with its seed and session index, so a failure
+in CI reproduces locally with one command (``repro chaos --seed N``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.channel.scenario import ScenarioName, scenario_config
+from repro.core.pipeline import PipelineConfig, VehicleKeyPipeline
+from repro.faults.adversary import AdversaryPlan
+from repro.faults.plan import (
+    FaultPlan,
+    LossConfig,
+    MessageFaultConfig,
+    RegisterCorruptionConfig,
+)
+from repro.faults.retry import RetryPolicy
+from repro.lora.regional import EU433, EU868, UNRESTRICTED
+from repro.probing.features import FeatureConfig
+from repro.utils.validation import require_positive
+
+#: Every invariant the harness checks, in reporting order.
+INVARIANTS = (
+    "silent-key-mismatch",
+    "key-after-failed-verification",
+    "uncaught-exception",
+    "retry-budget-exceeded",
+    "duty-cycle-violated",
+    "undetected-replay",
+)
+
+#: Numerical slack for the duty-cycle time accounting.
+_TIME_EPS = 1e-9
+
+
+def random_fault_plan(rng: np.random.Generator) -> FaultPlan:
+    """One seeded random fault plan (sometimes the null plan)."""
+    if rng.random() < 0.25:
+        return FaultPlan.none()
+    loss = LossConfig(
+        rate=float(rng.uniform(0.0, 0.35)),
+        mean_burst=float(rng.uniform(1.0, 5.0)),
+        snr_dependent=bool(rng.random() < 0.3),
+    )
+    register = RegisterCorruptionConfig(
+        probability=float(rng.uniform(0.0, 0.15)) if rng.random() < 0.4 else 0.0,
+        burst_symbols=int(rng.integers(1, 5)),
+        magnitude_db=float(rng.uniform(5.0, 30.0)),
+    )
+    messages = MessageFaultConfig(
+        drop_rate=float(rng.uniform(0.0, 0.3)) if rng.random() < 0.5 else 0.0,
+        duplicate_rate=float(rng.uniform(0.0, 0.3)) if rng.random() < 0.5 else 0.0,
+        reorder_rate=float(rng.uniform(0.0, 0.3)) if rng.random() < 0.5 else 0.0,
+    )
+    return FaultPlan(loss=loss, register=register, messages=messages)
+
+
+def random_adversary_plan(rng: np.random.Generator) -> AdversaryPlan:
+    """One seeded random attack plan (sometimes no attacker at all)."""
+    if rng.random() < 0.25:
+        return AdversaryPlan.none()
+    return AdversaryPlan(
+        probe_replay_rate=float(rng.uniform(0.0, 0.2)) if rng.random() < 0.5 else 0.0,
+        probe_injection_rate=(
+            float(rng.uniform(0.0, 0.2)) if rng.random() < 0.5 else 0.0
+        ),
+        injection_rssi_dbm=float(rng.uniform(-90.0, -40.0)),
+        jamming_rate=float(rng.uniform(0.0, 0.25)) if rng.random() < 0.5 else 0.0,
+        jamming_mean_burst=float(rng.uniform(1.0, 4.0)),
+        syndrome_tamper_rate=(
+            float(rng.uniform(0.0, 1.0)) if rng.random() < 0.5 else 0.0
+        ),
+        syndrome_replay_rate=(
+            float(rng.uniform(0.0, 1.0)) if rng.random() < 0.4 else 0.0
+        ),
+        syndrome_spoof_rate=(
+            float(rng.uniform(0.0, 1.0)) if rng.random() < 0.4 else 0.0
+        ),
+        confirmation_tamper=bool(rng.random() < 0.2),
+    )
+
+
+def random_retry_policy(rng: np.random.Generator) -> RetryPolicy:
+    """One seeded random ARQ policy, sometimes duty-cycle constrained."""
+    regional = [None, UNRESTRICTED, EU433, EU868][int(rng.integers(0, 4))]
+    return RetryPolicy(
+        max_retries=int(rng.integers(0, 5)),
+        timeout_s=float(rng.uniform(0.01, 0.1)),
+        backoff_base_s=float(rng.uniform(0.01, 0.1)),
+        backoff_factor=float(rng.uniform(1.0, 3.0)),
+        max_backoff_s=float(rng.uniform(0.5, 3.0)),
+        jitter_fraction=float(rng.uniform(0.0, 0.5)),
+        regional_plan=regional,
+    )
+
+
+@dataclass(frozen=True)
+class ChaosViolation:
+    """One broken safety invariant.
+
+    Attributes:
+        invariant: Which invariant from :data:`INVARIANTS` was violated.
+        session: Session index within the sweep (combine with the seed to
+            reproduce).
+        seed: The sweep seed the session derived from.
+        detail: Human-readable description of what went wrong.
+    """
+
+    invariant: str
+    session: int
+    seed: int
+    detail: str
+
+
+@dataclass
+class ChaosReport:
+    """Aggregated verdict of one chaos sweep.
+
+    Attributes:
+        n_sessions: Sessions executed.
+        seed: Sweep seed.
+        violations: Every broken invariant, in discovery order.
+        successes: Sessions that established a confirmed key.
+        aborts: Sessions whose final attempt ended in a structured abort.
+        abort_reasons: Abort-slug histogram over final attempts.
+        failure_reasons: ``failure_reason`` histogram over all sessions.
+        attacked_sessions: Sessions that faced a non-null adversary plan.
+        faulted_sessions: Sessions that faced a non-null fault plan.
+    """
+
+    n_sessions: int = 0
+    seed: int = 0
+    violations: List[ChaosViolation] = field(default_factory=list)
+    successes: int = 0
+    aborts: int = 0
+    abort_reasons: Dict[str, int] = field(default_factory=dict)
+    failure_reasons: Dict[str, int] = field(default_factory=dict)
+    attacked_sessions: int = 0
+    faulted_sessions: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every invariant held across the whole sweep."""
+        return not self.violations
+
+    def violation_counts(self) -> Dict[str, int]:
+        """Per-invariant violation counts (zero-filled for reporting)."""
+        counts = {name: 0 for name in INVARIANTS}
+        for violation in self.violations:
+            counts[violation.invariant] = counts.get(violation.invariant, 0) + 1
+        return counts
+
+    def merge(self, other: "ChaosReport") -> "ChaosReport":
+        """Fold another sweep's counts into this report (returns self)."""
+        self.n_sessions += other.n_sessions
+        self.violations.extend(other.violations)
+        self.successes += other.successes
+        self.aborts += other.aborts
+        for key, value in other.abort_reasons.items():
+            self.abort_reasons[key] = self.abort_reasons.get(key, 0) + value
+        for key, value in other.failure_reasons.items():
+            self.failure_reasons[key] = self.failure_reasons.get(key, 0) + value
+        self.attacked_sessions += other.attacked_sessions
+        self.faulted_sessions += other.faulted_sessions
+        return self
+
+
+def _check_invariants(
+    outcome,
+    policy: RetryPolicy,
+    fault_plan: FaultPlan,
+    adversary_plan: AdversaryPlan,
+    airtime_s: float,
+    session_index: int,
+    seed: int,
+) -> List[ChaosViolation]:
+    """All invariant violations one completed session exhibits."""
+    session = outcome.session
+    violations: List[ChaosViolation] = []
+
+    def violated(invariant: str, detail: str) -> None:
+        violations.append(
+            ChaosViolation(
+                invariant=invariant,
+                session=session_index,
+                seed=seed,
+                detail=detail,
+            )
+        )
+
+    if outcome.success and (
+        not session.keys_match
+        or session.abort is not None
+        or session.confirmed is False
+    ):
+        violated(
+            "silent-key-mismatch",
+            "success=True without a matching confirmed key "
+            f"(abort={session.abort}, confirmed={session.confirmed})",
+        )
+    if (session.abort is not None or session.confirmed is False) and (
+        session.final_key_alice is not None or session.final_key_bob is not None
+    ):
+        violated(
+            "key-after-failed-verification",
+            f"abort={session.abort} confirmed={session.confirmed} "
+            "but key material was released",
+        )
+    if (
+        outcome.retry_budget_remaining is not None
+        and outcome.retry_budget_remaining < 0
+    ):
+        violated(
+            "retry-budget-exceeded",
+            f"worst round spent {outcome.max_round_retries} retries, "
+            f"policy allows {outcome.retry_limit_per_round}",
+        )
+    if policy.regional_plan is not None and outcome.total_retries > 0:
+        floor = outcome.total_retries * policy.min_retry_delay_s(airtime_s)
+        if outcome.total_backoff_s < floor - _TIME_EPS:
+            violated(
+                "duty-cycle-violated",
+                f"{outcome.total_retries} retries backed off only "
+                f"{outcome.total_backoff_s:.6f}s; regional floor is "
+                f"{floor:.6f}s",
+            )
+    events = outcome.adversary_events or {}
+    # A replayed syndrome can only vanish in flight if the message channel
+    # drops packets; otherwise its stale nonce must have reached Alice and
+    # aborted the session (possibly on an earlier, recovered attempt).
+    replay_observable = fault_plan.messages.drop_rate == 0.0
+    if (
+        events.get("syndromes_replayed", 0) > 0
+        and replay_observable
+        and not outcome.aborted
+        and outcome.aborted_attempts == 0
+    ):
+        violated(
+            "undetected-replay",
+            f"{events['syndromes_replayed']} stale-nonce syndromes were "
+            "delivered but no attempt aborted",
+        )
+    return violations
+
+
+def run_chaos(
+    pipeline: VehicleKeyPipeline,
+    n_sessions: int,
+    seed: int = 0,
+    n_rounds: Optional[int] = None,
+    max_attempts: int = 2,
+) -> ChaosReport:
+    """Sweep seeded random fault/attack combinations through the pipeline.
+
+    Args:
+        pipeline: A trained pipeline; every session probes a fresh
+            ``chaos-{seed}-{i}`` episode (an independent channel and
+            trajectory realization of the pipeline's scenario).
+        n_sessions: Random combinations to run.
+        seed: Sweep seed; combination ``i`` derives from ``(seed, i)``, so
+            any single session reproduces in isolation.
+        n_rounds: Probing rounds per session (default: the pipeline's
+            ``session_rounds``).
+        max_attempts: Probing bursts allowed per session, letting abort
+            recovery (desync re-sync) exercise its re-probe path.
+
+    Returns:
+        The :class:`ChaosReport`; ``report.ok`` is the harness verdict.
+    """
+    require_positive(n_sessions, "n_sessions")
+    airtime_s = pipeline.config.phy.airtime_s
+    report = ChaosReport(n_sessions=n_sessions, seed=seed)
+    for index in range(n_sessions):
+        rng = np.random.default_rng([seed, index])
+        fault_plan = random_fault_plan(rng)
+        adversary_plan = random_adversary_plan(rng)
+        policy = random_retry_policy(rng)
+        if not adversary_plan.is_null:
+            report.attacked_sessions += 1
+        if not fault_plan.is_null:
+            report.faulted_sessions += 1
+        try:
+            outcome = pipeline.establish_key(
+                episode=f"chaos-{seed}-{index}",
+                n_rounds=n_rounds,
+                fault_plan=fault_plan,
+                retry_policy=policy,
+                adversary_plan=adversary_plan,
+                max_attempts=max_attempts,
+            )
+        except Exception as error:  # noqa: BLE001 - the invariant IS "never raises"
+            report.violations.append(
+                ChaosViolation(
+                    invariant="uncaught-exception",
+                    session=index,
+                    seed=seed,
+                    detail=f"{type(error).__name__}: {error}",
+                )
+            )
+            continue
+        if outcome.success:
+            report.successes += 1
+        if outcome.aborted:
+            report.aborts += 1
+            reason = outcome.abort_reason
+            report.abort_reasons[reason] = report.abort_reasons.get(reason, 0) + 1
+        if outcome.failure_reason is not None:
+            report.failure_reasons[outcome.failure_reason] = (
+                report.failure_reasons.get(outcome.failure_reason, 0) + 1
+            )
+        report.violations.extend(
+            _check_invariants(
+                outcome,
+                policy,
+                fault_plan,
+                adversary_plan,
+                airtime_s,
+                index,
+                seed,
+            )
+        )
+    return report
+
+
+def build_chaos_pipeline(
+    scenario: ScenarioName = ScenarioName.V2I_URBAN,
+    seed: int = 11,
+) -> VehicleKeyPipeline:
+    """A small trained pipeline sized for chaos sweeps.
+
+    The harness measures protocol safety, not model quality, so the
+    pipeline uses the test-sized tiny architecture trained just enough
+    that fault-free sessions reach reconciliation and succeed: a sweep
+    then exercises every protocol phase (blocks, MACs, confirmation),
+    not just early exhaustion.  Training takes ~10 s and a 96-round
+    session well under a second, making hundreds of sessions per CI
+    smoke run affordable.
+    """
+    config = PipelineConfig(
+        scenario=scenario_config(scenario),
+        feature_config=FeatureConfig(window_fraction=0.10, values_per_packet=2),
+        seq_len=16,
+        hidden_units=16,
+        key_bits=32,
+        code_dim=24,
+        decoder_units=64,
+        rounds_per_episode=48,
+        session_rounds=96,
+        final_key_bits=64,
+        alice_confidence_margin=0.12,
+        bob_guard_fraction=0.30,
+    )
+    pipeline = VehicleKeyPipeline(config, seed=seed)
+    pipeline.train(n_episodes=100, epochs=60, reconciler_epochs=15)
+    return pipeline

@@ -42,6 +42,7 @@ class RetryPolicy:
     backoff_base_s: float = 0.05
     backoff_factor: float = 2.0
     max_backoff_s: float = 2.0
+    jitter_fraction: float = 0.0
     regional_plan: Optional[RegionalPlan] = None
 
     def __post_init__(self) -> None:
@@ -53,22 +54,48 @@ class RetryPolicy:
             self.max_backoff_s >= self.backoff_base_s,
             "max_backoff_s must be >= backoff_base_s",
         )
+        require(
+            0.0 <= self.jitter_fraction < 1.0,
+            "jitter_fraction must be in [0, 1)",
+        )
 
-    def backoff_s(self, retry_index: int, airtime_s: float = 0.0) -> float:
+    def backoff_s(self, retry_index: int, airtime_s: float = 0.0, rng=None) -> float:
         """Silence before retransmission number ``retry_index`` (0-based).
 
-        The exponential ramp is capped at ``max_backoff_s`` and floored by
-        the regional duty-cycle silence for the airtime just spent.
+        The exponential ramp is capped at ``max_backoff_s``, spread by the
+        optional desynchronizing jitter (a uniform factor in
+        ``[1 - jitter_fraction, 1 + jitter_fraction]`` drawn from ``rng``,
+        the session's named RNG stream, so runs stay reproducible) and
+        floored by the regional duty-cycle silence for the airtime just
+        spent.  The duty-cycle floor is applied *after* the jitter: jitter
+        may never shorten the band-mandated silence.
         """
         require(retry_index >= 0, "retry_index must be >= 0")
         backoff = min(
             self.max_backoff_s,
             self.backoff_base_s * self.backoff_factor**retry_index,
         )
+        if self.jitter_fraction > 0.0 and rng is not None:
+            backoff *= 1.0 + self.jitter_fraction * float(rng.uniform(-1.0, 1.0))
         if self.regional_plan is not None:
             backoff = max(backoff, self.regional_plan.min_gap_after(airtime_s))
         return backoff
 
-    def retry_delay_s(self, retry_index: int, airtime_s: float = 0.0) -> float:
+    def retry_delay_s(
+        self, retry_index: int, airtime_s: float = 0.0, rng=None
+    ) -> float:
         """Total dead time one failed attempt costs: timeout plus backoff."""
-        return self.timeout_s + self.backoff_s(retry_index, airtime_s)
+        return self.timeout_s + self.backoff_s(retry_index, airtime_s, rng=rng)
+
+    def min_retry_delay_s(self, airtime_s: float = 0.0) -> float:
+        """Lower bound on one retry's dead time, for budget invariants.
+
+        Jitter can shrink the backoff by at most ``jitter_fraction``, but
+        never below the regional duty-cycle floor, and the timeout always
+        applies -- so every retry costs at least this much wall-clock time.
+        """
+        floor = 0.0
+        if self.regional_plan is not None:
+            floor = self.regional_plan.min_gap_after(airtime_s)
+        least_backoff = self.backoff_base_s * (1.0 - self.jitter_fraction)
+        return self.timeout_s + max(floor, least_backoff)

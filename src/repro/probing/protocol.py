@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.channel.interference import combine_power_dbm
 from repro.channel.reciprocity import ReciprocalChannel
+from repro.faults.adversary import ActiveAdversary
 from repro.faults.link import LinkFaultModel
 from repro.faults.retry import RetryPolicy
 from repro.lora.airtime import LoRaPHYConfig
@@ -92,6 +93,15 @@ class ProbingProtocol:
             ``None`` reproduces the ideal link bit-for-bit.
         retry_policy: Retransmission budget/backoff used with a fault
             model (defaults to :class:`~repro.faults.retry.RetryPolicy`).
+        adversary: Optional seeded active attacker.  When present,
+            :meth:`run` uses the same ARQ/sequence-number semantics as a
+            fault model, the attacker's jamming / replayed / injected
+            probes are woven into each attempt, and the trace records
+            which rounds were poisoned (``injected``) and how many stale
+            replays the window check rejected (``replays_rejected``).
+            All attacker randomness comes from dedicated ``adversary-*``
+            seed streams, so ``None`` (or a null plan) reproduces the
+            unattacked run bit-for-bit.
         fast_path: Allow :meth:`run` to take the vectorized fault-free
             path (the default).  ``False`` forces the frozen per-round
             loop, e.g. for before/after benchmarking; results are
@@ -109,6 +119,7 @@ class ProbingProtocol:
         interference: Sequence = (),
         fault_model: Optional[LinkFaultModel] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        adversary: Optional[ActiveAdversary] = None,
         fast_path: bool = True,
     ):
         require(inter_round_gap_s >= 0, "inter_round_gap_s must be >= 0")
@@ -121,6 +132,7 @@ class ProbingProtocol:
         self.interference = list(interference)
         self.fault_model = fault_model
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.adversary = adversary
         self.fast_path = bool(fast_path)
 
     def round_period_s(self) -> float:
@@ -170,7 +182,11 @@ class ProbingProtocol:
         retry budget runs out is discarded (``valid=False``,
         ``dropped=True``) instead of desynchronizing the trace.
         """
-        if self.fast_path and self.fault_model is None:
+        if (
+            self.fast_path
+            and self.fault_model is None
+            and self.adversary is None
+        ):
             return self._run_vectorized(n_rounds, seeds, eavesdroppers, start_time_s)
         return self.run_loop(n_rounds, seeds, eavesdroppers, start_time_s)
 
@@ -216,6 +232,9 @@ class ProbingProtocol:
         valid = np.ones(n_rounds, dtype=bool)
         retries = np.zeros(n_rounds, dtype=np.int32)
         dropped = np.zeros(n_rounds, dtype=bool)
+        injected = np.zeros(n_rounds, dtype=bool)
+        replays_rejected = np.zeros(n_rounds, dtype=np.int32)
+        backoff_time = np.zeros(n_rounds, dtype=float)
         eve_of_alice: Dict[str, np.ndarray] = {
             s.label: np.empty((n_rounds, n_samples)) for s in eavesdroppers
         }
@@ -227,6 +246,10 @@ class ProbingProtocol:
         bob_power = self._receiver_power(self.channel.motion.trajectory_b)
         faults = self.fault_model
         policy = self.retry_policy
+        adversary = self.adversary
+        # Backoff jitter draws from its own named session stream, keeping
+        # runs reproducible without perturbing the measurement streams.
+        backoff_rng = seeds.generator("arq-backoff")
         sf = self.phy.spreading_factor
 
         def attempt(k: int, attempt_start: float):
@@ -237,8 +260,12 @@ class ProbingProtocol:
             number) and returns ``(probe_ok, response_ok,
             response_start)``.  The measurement-noise draw order matches
             the pre-ARQ protocol exactly, so runs without a fault model
-            are bit-identical to the seed behaviour.
+            are bit-identical to the seed behaviour.  Adversary hooks run
+            *after* every legitimate draw of the attempt's direction, in
+            a fixed order (jam a2b, replay, inject, jam b2a), from the
+            attacker's own seed streams.
             """
+            injected[k] = False  # a retransmission replaces any poisoned row
             # --- Alice's probe, received by Bob (and overheard by Eve).
             bob_rssi[k] = bob_sampler.sample(bob_power, attempt_start, seed=bob_noise)
             if faults is not None:
@@ -260,6 +287,29 @@ class ProbingProtocol:
                 probe_ok = not faults.packet_lost(
                     "a2b", self.link_budget.snr_db(probe_gain, self.phy), sf
                 )
+            if adversary is not None:
+                if adversary.jams("a2b"):
+                    # Reactive jamming burst over the probe slot.
+                    probe_ok = False
+                if adversary.replays_probe():
+                    # A stale captured probe carries an out-of-window
+                    # sequence number: Bob's window check rejects it (a
+                    # detected attack), and the on-air collision costs
+                    # the legitimate probe the slot.
+                    replays_rejected[k] += 1
+                    probe_ok = False
+                if adversary.injects_probe():
+                    # A forged probe with the *current* sequence number at
+                    # attacker-chosen power: Bob accepts it, poisoning his
+                    # measurement for this round.  Reciprocity breaks, so
+                    # the MAC/confirmation layers must catch the damage.
+                    bob_rssi[k] = adversary.injected_register_samples(n_samples)
+                    bob_prssi[k] = quantize_packet_rssi(
+                        float(np.mean(bob_rssi[k])),
+                        self.bob_device.rssi_resolution_db,
+                    )
+                    injected[k] = True
+                    probe_ok = True
 
             # --- Bob's response after his turnaround delay.
             response_start = (
@@ -287,12 +337,14 @@ class ProbingProtocol:
                 response_ok = not faults.packet_lost(
                     "b2a", self.link_budget.snr_db(response_gain, self.phy), sf
                 )
+            if adversary is not None and adversary.jams("b2a"):
+                response_ok = False
             return probe_ok, response_ok, response_start
 
         cursor = float(start_time_s)
         for k in range(n_rounds):
             round_start[k] = cursor
-            if faults is None:
+            if faults is None and adversary is None:
                 probe_ok, response_ok, response_start = attempt(k, cursor)
                 valid[k] = probe_ok and response_ok
                 cursor = (
@@ -329,13 +381,15 @@ class ProbingProtocol:
                 if n_retries >= policy.max_retries:
                     valid[k] = False
                     dropped[k] = True
+                    backoff_time[k] += policy.timeout_s
                     next_free = (
                         attempt_end
                         + policy.timeout_s
                         + self.alice_device.processing_delay_s
                     )
                     break
-                delay = policy.retry_delay_s(n_retries, airtime)
+                delay = policy.retry_delay_s(n_retries, airtime, rng=backoff_rng)
+                backoff_time[k] += delay
                 n_retries += 1
                 attempt_start = attempt_end + delay
             retries[k] = n_retries
@@ -356,6 +410,14 @@ class ProbingProtocol:
             bob_prssi=bob_prssi,
             retries=retries,
             dropped=dropped,
+            injected=injected,
+            replays_rejected=replays_rejected,
+            backoff_time_s=backoff_time,
+            retry_limit=(
+                policy.max_retries
+                if (faults is not None or adversary is not None)
+                else None
+            ),
         )
 
     def _receiver_power(self, trajectory):

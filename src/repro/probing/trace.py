@@ -52,6 +52,17 @@ class ProbeTrace:
             (zeros when probing ran without fault injection).
         dropped: Per-round flag; ``True`` where the retry budget was
             exhausted and the round was discarded by the ARQ layer.
+        injected: Per-round flag; ``True`` where an active adversary's
+            forged probe poisoned Bob's measurement for the round.
+        replays_rejected: Per-round count of stale replayed probes the
+            receiver's sequence-window check rejected (each one is a
+            detected active attack).
+        backoff_time_s: Per-round wall-clock time spent in ARQ timeouts
+            and backoff silence (zeros on the fault-free path).
+        retry_limit: The ARQ policy's per-round retry budget in force when
+            the trace was collected, or ``None`` when probing ran without
+            an ARQ layer; together with ``retries`` this gives the
+            consumed-vs-remaining budget per round.
     """
 
     phy: LoRaPHYConfig
@@ -64,6 +75,10 @@ class ProbeTrace:
     bob_prssi: Optional[np.ndarray] = None
     retries: Optional[np.ndarray] = None
     dropped: Optional[np.ndarray] = None
+    injected: Optional[np.ndarray] = None
+    replays_rejected: Optional[np.ndarray] = None
+    backoff_time_s: Optional[np.ndarray] = None
+    retry_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         n_rounds = self.alice_rssi.shape[0]
@@ -88,6 +103,20 @@ class ProbeTrace:
         if self.retries.shape != (n_rounds,) or self.dropped.shape != (n_rounds,):
             raise ConfigurationError(
                 "retries and dropped must have one entry per round"
+            )
+        if self.injected is None:
+            self.injected = np.zeros(n_rounds, dtype=bool)
+        if self.replays_rejected is None:
+            self.replays_rejected = np.zeros(n_rounds, dtype=np.int32)
+        if self.backoff_time_s is None:
+            self.backoff_time_s = np.zeros(n_rounds, dtype=float)
+        if (
+            self.injected.shape != (n_rounds,)
+            or self.replays_rejected.shape != (n_rounds,)
+            or self.backoff_time_s.shape != (n_rounds,)
+        ):
+            raise ConfigurationError(
+                "adversary/backoff series must have one entry per round"
             )
 
     @property
@@ -114,6 +143,35 @@ class ProbeTrace:
     def n_dropped_rounds(self) -> int:
         """Rounds discarded after the retry budget ran out."""
         return int(np.count_nonzero(self.dropped))
+
+    @property
+    def n_injected_rounds(self) -> int:
+        """Rounds poisoned by an adversary's forged probe."""
+        return int(np.count_nonzero(self.injected))
+
+    @property
+    def total_replays_rejected(self) -> int:
+        """Replayed probes rejected by the sequence-window check."""
+        return int(self.replays_rejected.sum())
+
+    @property
+    def total_backoff_s(self) -> float:
+        """Wall-clock time the ARQ layer spent in timeouts and backoff."""
+        return float(self.backoff_time_s.sum())
+
+    @property
+    def max_round_retries(self) -> int:
+        """The worst single round's retransmission count."""
+        if self.n_rounds == 0:
+            return 0
+        return int(self.retries.max())
+
+    @property
+    def retry_budget_remaining(self) -> Optional[int]:
+        """Unused retries in the worst round, or ``None`` without ARQ."""
+        if self.retry_limit is None:
+            return None
+        return int(self.retry_limit) - self.max_round_retries
 
     @property
     def duration_s(self) -> float:
@@ -146,12 +204,17 @@ class ProbeTrace:
             "bob_prssi": self.bob_prssi,
             "retries": self.retries,
             "dropped": self.dropped,
+            "injected": self.injected,
+            "replays_rejected": self.replays_rejected,
+            "backoff_time_s": self.backoff_time_s,
             "phy_sf": np.array([self.phy.spreading_factor]),
             "phy_bw": np.array([self.phy.bandwidth_hz]),
             "phy_cr": np.array([self.phy.coding_rate.value]),
             "phy_f0": np.array([self.phy.carrier_frequency_hz]),
             "phy_payload": np.array([self.phy.payload_bytes]),
         }
+        if self.retry_limit is not None:
+            arrays["retry_limit"] = np.array([self.retry_limit])
         for label, eve in self.eve.items():
             arrays[f"eve:{label}:of_alice"] = eve.of_alice_rssi
             arrays[f"eve:{label}:of_bob"] = eve.of_bob_rssi
@@ -200,6 +263,17 @@ class ProbeTrace:
             # Absent in traces written before the ARQ layer existed.
             retries=data["retries"] if "retries" in data else None,
             dropped=data["dropped"] if "dropped" in data else None,
+            # Absent in traces written before the adversary layer existed.
+            injected=data["injected"] if "injected" in data else None,
+            replays_rejected=(
+                data["replays_rejected"] if "replays_rejected" in data else None
+            ),
+            backoff_time_s=(
+                data["backoff_time_s"] if "backoff_time_s" in data else None
+            ),
+            retry_limit=(
+                int(data["retry_limit"][0]) if "retry_limit" in data else None
+            ),
         )
 
     def valid_only(self) -> "ProbeTrace":
@@ -222,4 +296,8 @@ class ProbeTrace:
             bob_prssi=self.bob_prssi[mask],
             retries=self.retries[mask],
             dropped=self.dropped[mask],
+            injected=self.injected[mask],
+            replays_rejected=self.replays_rejected[mask],
+            backoff_time_s=self.backoff_time_s[mask],
+            retry_limit=self.retry_limit,
         )

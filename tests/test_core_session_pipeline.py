@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.session import SyndromeMessage
-from repro.exceptions import ProtocolError
+from repro.core.statemachine import ABORT_REPLAY
 from tests.conftest import make_tiny_pipeline
 
 
@@ -115,8 +115,15 @@ class TestProtocolSecurityMechanisms:
         def replay(message: SyndromeMessage) -> SyndromeMessage:
             return dataclasses.replace(message, session_nonce=b"old-nonce")
 
-        with pytest.raises(ProtocolError):
-            session.run(trace, tamper=replay)
+        result = session.run(trace, tamper=replay)
+        # Attacker input never raises: the stale nonce drives the state
+        # machine into a structured abort and no key is released.
+        assert result.abort is not None
+        assert result.abort.reason == ABORT_REPLAY
+        assert result.final_state == "aborted"
+        assert result.final_key_alice is None
+        assert result.final_key_bob is None
+        assert result.rejected_messages > 0
 
     def test_mac_tamper_detected_even_with_matching_syndrome(self, tiny_pipeline):
         trace = tiny_pipeline.collect_trace("mac-tamper", n_rounds=128)

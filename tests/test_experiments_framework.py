@@ -45,7 +45,7 @@ class TestScales:
 
 class TestRunnerRegistry:
     def test_all_experiments_registered(self):
-        assert len(EXPERIMENTS) == 16
+        assert len(EXPERIMENTS) == 17
         for key in (
             "fig02",
             "fig12-13",
@@ -54,6 +54,7 @@ class TestRunnerRegistry:
             "ablations",
             "duty-cycle",
             "robustness",
+            "active-adversary",
         ):
             assert key in EXPERIMENTS
 

@@ -1,0 +1,267 @@
+"""Active-adversary injection: plans, attacks, and structured aborts.
+
+The acceptance property pinned here: every injected MAC tamper, replayed
+message, and tampered confirmation yields a *structured* abort or a
+counted MAC failure -- never an uncaught exception, and never a released
+key after failed verification.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.statemachine import (
+    ABORT_CONFIRMATION,
+    ABORT_MAC,
+    ABORT_REPLAY,
+)
+from repro.exceptions import ConfigurationError, SessionAborted
+from repro.faults.adversary import (
+    STALE_NONCE,
+    ActiveAdversary,
+    AdversaryPlan,
+    build_adversary,
+)
+from repro.faults.retry import RetryPolicy
+from repro.utils.rng import SeedSequenceFactory
+
+from tests.conftest import make_tiny_pipeline
+
+
+def fresh_seeds(name="adv-test"):
+    """A seed factory for one adversary under test."""
+    return SeedSequenceFactory(7).child(name)
+
+
+class TestAdversaryPlan:
+    def test_null_plan_detection(self):
+        assert AdversaryPlan.none().is_null
+        assert not AdversaryPlan(probe_replay_rate=0.1).is_null
+        assert not AdversaryPlan(confirmation_tamper=True).is_null
+
+    def test_layer_classification(self):
+        probing = AdversaryPlan(jamming_rate=0.2)
+        assert probing.attacks_probing and not probing.attacks_messages
+        messaging = AdversaryPlan(syndrome_tamper_rate=0.5)
+        assert messaging.attacks_messages and not messaging.attacks_probing
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdversaryPlan(probe_replay_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            AdversaryPlan(jamming_rate=1.0)  # must stay < 1 (GE chain)
+        with pytest.raises(ConfigurationError):
+            AdversaryPlan(jamming_mean_burst=0.5)
+
+    def test_build_adversary_null_is_none(self):
+        assert build_adversary(None, fresh_seeds()) is None
+        assert build_adversary(AdversaryPlan.none(), fresh_seeds()) is None
+        assert build_adversary(
+            AdversaryPlan(syndrome_tamper_rate=1.0), fresh_seeds()
+        ) is not None
+
+
+class TestActiveAdversaryUnit:
+    def test_certain_rates_always_fire(self):
+        adversary = ActiveAdversary(
+            AdversaryPlan(probe_replay_rate=1.0, probe_injection_rate=1.0),
+            fresh_seeds(),
+        )
+        assert adversary.replays_probe()
+        assert adversary.injects_probe()
+        assert adversary.events["probes_replayed"] == 1
+        assert adversary.events["probes_injected"] == 1
+
+    def test_attack_pattern_is_seeded(self):
+        plan = AdversaryPlan(probe_replay_rate=0.5, jamming_rate=0.3)
+        a = ActiveAdversary(plan, fresh_seeds())
+        b = ActiveAdversary(plan, fresh_seeds())
+        assert [a.replays_probe() for _ in range(32)] == [
+            b.replays_probe() for _ in range(32)
+        ]
+        assert [a.jams("a2b") for _ in range(32)] == [
+            b.jams("a2b") for _ in range(32)
+        ]
+
+    def test_injected_samples_follow_plan_power(self):
+        adversary = ActiveAdversary(
+            AdversaryPlan(
+                probe_injection_rate=1.0,
+                injection_rssi_dbm=-40.0,
+                injection_jitter_db=0.5,
+            ),
+            fresh_seeds(),
+        )
+        samples = adversary.injected_register_samples(256)
+        assert samples.shape == (256,)
+        assert abs(float(np.mean(samples)) - (-40.0)) < 0.5
+
+    def test_replay_substitutes_stale_nonce(self):
+        from repro.core.session import SyndromeMessage
+
+        message = SyndromeMessage(
+            block_index=0,
+            session_nonce=b"fresh",
+            syndrome=np.zeros(4),
+            mac=bytes(16),
+        )
+        adversary = ActiveAdversary(
+            AdversaryPlan(syndrome_replay_rate=1.0), fresh_seeds()
+        )
+        replayed = adversary.corrupt_syndrome(message)
+        assert replayed.session_nonce == STALE_NONCE
+        assert message.session_nonce == b"fresh"  # original intact
+
+
+@pytest.fixture(scope="module")
+def adv_trace(tiny_pipeline):
+    """One clean probing trace reused by the session-level attack tests."""
+    return tiny_pipeline.collect_trace("adv-session", n_rounds=128)
+
+
+def attacked_run(tiny_pipeline, trace, plan, label="attacked"):
+    """Run one session against a fresh seeded adversary."""
+    adversary = ActiveAdversary(plan, tiny_pipeline.seeds.child(label))
+    session = tiny_pipeline.build_session()
+    return session.run(trace, adversary=adversary), adversary
+
+
+class TestSessionUnderAttack:
+    def test_replayed_syndromes_abort(self, tiny_pipeline, adv_trace):
+        result, adversary = attacked_run(
+            tiny_pipeline, adv_trace, AdversaryPlan(syndrome_replay_rate=1.0)
+        )
+        assert adversary.events["syndromes_replayed"] > 0
+        assert result.abort is not None
+        assert result.abort.reason == ABORT_REPLAY
+        assert result.final_key_alice is None and result.final_key_bob is None
+
+    def test_wholesale_tamper_aborts_with_mac_failure(
+        self, tiny_pipeline, adv_trace
+    ):
+        result, adversary = attacked_run(
+            tiny_pipeline, adv_trace, AdversaryPlan(syndrome_tamper_rate=1.0)
+        )
+        assert adversary.events["syndromes_tampered"] > 0
+        assert result.mac_failures > 0
+        assert result.abort is not None
+        assert result.abort.reason == ABORT_MAC
+        assert result.final_key_alice is None and result.final_key_bob is None
+
+    def test_spoofed_syndromes_never_verify(self, tiny_pipeline, adv_trace):
+        result, adversary = attacked_run(
+            tiny_pipeline, adv_trace, AdversaryPlan(syndrome_spoof_rate=1.0)
+        )
+        assert adversary.events["syndromes_spoofed"] > 0
+        # A forged MAC can collide with nothing: the spoofed blocks are
+        # counted as MAC failures, while Bob's honest retransmissions can
+        # still verify -- so no abort is required, but no spoofed block
+        # may end up verified with a wrong key.
+        if result.final_key_alice is not None:
+            assert result.final_key_alice == result.final_key_bob
+            assert result.confirmed is True
+
+    def test_confirmation_tamper_aborts(self, tiny_pipeline, adv_trace):
+        result, adversary = attacked_run(
+            tiny_pipeline, adv_trace, AdversaryPlan(confirmation_tamper=True)
+        )
+        if adversary.events["confirmations_tampered"]:
+            assert result.confirmed is False
+            assert result.abort is not None
+            assert result.abort.reason == ABORT_CONFIRMATION
+            assert result.final_key_alice is None
+            assert result.final_key_bob is None
+
+
+class TestPipelineUnderAttack:
+    def test_null_plan_bit_identical_to_no_adversary(self):
+        baseline = make_tiny_pipeline(seed=31).collect_trace("ident", n_rounds=24)
+        with_null = make_tiny_pipeline(seed=31).collect_trace(
+            "ident", n_rounds=24, adversary=None
+        )
+        np.testing.assert_array_equal(baseline.alice_rssi, with_null.alice_rssi)
+        np.testing.assert_array_equal(baseline.bob_rssi, with_null.bob_rssi)
+
+    def test_establish_key_surfaces_abort(self, tiny_pipeline):
+        outcome = tiny_pipeline.establish_key(
+            episode="adv-abort",
+            n_rounds=96,
+            adversary_plan=AdversaryPlan(syndrome_replay_rate=1.0),
+            max_attempts=1,
+        )
+        assert not outcome.success
+        assert outcome.aborted
+        assert outcome.failure_reason == ABORT_REPLAY
+        assert outcome.abort_reason == ABORT_REPLAY
+        assert outcome.time_to_abort_s is not None
+        assert outcome.attack_detections > 0
+        assert outcome.adversary_events["syndromes_replayed"] > 0
+
+    def test_raise_on_failure_raises_session_aborted(self, tiny_pipeline):
+        with pytest.raises(SessionAborted) as excinfo:
+            tiny_pipeline.establish_key(
+                episode="adv-raise",
+                n_rounds=96,
+                adversary_plan=AdversaryPlan(syndrome_tamper_rate=1.0),
+                max_attempts=1,
+                raise_on_failure=True,
+            )
+        assert excinfo.value.abort is not None
+        assert excinfo.value.abort.reason == ABORT_MAC
+
+    def test_desync_recovery_reprobes_after_abort(self, tiny_pipeline):
+        # Attack only the probing layer lightly: a replayed-syndrome abort
+        # never fires, so with enough attempts the session can still
+        # finish; each aborted attempt must have discarded its pool.
+        outcome = tiny_pipeline.establish_key(
+            episode="adv-resync",
+            n_rounds=96,
+            adversary_plan=AdversaryPlan(syndrome_replay_rate=0.2),
+            retry_policy=RetryPolicy(),
+            max_attempts=3,
+        )
+        assert outcome.attempts <= 3
+        if outcome.aborted_attempts and outcome.success:
+            # Recovery happened: suspect bits were discarded, and the
+            # final key still passed confirmation.
+            assert outcome.session.confirmed is True
+
+    def test_probe_injection_poisons_reciprocity_but_never_keys(
+        self, tiny_pipeline
+    ):
+        outcome = tiny_pipeline.establish_key(
+            episode="adv-inject",
+            n_rounds=96,
+            adversary_plan=AdversaryPlan(
+                probe_injection_rate=0.5, injection_rssi_dbm=-55.0
+            ),
+            retry_policy=RetryPolicy(),
+            max_attempts=1,
+        )
+        assert outcome.adversary_events["probes_injected"] > 0
+        if outcome.success:
+            assert outcome.session.final_key_alice == outcome.session.final_key_bob
+        else:
+            assert outcome.failure_reason is not None
+
+    def test_probe_replay_rejected_and_counted(self, tiny_pipeline):
+        outcome = tiny_pipeline.establish_key(
+            episode="adv-replay-probe",
+            n_rounds=64,
+            adversary_plan=AdversaryPlan(probe_replay_rate=0.5),
+            retry_policy=RetryPolicy(),
+            max_attempts=1,
+        )
+        assert outcome.adversary_events["probes_replayed"] > 0
+        assert outcome.attack_detections > 0
+
+    def test_jamming_costs_retries(self, tiny_pipeline):
+        outcome = tiny_pipeline.establish_key(
+            episode="adv-jam",
+            n_rounds=64,
+            adversary_plan=AdversaryPlan(jamming_rate=0.4),
+            retry_policy=RetryPolicy(),
+            max_attempts=1,
+        )
+        assert outcome.adversary_events["transmissions_jammed"] > 0
+        assert outcome.total_retries > 0
+        assert outcome.total_backoff_s > 0.0

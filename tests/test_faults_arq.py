@@ -6,10 +6,10 @@ import numpy as np
 import pytest
 
 from repro.core.session import SessionResult
+from repro.core.statemachine import ABORT_MALFORMED
 from repro.exceptions import (
     InsufficientEntropyError,
     KeyEstablishmentError,
-    ProtocolError,
     RetryBudgetExhausted,
 )
 from repro.faults.plan import FaultPlan
@@ -125,17 +125,134 @@ class TestSessionValidation:
 
     def test_negative_block_index_rejected(self, session_and_trace):
         session, trace = session_and_trace
-        with pytest.raises(ProtocolError, match="block index"):
-            session.run(
-                trace, tamper=lambda m: dataclasses.replace(m, block_index=-1)
-            )
+        result = session.run(
+            trace, tamper=lambda m: dataclasses.replace(m, block_index=-1)
+        )
+        assert result.abort is not None
+        assert result.abort.reason == ABORT_MALFORMED
+        assert "block index" in result.abort.detail
+        assert result.final_key_alice is None
 
     def test_empty_nonce_rejected(self, session_and_trace):
         session, trace = session_and_trace
-        with pytest.raises(ProtocolError, match="nonce"):
-            session.run(
-                trace, tamper=lambda m: dataclasses.replace(m, session_nonce=b"")
-            )
+        result = session.run(
+            trace, tamper=lambda m: dataclasses.replace(m, session_nonce=b"")
+        )
+        assert result.abort is not None
+        assert result.abort.reason == ABORT_MALFORMED
+        assert "nonce" in result.abort.detail
+        assert result.final_key_alice is None
+
+
+class TestBackoffJitter:
+    def test_zero_jitter_is_deterministic_default(self):
+        policy = RetryPolicy()
+        assert policy.jitter_fraction == 0.0
+        rng = np.random.default_rng(0)
+        assert policy.backoff_s(1) == policy.backoff_s(1, rng=rng)
+
+    def test_jitter_draws_from_given_stream(self):
+        policy = RetryPolicy(jitter_fraction=0.5)
+        a = policy.backoff_s(1, rng=np.random.default_rng(1))
+        b = policy.backoff_s(1, rng=np.random.default_rng(1))
+        c = policy.backoff_s(1, rng=np.random.default_rng(2))
+        assert a == b  # same stream, same jitter
+        assert a != c  # different stream, different jitter
+
+    def test_jitter_bounded_by_fraction(self):
+        policy = RetryPolicy(jitter_fraction=0.3)
+        nominal = RetryPolicy().backoff_s(2)
+        rng = np.random.default_rng(3)
+        for _ in range(64):
+            jittered = policy.backoff_s(2, rng=rng)
+            assert 0.7 * nominal - 1e-12 <= jittered <= 1.3 * nominal + 1e-12
+
+    def test_duty_cycle_floor_applies_after_jitter(self):
+        from repro.lora.regional import EU433
+
+        airtime = 0.5  # EU433 floor: 0.5 * (1/0.1 - 1) = 4.5 s >> backoff
+        policy = RetryPolicy(jitter_fraction=0.5, regional_plan=EU433)
+        rng = np.random.default_rng(4)
+        floor = EU433.min_gap_after(airtime)
+        for _ in range(32):
+            assert policy.backoff_s(0, airtime_s=airtime, rng=rng) >= floor
+
+    def test_min_retry_delay_is_a_true_lower_bound(self):
+        from repro.lora.regional import EU868
+
+        policy = RetryPolicy(jitter_fraction=0.4, regional_plan=EU868)
+        airtime = 0.1
+        lower = policy.min_retry_delay_s(airtime)
+        rng = np.random.default_rng(5)
+        for retry_index in range(3):
+            for _ in range(32):
+                delay = policy.retry_delay_s(retry_index, airtime, rng=rng)
+                assert delay >= lower - 1e-12
+
+    def test_invalid_jitter_fraction_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter_fraction=-0.1)
+
+
+class TestBudgetSurfacing:
+    """Consumed-vs-remaining retry and backoff budgets on trace/outcome."""
+
+    def test_trace_surfaces_retry_budget(self, lossy_trace):
+        # The lossy fixture ran with a fault plan, so the budget fields
+        # are populated.
+        assert lossy_trace.retry_limit == RetryPolicy().max_retries
+        assert lossy_trace.max_round_retries <= lossy_trace.retry_limit
+        remaining = lossy_trace.retry_budget_remaining
+        assert remaining == lossy_trace.retry_limit - lossy_trace.max_round_retries
+        assert lossy_trace.total_backoff_s > 0.0
+
+    def test_fault_free_trace_has_no_budget(self):
+        trace = make_tiny_pipeline(seed=29).collect_trace("clean", n_rounds=16)
+        assert trace.retry_limit is None
+        assert trace.retry_budget_remaining is None
+        assert trace.total_backoff_s == 0.0
+
+    def test_budget_fields_round_trip(self, lossy_trace, tmp_path):
+        path = tmp_path / "budget.npz"
+        lossy_trace.save(path)
+        loaded = ProbeTrace.load(path)
+        assert loaded.retry_limit == lossy_trace.retry_limit
+        np.testing.assert_array_equal(
+            loaded.backoff_time_s, lossy_trace.backoff_time_s
+        )
+        np.testing.assert_array_equal(
+            loaded.replays_rejected, lossy_trace.replays_rejected
+        )
+        np.testing.assert_array_equal(loaded.injected, lossy_trace.injected)
+        assert loaded.retry_budget_remaining == lossy_trace.retry_budget_remaining
+
+    def test_outcome_surfaces_budget(self, tiny_pipeline):
+        policy = RetryPolicy(max_retries=4)
+        outcome = tiny_pipeline.establish_key(
+            episode="budget-view",
+            n_rounds=64,
+            fault_plan=FaultPlan.lossy(0.3, mean_burst=2.0),
+            retry_policy=policy,
+        )
+        assert outcome.retry_limit_per_round == 4
+        assert 0 <= outcome.max_round_retries <= 4
+        assert (
+            outcome.retry_budget_remaining
+            == outcome.retry_limit_per_round - outcome.max_round_retries
+        )
+        assert outcome.total_backoff_s > 0.0
+
+    def test_fault_free_outcome_has_no_budget(self, tiny_pipeline):
+        outcome = tiny_pipeline.establish_key(episode="budget-clean", n_rounds=64)
+        assert outcome.retry_limit_per_round is None
+        assert outcome.retry_budget_remaining is None
+        assert outcome.total_backoff_s == 0.0
+        assert outcome.time_to_abort_s is None
+        assert outcome.attack_detections == 0
 
 
 class TestGracefulDegradation:

@@ -1,0 +1,160 @@
+"""Property-based (seeded random) tests for fault and message primitives.
+
+Two families of properties:
+
+- :class:`~repro.faults.messages.LossyMessageChannel` conservation laws
+  under arbitrary drop/duplicate/reorder compositions -- no message is
+  ever invented, dropped messages never arrive, and the arrival
+  multiset is exactly what the counters claim;
+- :class:`~repro.core.session.SyndromeMessage` authentication -- the MAC
+  round-trips on the honest body and rejects *every* single-bit tamper,
+  at each bit position of the serialized body and of the tag itself.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.session import SyndromeMessage
+from repro.faults.messages import LossyMessageChannel
+from repro.faults.plan import MessageFaultConfig
+from repro.reconciliation.mac import MAC_BYTES, compute_mac, verify_mac
+
+
+def random_config(rng) -> MessageFaultConfig:
+    """One seeded random drop/duplicate/reorder composition."""
+    return MessageFaultConfig(
+        drop_rate=float(rng.uniform(0.0, 0.6)) if rng.random() < 0.7 else 0.0,
+        duplicate_rate=float(rng.uniform(0.0, 0.6)) if rng.random() < 0.7 else 0.0,
+        reorder_rate=float(rng.uniform(0.0, 0.6)) if rng.random() < 0.7 else 0.0,
+    )
+
+
+class TestLossyChannelProperties:
+    N_TRIALS = 50
+    N_MESSAGES = 40
+
+    def run_stream(self, seed):
+        """Push a numbered stream through one random channel."""
+        rng = np.random.default_rng([101, seed])
+        config = random_config(rng)
+        channel = LossyMessageChannel(config, rng)
+        sent = list(range(self.N_MESSAGES))
+        arrived = []
+        for message in sent:
+            arrived.extend(channel.deliver(message))
+        arrived.extend(channel.flush())
+        return config, channel, sent, arrived
+
+    def test_conservation_laws(self):
+        for seed in range(self.N_TRIALS):
+            config, channel, sent, arrived = self.run_stream(seed)
+            # Nothing is invented: every arrival was sent.
+            assert set(arrived) <= set(sent)
+            # Multiset accounting: each message arrives 0, 1 or 2 times,
+            # and the totals match the channel's own counters exactly.
+            counts = np.bincount(arrived, minlength=self.N_MESSAGES)
+            assert counts.max(initial=0) <= 2
+            assert channel.transmitted == self.N_MESSAGES
+            assert len(arrived) == (
+                self.N_MESSAGES - channel.dropped + channel.duplicated
+            )
+            # After flush nothing is held back.
+            assert channel.flush() == []
+
+    def test_null_config_is_identity(self):
+        rng = np.random.default_rng(0)
+        channel = LossyMessageChannel(MessageFaultConfig(), rng)
+        sent = list(range(20))
+        arrived = []
+        for message in sent:
+            arrived.extend(channel.deliver(message))
+        arrived.extend(channel.flush())
+        assert arrived == sent
+
+    def test_drop_only_preserves_order(self):
+        for seed in range(self.N_TRIALS):
+            rng = np.random.default_rng([103, seed])
+            config = MessageFaultConfig(drop_rate=float(rng.uniform(0.1, 0.6)))
+            channel = LossyMessageChannel(config, rng)
+            arrived = []
+            for message in range(self.N_MESSAGES):
+                arrived.extend(channel.deliver(message))
+            arrived.extend(channel.flush())
+            assert arrived == sorted(arrived)
+
+    def test_reorder_displaces_by_at_most_one_delivery(self):
+        # The reorderer holds back at most one message, so an arrival may
+        # trail its successor but never by more than one position swap.
+        for seed in range(self.N_TRIALS):
+            rng = np.random.default_rng([107, seed])
+            config = MessageFaultConfig(reorder_rate=float(rng.uniform(0.1, 0.9)))
+            channel = LossyMessageChannel(config, rng)
+            arrived = []
+            for message in range(self.N_MESSAGES):
+                arrived.extend(channel.deliver(message))
+            arrived.extend(channel.flush())
+            assert sorted(arrived) == list(range(self.N_MESSAGES))
+            displacement = np.abs(np.asarray(arrived) - np.arange(len(arrived)))
+            assert displacement.max(initial=0) <= 1
+
+    def test_channel_is_seed_deterministic(self):
+        _, _, _, first = self.run_stream(11)
+        _, _, _, second = self.run_stream(11)
+        assert first == second
+
+
+class TestSyndromeMacProperties:
+    @pytest.fixture(scope="class")
+    def authentic(self):
+        rng = np.random.default_rng(42)
+        key_bits = rng.integers(0, 2, size=32).astype(np.uint8)
+        message = SyndromeMessage(
+            block_index=3,
+            session_nonce=rng.bytes(8),
+            syndrome=rng.normal(0.0, 1.0, size=12),
+            mac=b"",
+        )
+        message = dataclasses.replace(
+            message, mac=compute_mac(key_bits, message.body())
+        )
+        return key_bits, message
+
+    def test_honest_round_trip_verifies(self, authentic):
+        key_bits, message = authentic
+        assert len(message.mac) == MAC_BYTES
+        assert verify_mac(key_bits, message.body(), message.mac)
+
+    def test_every_body_bit_flip_is_rejected(self, authentic):
+        key_bits, message = authentic
+        body = message.body()
+        for byte_index in range(len(body)):
+            for bit in range(8):
+                tampered = bytearray(body)
+                tampered[byte_index] ^= 1 << bit
+                assert not verify_mac(key_bits, bytes(tampered), message.mac), (
+                    f"bit {bit} of byte {byte_index} flipped undetected"
+                )
+
+    def test_every_tag_bit_flip_is_rejected(self, authentic):
+        key_bits, message = authentic
+        body = message.body()
+        for byte_index in range(MAC_BYTES):
+            for bit in range(8):
+                tampered = bytearray(message.mac)
+                tampered[byte_index] ^= 1 << bit
+                assert not verify_mac(key_bits, body, bytes(tampered))
+
+    def test_wrong_key_is_rejected(self, authentic):
+        key_bits, message = authentic
+        wrong = key_bits.copy()
+        wrong[0] ^= 1
+        assert not verify_mac(wrong, message.body(), message.mac)
+
+    def test_body_binds_nonce_and_block_index(self, authentic):
+        key_bits, message = authentic
+        moved = dataclasses.replace(message, block_index=message.block_index + 1)
+        assert not verify_mac(key_bits, moved.body(), message.mac)
+        stale = dataclasses.replace(message, session_nonce=b"\x00" * 8)
+        assert not verify_mac(key_bits, stale.body(), message.mac)
