@@ -1,0 +1,170 @@
+"""Session-server benchmarks: throughput and chaos-sweep cost.
+
+Stands up the real asyncio key-establishment server on a loopback port
+and measures what an operator would: sessions per second through the
+full framed-transport -> batch-tick -> result path for a burst of honest
+concurrent devices, and the wall cost of the mixed (hostile + honest)
+chaos sweep.  Numbers persist to ``BENCH_server.json`` at the repo root.
+
+Both entries are absolute-cost trackers (``speedup: null``):
+``scripts/check_bench_regression.py`` reports them and fails CI if
+either entry disappears (or the payload comes back empty), but does not
+gate on the absolute seconds, which do not transfer across runners.
+"""
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.channel.scenario import ScenarioName, scenario_config
+from repro.core.pipeline import PipelineConfig, VehicleKeyPipeline
+from repro.faults.chaos import run_server_chaos
+from repro.probing.features import FeatureConfig
+from repro.server import (
+    Endpoint,
+    KeyEstablishmentServer,
+    ModelRegistry,
+    ServerConfig,
+    run_behavior,
+)
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+
+#: Honest concurrent devices in the throughput burst.
+CLIENTS = 32
+#: Mixed-behavior clients in the timed chaos sweep.
+CHAOS_CLIENTS = 48
+#: Probing rounds per served session.
+ROUNDS = 48
+SEED = 0
+
+#: Collected by the tests below, written once at module teardown.
+_ENTRIES = {}
+
+
+def _record(name, before_s, after_s, **extra):
+    _ENTRIES[name] = {
+        "before_s": round(before_s, 6) if before_s is not None else None,
+        "after_s": round(after_s, 6),
+        "speedup": round(before_s / after_s, 3) if before_s is not None else None,
+        **extra,
+    }
+    return _ENTRIES[name]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_results():
+    """Persist everything the module measured to ``BENCH_server.json``."""
+    yield
+    if not _ENTRIES:
+        return
+    payload = {
+        "benchmark": "key-establishment-session-server",
+        "units": "seconds, single run (absolute-cost trackers)",
+        "before": None,
+        "after": "asyncio server: framed transport -> batch ticks -> results",
+        "numpy": np.__version__,
+        "entries": dict(sorted(_ENTRIES.items())),
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n[benchmarks] wrote {RESULTS_PATH} with {len(_ENTRIES)} entries")
+
+
+@pytest.fixture(scope="module")
+def served_pipeline():
+    """A small trained pipeline sized like the chaos harness's."""
+    config = PipelineConfig(
+        scenario=scenario_config(ScenarioName.V2I_URBAN),
+        feature_config=FeatureConfig(window_fraction=0.10, values_per_packet=2),
+        seq_len=16,
+        hidden_units=16,
+        key_bits=32,
+        code_dim=24,
+        decoder_units=64,
+        rounds_per_episode=48,
+        session_rounds=96,
+        final_key_bits=64,
+        alice_confidence_margin=0.12,
+        bob_guard_fraction=0.30,
+    )
+    pipeline = VehicleKeyPipeline(config, seed=11)
+    pipeline.train(n_episodes=100, epochs=60, reconciler_epochs=15)
+    return pipeline
+
+
+def test_server_honest_throughput(served_pipeline):
+    """Sessions/second for a burst of honest concurrent devices."""
+
+    async def burst():
+        server = KeyEstablishmentServer(
+            ModelRegistry(served_pipeline),
+            ServerConfig(
+                port=0,
+                tick_interval_s=0.02,
+                max_batch=16,
+                queue_limit=CLIENTS,
+                max_sessions=2 * CLIENTS,
+            ),
+        )
+        await server.start()
+        endpoint = Endpoint(port=server.bound_port)
+        start = time.perf_counter()
+        outcomes = await asyncio.gather(
+            *(
+                run_behavior(
+                    endpoint,
+                    "normal",
+                    f"bench-{i}",
+                    episode=f"bench-{SEED}-{i}",
+                    rounds=ROUNDS,
+                )
+                for i in range(CLIENTS)
+            )
+        )
+        elapsed = time.perf_counter() - start
+        await server.drain(timeout=30.0)
+        return outcomes, elapsed, server
+
+    outcomes, elapsed, server = asyncio.run(burst())
+    delivered = sum(1 for outcome in outcomes if outcome.kind == "result")
+    entry = _record(
+        f"server_throughput@honest_x{CLIENTS}_r{ROUNDS}",
+        None,
+        elapsed,
+        clients=CLIENTS,
+        delivered=delivered,
+        sessions_per_sec=round(delivered / elapsed, 3),
+        ticks=server.metrics.ticks,
+        tick_sessions_max=server.metrics.tick_sessions_max,
+    )
+    # Every honest device must get its result, through real sockets,
+    # coalesced into fewer ticks than sessions.
+    assert delivered == CLIENTS
+    assert entry["sessions_per_sec"] > 0.0
+    assert server.metrics.ticks <= CLIENTS
+
+
+def test_server_chaos_sweep_cost(served_pipeline):
+    """Wall cost (and clean verdict) of the mixed-behavior server sweep."""
+    start = time.perf_counter()
+    report = run_server_chaos(
+        served_pipeline, n_clients=CHAOS_CLIENTS, seed=SEED, n_rounds=ROUNDS
+    )
+    elapsed = time.perf_counter() - start
+    _record(
+        f"server_chaos_sweep@mixed_x{CHAOS_CLIENTS}_r{ROUNDS}",
+        None,
+        elapsed,
+        clients=CHAOS_CLIENTS,
+        results=report.results,
+        aborts=report.aborts,
+        rejections=report.rejections,
+        leaked_sessions=report.leaked_sessions,
+        violations=len(report.violations),
+    )
+    assert report.ok, [violation.detail for violation in report.violations]
+    assert report.leaked_sessions == 0

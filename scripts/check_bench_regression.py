@@ -14,6 +14,12 @@ any runner.  A current speedup more than ``--tolerance`` (default 25%)
 below the baseline's fails the check, as does an entry that disappeared.
 Entries without a speedup (absolute-cost trackers like the end-to-end
 establish timing) are reported but never gate.
+
+The gate's inputs are themselves gated: a missing or unreadable
+``BENCH_*.json`` (a baseline that was deleted from the repo, a benchmark
+run that silently produced nothing) is a hard failure with a clear
+message, never a traceback and never a vacuous pass -- an empty entry
+set would otherwise "pass" a run that benchmarked nothing.
 """
 
 from __future__ import annotations
@@ -24,9 +30,32 @@ import sys
 from pathlib import Path
 
 
-def load_entries(path: Path) -> dict:
-    payload = json.loads(path.read_text())
-    return payload["entries"]
+class GateInputError(Exception):
+    """A gate input file is missing, unreadable, or empty."""
+
+
+def load_entries(path: Path, role: str) -> dict:
+    """Load one BENCH_*.json's entries; any defect is a gate failure."""
+    if not path.exists():
+        raise GateInputError(
+            f"{role} file {path} does not exist -- a committed benchmark "
+            "baseline that disappears must fail the gate, not skip it"
+        )
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise GateInputError(f"{role} file {path} is unreadable: {error}")
+    entries = payload.get("entries") if isinstance(payload, dict) else None
+    if not isinstance(entries, dict):
+        raise GateInputError(
+            f"{role} file {path} has no 'entries' object (schema mismatch)"
+        )
+    if not entries:
+        raise GateInputError(
+            f"{role} file {path} contains zero entries -- an empty benchmark "
+            "payload would pass the gate vacuously"
+        )
+    return entries
 
 
 def main(argv=None) -> int:
@@ -39,8 +68,12 @@ def main(argv=None) -> int:
                         help="allowed fractional speedup drop (default 0.25)")
     args = parser.parse_args(argv)
 
-    current = load_entries(args.current)
-    baseline = load_entries(args.baseline)
+    try:
+        current = load_entries(args.current, "current")
+        baseline = load_entries(args.baseline, "baseline")
+    except GateInputError as error:
+        print(f"benchmark regression check FAILED: {error}", file=sys.stderr)
+        return 1
 
     failures = []
     for name, base_entry in sorted(baseline.items()):

@@ -8,6 +8,8 @@ Usage::
     python -m repro experiments fig12-13 --full
     python -m repro robustness --seed 3
     python -m repro chaos --sessions 200 --seed 0
+    python -m repro chaos --server --sessions 200 --seed 0
+    python -m repro serve --port 7316 --load-dir artifacts/
 
 ``python -m repro experiments ...`` forwards to
 :mod:`repro.experiments.runner`.
@@ -146,6 +148,8 @@ def _cmd_chaos(args) -> int:
 
     print(f"training chaos pipeline for {args.scenario.value} ...")
     pipeline = build_chaos_pipeline(scenario=args.scenario)
+    if args.server:
+        return _chaos_server(pipeline, args)
     print(
         f"sweeping {args.sessions} random fault x attack combinations "
         f"(seed {args.seed}) ..."
@@ -161,6 +165,7 @@ def _cmd_chaos(args) -> int:
     print(f"  with faults        : {report.faulted_sessions}")
     print(f"  with attacks       : {report.attacked_sessions}")
     print(f"successful keys      : {report.successes}")
+    print(f"degraded sessions    : {report.degraded_sessions}")
     print(f"structured aborts    : {report.aborts}  {report.abort_reasons}")
     print(f"failure reasons      : {report.failure_reasons}")
     counts = report.violation_counts()
@@ -176,6 +181,106 @@ def _cmd_chaos(args) -> int:
         return 0
     print(f"{len(report.violations)} invariant violation(s)")
     return 1
+
+
+def _chaos_server(pipeline, args) -> int:
+    """Run the server-path chaos sweep; exit non-zero on any violation."""
+    from repro.faults.chaos import INVARIANTS, SERVER_INVARIANTS, run_server_chaos
+
+    print(
+        f"sweeping {args.sessions} concurrent clients against a live "
+        f"server (seed {args.seed}) ..."
+    )
+    report = run_server_chaos(
+        pipeline, n_clients=args.sessions, seed=args.seed, n_rounds=args.rounds
+    )
+    print(f"clients              : {report.n_clients}  {report.behaviors}")
+    print(f"terminal kinds       : {report.client_kinds}")
+    print(f"results delivered    : {report.results} ({report.successes} confirmed keys)")
+    print(f"structured aborts    : {report.aborts}  {report.metrics.get('aborted')}")
+    print(f"shed at admission    : {report.rejections}")
+    print(f"degraded sessions    : {report.degraded_sessions}")
+    print(
+        f"reaped               : {report.metrics.get('reaped_idle')} idle, "
+        f"{report.metrics.get('reaped_deadline')} deadline"
+    )
+    print(
+        f"drain                : {report.drain_delivered} delivered, "
+        f"{report.drain_aborted} aborted, {report.leaked_sessions} leaked"
+    )
+    counts = report.violation_counts()
+    for invariant in INVARIANTS + SERVER_INVARIANTS:
+        print(f"invariant {invariant:28s}: {counts[invariant]} violation(s)")
+    for violation in report.violations:
+        print(
+            f"VIOLATION [{violation.invariant}] client {violation.session} "
+            f"(seed {violation.seed}): {violation.detail}"
+        )
+    if report.ok:
+        print("all invariants held")
+        return 0
+    print(f"{len(report.violations)} invariant violation(s)")
+    return 1
+
+
+def _cmd_serve(args) -> int:
+    """Run the key-establishment session server until SIGTERM/SIGINT."""
+    import asyncio
+
+    from repro.core.pipeline import VehicleKeyPipeline
+    from repro.server import KeyEstablishmentServer, ModelRegistry, ServerConfig
+
+    pipeline = VehicleKeyPipeline.for_scenario(args.scenario, seed=args.seed)
+    watch_dir = None
+    if args.load_dir:
+        print(f"loading trained components from {args.load_dir} ...")
+        pipeline.load(args.load_dir)
+        watch_dir = args.load_dir  # hot-reload newer generations from here
+    else:
+        print(f"training Vehicle-Key for {args.scenario.value} (seed {args.seed}) ...")
+        pipeline.train(
+            n_episodes=args.episodes,
+            epochs=args.epochs,
+            reconciler_epochs=args.epochs // 3,
+        )
+    registry = ModelRegistry(pipeline, directory=watch_dir)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        idle_timeout_s=args.idle_timeout,
+        session_deadline_s=args.deadline,
+        queue_limit=args.queue_limit,
+        max_batch=args.max_batch,
+    )
+    server = KeyEstablishmentServer(registry, config)
+
+    async def _serve_forever() -> int:
+        """serve_forever with a drain summary on shutdown."""
+        await server.start()
+        where = args.unix if args.unix else f"{args.host}:{server.bound_port}"
+        print(f"serving key establishment on {where} (SIGTERM drains gracefully)")
+        import signal as _signal
+
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await stop.wait()
+        print("draining ...")
+        report = await server.drain()
+        print(
+            f"drained: {report.delivered} delivered, "
+            f"{report.aborted_draining} aborted, {report.leaked} leaked"
+        )
+        snapshot = server.metrics.snapshot()
+        print(f"final metrics: {snapshot}")
+        return 0 if report.leaked == 0 else 1
+
+    return asyncio.run(_serve_forever())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -268,7 +373,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-attempts", type=int, default=2,
         help="probing bursts per session (>1 exercises abort re-sync)",
     )
+    chaos.add_argument(
+        "--server", action="store_true",
+        help="sweep misbehaving concurrent clients against a live session "
+        "server instead of the in-process pipeline",
+    )
     chaos.set_defaults(handler=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve", help="run the fault-tolerant key-establishment session server"
+    )
+    serve.add_argument("--scenario", type=_scenario, default=ScenarioName.V2I_URBAN)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--episodes", type=int, default=200)
+    serve.add_argument("--epochs", type=int, default=90)
+    serve.add_argument(
+        "--load-dir", default=None,
+        help="load trained components from this directory and watch it for "
+        "checksummed hot-reloads",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7316)
+    serve.add_argument(
+        "--unix", default=None, help="serve on a unix socket path instead of TCP"
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=30.0,
+        help="seconds of peer silence before a session is reaped",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=120.0,
+        help="end-to-end seconds before a session is aborted",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="bounded ingress queue; excess sessions are shed with retry-after",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="most sessions one batch tick may coalesce",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

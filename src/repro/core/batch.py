@@ -36,8 +36,8 @@ same test module).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -48,7 +48,7 @@ from repro.faults.retry import RetryPolicy
 from repro.probing.dataset import build_dataset
 from repro.probing.features import arrssi_sequences
 from repro.probing.trace import ProbeTrace
-from repro.utils.validation import require_positive
+from repro.utils.validation import require, require_positive
 
 
 @dataclass(frozen=True)
@@ -59,10 +59,20 @@ class BatchReport:
         outcomes: Per-session establishment outcomes, in session order.
         elapsed_s: Wall-clock time for the whole batch (probing through
             privacy amplification).
+        phase_s: Wall-clock seconds per batch phase -- ``probe`` (trace
+            generation), ``window`` (stacked feature extraction),
+            ``predict`` (the single batched forward pass), ``reconcile``
+            and ``amplify`` (summed from each session's own phase
+            timings) and ``orchestrate`` (everything else: session-layer
+            re-windowing, outcome grading, Python dispatch).  Populated
+            on the amortized fast path; empty on the fault/adversary
+            fallback, whose per-session ``establish_key`` calls do not
+            decompose.
     """
 
     outcomes: List[KeyEstablishmentOutcome]
     elapsed_s: float
+    phase_s: Dict[str, float] = field(default_factory=dict)
 
     @property
     def n_sessions(self) -> int:
@@ -149,23 +159,39 @@ class BatchedSessionRunner:
         *is* that sequential loop (see :attr:`amortized`).
         """
         require_positive(n_sessions, "n_sessions")
+        return self.run_episodes(self.session_labels(n_sessions))
+
+    def run_episodes(self, labels: Sequence[str]) -> BatchReport:
+        """Execute one session per episode label, coalesced into a batch.
+
+        The session server's tick loop uses this entry point directly:
+        whatever sessions are ready when a tick fires are coalesced under
+        their own episode labels, so outcomes stay bit-identical to
+        per-session ``establish_key`` calls regardless of how arrivals
+        were grouped into ticks.
+        """
+        require(bool(labels), "need at least one episode label")
         if not self.amortized:
-            return self._run_per_session(n_sessions)
+            return self._run_per_session(labels)
         start = time.perf_counter()
+        phase_s = {}
         session = self.pipeline.build_session()
         model = self.pipeline.model
         feature_config = self.pipeline.config.feature_config
 
         # 1. Bulk trace generation: one vectorized probing episode per
         # session, each with its own channel realization.
+        phase_start = time.perf_counter()
         traces: List[ProbeTrace] = [
             self.pipeline.collect_trace(label, n_rounds=self.n_rounds)
-            for label in self.session_labels(n_sessions)
+            for label in labels
         ]
+        phase_s["probe"] = time.perf_counter() - phase_start
 
         # 2. Stacked feature extraction, mirroring the session layer's
         # own windowing (including its too-short-trace filter) so the
         # prediction slices line up with what each session will rebuild.
+        phase_start = time.perf_counter()
         datasets: List[Optional[object]] = []
         for trace in traces:
             bob_seq, alice_seq = arrssi_sequences(trace, feature_config)
@@ -173,8 +199,10 @@ class BatchedSessionRunner:
                 datasets.append(None)
                 continue
             datasets.append(build_dataset(alice_seq, bob_seq, seq_len=model.seq_len))
+        phase_s["window"] = time.perf_counter() - phase_start
 
         # 3. One forward pass over every session's windows.
+        phase_start = time.perf_counter()
         stacked = [dataset.alice for dataset in datasets if dataset is not None]
         predictions: Dict[int, np.ndarray] = {}
         if stacked:
@@ -185,19 +213,24 @@ class BatchedSessionRunner:
                     continue
                 predictions[index] = all_probs[cursor : cursor + len(dataset)]
                 cursor += len(dataset)
+        phase_s["predict"] = time.perf_counter() - phase_start
 
         # 4. Per-session authenticated message exchange, reusing the
         # precomputed prediction slice instead of re-running the model.
         outcomes: List[KeyEstablishmentOutcome] = []
+        phase_s["reconcile"] = phase_s["amplify"] = 0.0
         for index, trace in enumerate(traces):
             probs = [predictions[index]] if index in predictions else None
             result = session.run(trace, alice_probabilities=probs)
+            phase_s["reconcile"] += result.phase_s.get("reconcile", 0.0)
+            phase_s["amplify"] += result.phase_s.get("amplify", 0.0)
             outcomes.append(self.pipeline.build_outcome(result, [trace]))
 
         elapsed = time.perf_counter() - start
-        return BatchReport(outcomes=outcomes, elapsed_s=elapsed)
+        phase_s["orchestrate"] = max(0.0, elapsed - sum(phase_s.values()))
+        return BatchReport(outcomes=outcomes, elapsed_s=elapsed, phase_s=phase_s)
 
-    def _run_per_session(self, n_sessions: int) -> BatchReport:
+    def _run_per_session(self, labels: Sequence[str]) -> BatchReport:
         """Fault/adversary fallback: one ``establish_key`` per session.
 
         Exactly the sequential loop a caller would write, so fault and
@@ -213,7 +246,7 @@ class BatchedSessionRunner:
                 retry_policy=self.retry_policy,
                 adversary_plan=self.adversary_plan,
             )
-            for label in self.session_labels(n_sessions)
+            for label in labels
         ]
         elapsed = time.perf_counter() - start
         return BatchReport(outcomes=outcomes, elapsed_s=elapsed)

@@ -33,7 +33,8 @@ silently corrupting state.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -158,6 +159,12 @@ class SessionResult:
             (stale nonce, malformed structure, unknown block).
         final_state: Terminal :class:`~repro.core.statemachine.SessionState`
             value (``"complete"`` or ``"aborted"``).
+        phase_s: Wall-clock seconds per session phase -- ``window``
+            (arRSSI sequence + dataset construction), ``extract`` (model
+            forward / quantization + consensus masking), ``reconcile``
+            (syndrome exchange + MAC verification) and ``amplify``
+            (privacy amplification + key confirmation).  The throughput
+            benchmark's per-phase breakdown aggregates these.
     """
 
     raw_agreement: AgreementSummary
@@ -182,6 +189,7 @@ class SessionResult:
     mac_failures: int = 0
     rejected_messages: int = 0
     final_state: Optional[str] = None
+    phase_s: Dict[str, float] = field(default_factory=dict)
 
     @property
     def keys_match(self) -> bool:
@@ -491,14 +499,20 @@ class KeyAgreementSession:
         degraded = False
         ood_windows = 0
         precomputed = list(alice_probabilities) if alice_probabilities else None
+        phase_s = {"window": 0.0, "extract": 0.0, "reconcile": 0.0, "amplify": 0.0}
         for part in traces:
+            phase_start = time.perf_counter()
             bob_seq, alice_seq = arrssi_sequences(part, self.feature_config)
             if len(alice_seq) < self.model.seq_len:
+                phase_s["window"] += time.perf_counter() - phase_start
                 continue
             dataset = build_dataset(alice_seq, bob_seq, seq_len=self.model.seq_len)
+            phase_s["window"] += time.perf_counter() - phase_start
             n_windows += len(dataset)
             probs = precomputed.pop(0) if precomputed else None
+            phase_start = time.perf_counter()
             detail = self.extract_detail(dataset, alice_probabilities=probs)
+            phase_s["extract"] += time.perf_counter() - phase_start
             alice_parts.append(detail.alice_bits)
             bob_parts.append(detail.bob_bits)
             kept_fractions.append(detail.kept_fraction)
@@ -602,6 +616,7 @@ class KeyAgreementSession:
         unreliable = channel is not None or (
             adversary is not None and adversary.plan.attacks_messages
         )
+        phase_start = time.perf_counter()
         outstanding = list(range(n_blocks))
         for request_round in range(max(0, max_rerequests) + 1):
             if not outstanding or machine.aborted:
@@ -648,6 +663,7 @@ class KeyAgreementSession:
                 "verification",
             )
 
+        phase_s["reconcile"] = time.perf_counter() - phase_start
         verified = sorted(verified_set)
         received = sorted(corrected)
         if n_blocks:
@@ -662,6 +678,7 @@ class KeyAgreementSession:
         else:
             reconciled = AgreementSummary(mean=0.0, std=0.0, n_pairs=0)
 
+        phase_start = time.perf_counter()
         verified_alice = (
             np.concatenate([corrected[i] for i in verified])
             if verified
@@ -713,6 +730,7 @@ class KeyAgreementSession:
                 final_alice = final_bob = None
         if not machine.terminal:
             machine.advance(SessionState.COMPLETE)
+        phase_s["amplify"] = time.perf_counter() - phase_start
 
         return SessionResult(
             raw_agreement=raw,
@@ -737,4 +755,5 @@ class KeyAgreementSession:
             mac_failures=mac_failures,
             rejected_messages=rejected,
             final_state=machine.state.value,
+            phase_s=phase_s,
         )

@@ -13,7 +13,8 @@ than leaking a partially-derived key.  This module provides that skeleton:
   aborted, carried on :class:`~repro.core.session.SessionResult` and
   surfaced as ``KeyEstablishmentOutcome.failure_reason``.
 
-The abort taxonomy (every slug an attacker-triggered abort can carry):
+The abort taxonomy (every slug an attacker-triggered abort can carry).
+Message-level reasons (the original four):
 
 ========================= ====================================================
 ``replay-detected``       A message carried a stale session nonce.
@@ -24,13 +25,35 @@ The abort taxonomy (every slug an attacker-triggered abort can carry):
 ``confirmation-failed``   The final key-confirmation hash exchange did not
                           verify; no key is released.
 ========================= ====================================================
+
+Server-level reasons (the session server's liveness/transport taxonomy;
+a misbehaving, slow or disconnecting peer must end in one of these, never
+in an exception):
+
+========================= ====================================================
+``protocol-desync``       A progress event arrived in a state that cannot
+                          accept it (out-of-order peer).
+``deadline-exceeded``     The session overran its end-to-end deadline.
+``idle-timeout``          The peer went quiet past the idle budget and was
+                          reaped.
+``client-disconnected``   The transport dropped mid-session.
+``malformed-frame``       A wire frame was truncated, oversized or not
+                          decodable.
+``duplicate-session``     A second live session claimed the same session id.
+``server-overloaded``     The ingress queue was full; the session was shed
+                          with a structured retry-after.
+``server-draining``       The server is draining (SIGTERM); no new work is
+                          admitted.
+``internal-error``        A server-side failure was isolated to this
+                          session instead of poisoning its batch tick.
+========================= ====================================================
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.exceptions import ProtocolError
 
@@ -40,8 +63,33 @@ ABORT_MALFORMED = "malformed-message"
 ABORT_MAC = "mac-verification-failed"
 ABORT_CONFIRMATION = "confirmation-failed"
 
+#: Server-level abort slugs (liveness, transport and load management).
+ABORT_DESYNC = "protocol-desync"
+ABORT_DEADLINE = "deadline-exceeded"
+ABORT_IDLE = "idle-timeout"
+ABORT_DISCONNECT = "client-disconnected"
+ABORT_FRAME = "malformed-frame"
+ABORT_DUPLICATE = "duplicate-session"
+ABORT_OVERLOAD = "server-overloaded"
+ABORT_DRAINING = "server-draining"
+ABORT_INTERNAL = "internal-error"
+
 #: All valid abort reasons, for validation and reporting.
-ABORT_REASONS = (ABORT_REPLAY, ABORT_MALFORMED, ABORT_MAC, ABORT_CONFIRMATION)
+ABORT_REASONS = (
+    ABORT_REPLAY,
+    ABORT_MALFORMED,
+    ABORT_MAC,
+    ABORT_CONFIRMATION,
+    ABORT_DESYNC,
+    ABORT_DEADLINE,
+    ABORT_IDLE,
+    ABORT_DISCONNECT,
+    ABORT_FRAME,
+    ABORT_DUPLICATE,
+    ABORT_OVERLOAD,
+    ABORT_DRAINING,
+    ABORT_INTERNAL,
+)
 
 
 class SessionState(Enum):
@@ -59,6 +107,88 @@ class SessionState(Enum):
     COMPLETE = "complete"
     #: Terminal: the session was aborted; no key material is released.
     ABORTED = "aborted"
+
+
+class SessionEvent(Enum):
+    """Everything that can happen to a session, as a closed event set.
+
+    The session server drives each peer's state machine through
+    :meth:`SessionStateMachine.on_event` with these events.  Progress
+    events are legal in exactly one state; abort events carry their
+    taxonomized reason from any live state.  The set is closed so the
+    exhaustive transition-matrix test can prove that *no* (state, event)
+    pair raises.
+    """
+
+    #: Probing finished; windowing and bit extraction begin.
+    START = "start"
+    #: Extraction pooled at least one reconciliation block.
+    BLOCKS_READY = "blocks-ready"
+    #: Extraction yielded no block (short trace); complete without a key.
+    NO_BLOCKS = "no-blocks"
+    #: At least one syndrome verified; key confirmation begins.
+    SYNDROMES_VERIFIED = "syndromes-verified"
+    #: Reconciliation ended without enough verified bits for a key.
+    RECONCILE_EXHAUSTED = "reconcile-exhausted"
+    #: The key-confirmation exchange verified on both sides.
+    CONFIRM_OK = "confirm-ok"
+    #: A message carried a stale session nonce.
+    REPLAY = "replay"
+    #: A structurally invalid protocol message arrived.
+    MALFORMED = "malformed"
+    #: Every received syndrome failed MAC verification.
+    MAC_FAILURE = "mac-failure"
+    #: The key-confirmation exchange failed to verify.
+    CONFIRM_FAIL = "confirm-fail"
+    #: The session overran its end-to-end deadline.
+    DEADLINE_EXPIRED = "deadline-expired"
+    #: The peer went quiet past its idle budget.
+    IDLE_EXPIRED = "idle-expired"
+    #: The transport dropped mid-session.
+    PEER_DISCONNECTED = "peer-disconnected"
+    #: A wire frame was truncated, oversized or undecodable.
+    FRAME_CORRUPT = "frame-corrupt"
+    #: Another live session already owns this session id.
+    DUPLICATE_SESSION = "duplicate-session"
+    #: The ingress queue is full; the session is being shed.
+    OVERLOADED = "overloaded"
+    #: The server is draining and admits no new work.
+    DRAINING = "draining"
+    #: An isolated server-side failure ended this session.
+    INTERNAL_ERROR = "internal-error"
+
+
+#: Progress events: the one state each is legal in, and its successor.
+_PROGRESS_EVENTS: Dict[SessionEvent, Tuple[SessionState, SessionState]] = {
+    SessionEvent.START: (SessionState.INIT, SessionState.EXTRACTING),
+    SessionEvent.BLOCKS_READY: (SessionState.EXTRACTING, SessionState.RECONCILING),
+    SessionEvent.NO_BLOCKS: (SessionState.EXTRACTING, SessionState.COMPLETE),
+    SessionEvent.SYNDROMES_VERIFIED: (
+        SessionState.RECONCILING,
+        SessionState.CONFIRMING,
+    ),
+    SessionEvent.RECONCILE_EXHAUSTED: (
+        SessionState.RECONCILING,
+        SessionState.COMPLETE,
+    ),
+    SessionEvent.CONFIRM_OK: (SessionState.CONFIRMING, SessionState.COMPLETE),
+}
+
+#: Abort events and the taxonomy slug each carries.
+_ABORT_EVENTS: Dict[SessionEvent, str] = {
+    SessionEvent.REPLAY: ABORT_REPLAY,
+    SessionEvent.MALFORMED: ABORT_MALFORMED,
+    SessionEvent.MAC_FAILURE: ABORT_MAC,
+    SessionEvent.CONFIRM_FAIL: ABORT_CONFIRMATION,
+    SessionEvent.DEADLINE_EXPIRED: ABORT_DEADLINE,
+    SessionEvent.IDLE_EXPIRED: ABORT_IDLE,
+    SessionEvent.PEER_DISCONNECTED: ABORT_DISCONNECT,
+    SessionEvent.FRAME_CORRUPT: ABORT_FRAME,
+    SessionEvent.DUPLICATE_SESSION: ABORT_DUPLICATE,
+    SessionEvent.OVERLOADED: ABORT_OVERLOAD,
+    SessionEvent.DRAINING: ABORT_DRAINING,
+    SessionEvent.INTERNAL_ERROR: ABORT_INTERNAL,
+}
 
 
 #: Legal transitions.  EXTRACTING may complete directly (a trace too short
@@ -143,6 +273,44 @@ class SessionStateMachine:
         self.advance(SessionState.ABORTED)
         self.abort_record = record
         return record
+
+    def on_event(
+        self, event: SessionEvent, detail: str = ""
+    ) -> Optional[SessionAbort]:
+        """Apply one :class:`SessionEvent`; never raises on any pair.
+
+        This is the session server's driver: events come from the wire,
+        from timers and from the batch executor, so *every*
+        (state, event) pair must resolve without an exception
+        (``tests/test_statemachine_matrix.py`` proves the full matrix):
+
+        - a progress event in its one legal state advances the machine;
+        - a progress event in any other live state is a peer desync and
+          aborts with ``protocol-desync``;
+        - an abort event in any live state aborts with its taxonomized
+          reason;
+        - any event in a terminal state is absorbed (a reaped or
+          completed session cannot be re-aborted or resurrected).
+
+        Returns the :class:`SessionAbort` recorded for this session, or
+        ``None`` when it is live or completed cleanly.
+        """
+        if self.terminal:
+            return self.abort_record
+        if event in _PROGRESS_EVENTS:
+            legal_state, successor = _PROGRESS_EVENTS[event]
+            if self.state is legal_state:
+                self.advance(successor)
+                return None
+            return self.abort(
+                ABORT_DESYNC,
+                detail
+                or (
+                    f"event {event.value!r} is illegal in state "
+                    f"{self.state.value!r}"
+                ),
+            )
+        return self.abort(_ABORT_EVENTS[event], detail or f"event {event.value!r}")
 
     @property
     def terminal(self) -> bool:

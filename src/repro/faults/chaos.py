@@ -27,10 +27,34 @@ and asserts the machine-checked safety invariants that must hold for
 
 Any violation is recorded with its seed and session index, so a failure
 in CI reproduces locally with one command (``repro chaos --seed N``).
+
+The harness also drives the *served* path (``repro chaos --server``):
+:func:`run_server_chaos` stands up a real
+:class:`~repro.server.server.KeyEstablishmentServer`, hits it with a
+seeded mix of honest and misbehaving clients (mid-phase disconnects,
+slow-loris frames, corrupt and oversized frames, duplicate session ids,
+overload bursts), re-checks the library invariants on every outcome the
+server produced, and adds the server-level invariants:
+
+``session-leak-after-reap``
+    After the final drain no session is still registered -- reaping and
+    disconnect handling reclaim every record.
+``tick-stall``
+    An honest client that started establishment always receives its
+    terminal frame; a wedged or hostile peer never stalls the tick loop
+    for everyone else.
+``shed-not-hang``
+    Every client interaction ends in a structured verdict (result,
+    taxonomized abort, or rejection carrying ``retry_after_s``) or a
+    clean close -- never a client-side timeout.
+``silent-degraded-session``
+    Every served session that used the quantizer-fallback degraded mode
+    is counted in server metrics; degradation is never silent.
 """
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -48,6 +72,9 @@ from repro.faults.plan import (
 from repro.faults.retry import RetryPolicy
 from repro.lora.regional import EU433, EU868, UNRESTRICTED
 from repro.probing.features import FeatureConfig
+from repro.server.client import ClientOutcome, Endpoint, run_behavior
+from repro.server.registry import ModelRegistry
+from repro.server.server import KeyEstablishmentServer, ServerConfig
 from repro.utils.validation import require_positive
 
 #: Every invariant the harness checks, in reporting order.
@@ -58,6 +85,14 @@ INVARIANTS = (
     "retry-budget-exceeded",
     "duty-cycle-violated",
     "undetected-replay",
+)
+
+#: Server-level invariants :func:`run_server_chaos` adds on top.
+SERVER_INVARIANTS = (
+    "session-leak-after-reap",
+    "tick-stall",
+    "shed-not-hang",
+    "silent-degraded-session",
 )
 
 #: Numerical slack for the duty-cycle time accounting.
@@ -157,6 +192,9 @@ class ChaosReport:
         failure_reasons: ``failure_reason`` histogram over all sessions.
         attacked_sessions: Sessions that faced a non-null adversary plan.
         faulted_sessions: Sessions that faced a non-null fault plan.
+        degraded_sessions: Sessions served in a degraded mode (the
+            InferenceGuard's quantizer fallback) -- a counted
+            observation, so degradation under chaos is never silent.
     """
 
     n_sessions: int = 0
@@ -168,6 +206,7 @@ class ChaosReport:
     failure_reasons: Dict[str, int] = field(default_factory=dict)
     attacked_sessions: int = 0
     faulted_sessions: int = 0
+    degraded_sessions: int = 0
 
     @property
     def ok(self) -> bool:
@@ -193,6 +232,7 @@ class ChaosReport:
             self.failure_reasons[key] = self.failure_reasons.get(key, 0) + value
         self.attacked_sessions += other.attacked_sessions
         self.faulted_sessions += other.faulted_sessions
+        self.degraded_sessions += other.degraded_sessions
         return self
 
 
@@ -331,6 +371,8 @@ def run_chaos(
             continue
         if outcome.success:
             report.successes += 1
+        if outcome.degraded_mode is not None:
+            report.degraded_sessions += 1
         if outcome.aborted:
             report.aborts += 1
             reason = outcome.abort_reason
@@ -351,6 +393,293 @@ def run_chaos(
             )
         )
     return report
+
+
+#: Seeded behavior mix the server sweep draws from (weights sum to 1).
+_BEHAVIOR_WEIGHTS = (
+    ("normal", 0.45),
+    ("ping-then-normal", 0.10),
+    ("disconnect-after-hello", 0.08),
+    ("disconnect-after-start", 0.08),
+    ("slow-loris", 0.07),
+    ("corrupt-frame", 0.07),
+    ("oversized-frame", 0.05),
+    ("unknown-frame", 0.05),
+    ("silent", 0.05),
+)
+
+#: Probability a client claims the previous client's session id.
+_DUPLICATE_ID_RATE = 0.05
+
+
+def random_client_behavior(rng: np.random.Generator) -> str:
+    """One seeded draw from the server sweep's behavior mix."""
+    names = [name for name, _ in _BEHAVIOR_WEIGHTS]
+    weights = np.array([weight for _, weight in _BEHAVIOR_WEIGHTS])
+    return str(rng.choice(names, p=weights / weights.sum()))
+
+
+@dataclass
+class ServerChaosReport:
+    """Aggregated verdict of one server chaos sweep.
+
+    Attributes:
+        n_clients: Client interactions executed.
+        seed: Sweep seed; client ``i`` derives from ``(seed, i)``.
+        violations: Every broken invariant (library- and server-level).
+        behaviors: How many clients ran each behavior.
+        client_kinds: Histogram of terminal client-outcome kinds.
+        results: Clients that received an establishment result frame.
+        successes: Result frames reporting a confirmed key.
+        aborts: Clients answered with a taxonomized abort frame.
+        rejections: Clients shed at admission with a structured
+            rejection.
+        degraded_sessions: Served sessions that used the quantizer
+            fallback, per server metrics.
+        drain_delivered: Sessions whose verdict the final drain
+            delivered.
+        drain_aborted: Unstarted sessions the drain aborted with
+            ``server-draining``.
+        leaked_sessions: Sessions still registered after the drain
+            (must be zero).
+        metrics: The server's full metrics snapshot.
+    """
+
+    n_clients: int = 0
+    seed: int = 0
+    violations: List[ChaosViolation] = field(default_factory=list)
+    behaviors: Dict[str, int] = field(default_factory=dict)
+    client_kinds: Dict[str, int] = field(default_factory=dict)
+    results: int = 0
+    successes: int = 0
+    aborts: int = 0
+    rejections: int = 0
+    degraded_sessions: int = 0
+    drain_delivered: int = 0
+    drain_aborted: int = 0
+    leaked_sessions: int = 0
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every invariant held across the whole sweep."""
+        return not self.violations
+
+    def violation_counts(self) -> Dict[str, int]:
+        """Per-invariant violation counts (zero-filled for reporting)."""
+        counts = {name: 0 for name in INVARIANTS + SERVER_INVARIANTS}
+        for violation in self.violations:
+            counts[violation.invariant] = counts.get(violation.invariant, 0) + 1
+        return counts
+
+
+def chaos_server_config(n_clients: int) -> ServerConfig:
+    """Server knobs tuned so a sweep exercises every robustness path.
+
+    Budgets are tight enough that silent and slow-loris peers are reaped
+    within the sweep, and the ingress queue is small enough that a burst
+    of honest clients actually triggers load shedding.
+    """
+    return ServerConfig(
+        port=0,
+        hello_timeout_s=1.0,
+        idle_timeout_s=1.5,
+        session_deadline_s=90.0,
+        tick_interval_s=0.02,
+        max_batch=16,
+        queue_limit=max(8, min(16, n_clients)),
+        max_sessions=max(64, 2 * n_clients),
+        retry_after_s=0.5,
+        reap_interval_s=0.25,
+    )
+
+
+def _served_outcome_violations(outcome, index: int, seed: int) -> List[ChaosViolation]:
+    """Library-path safety invariants re-checked on a served outcome."""
+    session = outcome.session
+    violations: List[ChaosViolation] = []
+    if outcome.success and (
+        not session.keys_match
+        or session.abort is not None
+        or session.confirmed is False
+    ):
+        violations.append(
+            ChaosViolation(
+                invariant="silent-key-mismatch",
+                session=index,
+                seed=seed,
+                detail="served success=True without a matching confirmed key "
+                f"(abort={session.abort}, confirmed={session.confirmed})",
+            )
+        )
+    if (session.abort is not None or session.confirmed is False) and (
+        session.final_key_alice is not None or session.final_key_bob is not None
+    ):
+        violations.append(
+            ChaosViolation(
+                invariant="key-after-failed-verification",
+                session=index,
+                seed=seed,
+                detail=f"served abort={session.abort} confirmed={session.confirmed} "
+                "but key material was released",
+            )
+        )
+    return violations
+
+
+async def _run_server_chaos(
+    pipeline: VehicleKeyPipeline,
+    n_clients: int,
+    seed: int,
+    n_rounds: Optional[int],
+    config: Optional[ServerConfig],
+) -> ServerChaosReport:
+    """The async body of :func:`run_server_chaos`."""
+    report = ServerChaosReport(n_clients=n_clients, seed=seed)
+    observed = {"index": 0, "degraded": 0}
+
+    def on_outcome(session, outcome) -> None:
+        """Re-check library invariants on every served outcome."""
+        index = observed["index"]
+        observed["index"] = index + 1
+        if outcome.degraded_mode is not None:
+            observed["degraded"] += 1
+        report.violations.extend(_served_outcome_violations(outcome, index, seed))
+
+    server = KeyEstablishmentServer(
+        ModelRegistry(pipeline),
+        config if config is not None else chaos_server_config(n_clients),
+        on_outcome=on_outcome,
+    )
+    await server.start()
+    endpoint = Endpoint(port=server.bound_port)
+
+    async def one_client(index: int) -> ClientOutcome:
+        """Client ``index``'s seeded behavior draw and execution."""
+        rng = np.random.default_rng([seed, index])
+        await asyncio.sleep(float(rng.uniform(0.0, 0.5)))
+        behavior = random_client_behavior(rng)
+        if index > 0 and rng.random() < _DUPLICATE_ID_RATE:
+            session_id = f"dev-{seed}-{index - 1}"
+        else:
+            session_id = f"dev-{seed}-{index}"
+        return await run_behavior(
+            endpoint,
+            behavior,
+            session_id,
+            episode=f"serve-chaos-{seed}-{index}",
+            rounds=n_rounds,
+            timeout_s=60.0,
+        )
+
+    try:
+        outcomes = await asyncio.gather(
+            *(one_client(index) for index in range(n_clients))
+        )
+    finally:
+        drain = await server.drain()
+
+    report.drain_delivered = drain.delivered
+    report.drain_aborted = drain.aborted_draining
+    report.leaked_sessions = drain.leaked
+    report.metrics = server.metrics.snapshot()
+    report.degraded_sessions = server.metrics.degraded_sessions
+
+    honest = ("normal", "ping-then-normal")
+    for index, outcome in enumerate(outcomes):
+        report.behaviors[outcome.behavior] = (
+            report.behaviors.get(outcome.behavior, 0) + 1
+        )
+        report.client_kinds[outcome.kind] = (
+            report.client_kinds.get(outcome.kind, 0) + 1
+        )
+        if outcome.kind == "result":
+            report.results += 1
+            if outcome.frame is not None and outcome.frame.get("success"):
+                report.successes += 1
+        elif outcome.kind == "abort":
+            report.aborts += 1
+        elif outcome.kind == "rejected":
+            report.rejections += 1
+            if outcome.frame is None or "retry_after_s" not in outcome.frame:
+                report.violations.append(
+                    ChaosViolation(
+                        invariant="shed-not-hang",
+                        session=index,
+                        seed=seed,
+                        detail=f"{outcome.behavior!r} client was rejected "
+                        "without a retry_after_s hint",
+                    )
+                )
+        elif outcome.kind == "error" or (
+            outcome.kind == "closed" and outcome.behavior in honest
+        ):
+            invariant = "tick-stall" if outcome.behavior in honest else "shed-not-hang"
+            report.violations.append(
+                ChaosViolation(
+                    invariant=invariant,
+                    session=index,
+                    seed=seed,
+                    detail=f"{outcome.behavior!r} client ended with "
+                    f"kind={outcome.kind!r} ({outcome.detail or 'no terminal frame'})",
+                )
+            )
+    if report.leaked_sessions > 0 or server.active_sessions > 0:
+        report.violations.append(
+            ChaosViolation(
+                invariant="session-leak-after-reap",
+                session=-1,
+                seed=seed,
+                detail=f"{max(report.leaked_sessions, server.active_sessions)} "
+                "sessions still registered after the final drain",
+            )
+        )
+    if server.metrics.degraded_sessions != observed["degraded"]:
+        report.violations.append(
+            ChaosViolation(
+                invariant="silent-degraded-session",
+                session=-1,
+                seed=seed,
+                detail=f"observer saw {observed['degraded']} degraded sessions "
+                f"but server metrics counted {server.metrics.degraded_sessions}",
+            )
+        )
+    return report
+
+
+def run_server_chaos(
+    pipeline: VehicleKeyPipeline,
+    n_clients: int,
+    seed: int = 0,
+    n_rounds: Optional[int] = None,
+    config: Optional[ServerConfig] = None,
+) -> ServerChaosReport:
+    """Chaos-sweep the *served* path with misbehaving concurrent clients.
+
+    Stands up a real :class:`KeyEstablishmentServer` on a loopback port,
+    launches ``n_clients`` concurrent clients whose behaviors (honest,
+    disconnecting, slow-loris, corrupt/oversized frames, duplicate ids,
+    silent) derive from ``(seed, index)``, then drains the server and
+    checks the library invariants on every served outcome plus the
+    server-level invariants in :data:`SERVER_INVARIANTS`.
+
+    Args:
+        pipeline: A trained pipeline to serve (e.g.
+            :func:`build_chaos_pipeline`'s).
+        n_clients: Concurrent client interactions to run.
+        seed: Sweep seed; any single client reproduces from
+            ``(seed, index)``.
+        n_rounds: Probing rounds clients request (``None``: the server
+            default, i.e. the pipeline's ``session_rounds``).
+        config: Server knobs; defaults to :func:`chaos_server_config`.
+
+    Returns:
+        The :class:`ServerChaosReport`; ``report.ok`` is the verdict.
+    """
+    require_positive(n_clients, "n_clients")
+    return asyncio.run(
+        _run_server_chaos(pipeline, n_clients, seed, n_rounds, config)
+    )
 
 
 def build_chaos_pipeline(

@@ -24,6 +24,7 @@ from repro.reconciliation.cascade import CascadeReconciliation
 from repro.reconciliation.compressed_sensing import (
     CompressedSensingReconciliation,
     orthogonal_matching_pursuit,
+    refine_integer_correction,
 )
 from repro.reconciliation.autoencoder import AutoencoderReconciliation
 from repro.reconciliation.mac import compute_mac, verify_mac
@@ -36,6 +37,7 @@ __all__ = [
     "CascadeReconciliation",
     "CompressedSensingReconciliation",
     "orthogonal_matching_pursuit",
+    "refine_integer_correction",
     "AutoencoderReconciliation",
     "compute_mac",
     "verify_mac",

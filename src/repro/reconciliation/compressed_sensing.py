@@ -28,6 +28,7 @@ def orthogonal_matching_pursuit(
     target: np.ndarray,
     max_sparsity: int,
     tolerance: float = 1e-6,
+    exclude: Tuple[int, ...] = (),
 ) -> Tuple[np.ndarray, int]:
     """Greedy sparse recovery: solve ``target ~= matrix @ x`` with sparse x.
 
@@ -36,6 +37,9 @@ def orthogonal_matching_pursuit(
         target: Measurement vector of length ``m``.
         max_sparsity: Maximum support size to try.
         tolerance: Stop when the residual norm falls below this.
+        exclude: Atom indices the pursuit may never select.  Used by the
+            backtracking decoder to retry a failed decode without the
+            atom the previous attempt greedily (and wrongly) led with.
 
     Returns:
         ``(x, iterations)``: the recovered coefficient vector (dense, with
@@ -48,6 +52,7 @@ def orthogonal_matching_pursuit(
     norms[norms == 0] = 1.0
     residual = target.astype(float).copy()
     support: list = []
+    blocked = list(exclude)
     solution = np.zeros(n)
     iterations = 0
     for _ in range(min(max_sparsity, m)):
@@ -56,6 +61,9 @@ def orthogonal_matching_pursuit(
         iterations += 1
         correlations = np.abs(matrix.T @ residual) / norms
         correlations[support] = -np.inf
+        correlations[blocked] = -np.inf
+        if not np.isfinite(correlations.max()):
+            break
         best = int(np.argmax(correlations))
         support.append(best)
         submatrix = matrix[:, support]
@@ -66,6 +74,71 @@ def orthogonal_matching_pursuit(
     return solution, iterations
 
 
+def refine_integer_correction(
+    matrix: np.ndarray,
+    target: np.ndarray,
+    correction: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    tolerance: float = 1e-6,
+    max_moves: int | None = None,
+) -> Tuple[np.ndarray, int]:
+    """Greedy integer descent on ``||target - matrix @ e||`` over a box.
+
+    OMP recovers the difference vector in real arithmetic and only then
+    rounds -- when the greedy atom selection goes wrong (coherent
+    columns), the rounded vector can fail to reproduce the syndrome at
+    all.  This pass repairs such decodes by exploiting the structure OMP
+    ignores: every entry of the true difference is an integer confined to
+    ``[lower_j, upper_j]`` (a key bit can only move to 0 or 1).  Each
+    move changes one coordinate by +/-1, picking the single change that
+    most reduces the squared residual, and stops at a residual below
+    ``tolerance`` or when no move improves -- so the result is never
+    worse than the rounded OMP output it starts from.
+
+    Args:
+        matrix: Sensing matrix of shape ``[m, n]``.
+        target: Measurement vector of length ``m``.
+        correction: Integer starting point of length ``n`` (clipped into
+            the box before refinement).
+        lower: Per-coordinate integer lower bounds.
+        upper: Per-coordinate integer upper bounds.
+        tolerance: Residual norm considered an exact decode.
+        max_moves: Move budget (default ``4 * n``).
+
+    Returns:
+        ``(refined, moves)``: the refined integer vector and the number
+        of single-coordinate moves applied.
+    """
+    m, n = matrix.shape
+    require(target.shape == (m,), "target length must match matrix rows")
+    budget = 4 * n if max_moves is None else int(max_moves)
+    refined = np.clip(correction.astype(int), lower, upper)
+    residual = target.astype(float) - matrix @ refined
+    gram_diag = np.einsum("ij,ij->j", matrix, matrix)
+    moves = 0
+    while moves < budget and np.linalg.norm(residual) > tolerance:
+        # Gain of moving coordinate j by s in {-1,+1}:
+        #   ||r||^2 - ||r - s*phi_j||^2 = 2 s <phi_j, r> - ||phi_j||^2
+        inner = matrix.T @ residual
+        gain_up = 2.0 * inner - gram_diag
+        gain_down = -2.0 * inner - gram_diag
+        gain_up[refined >= upper] = -np.inf
+        gain_down[refined <= lower] = -np.inf
+        best_up = int(np.argmax(gain_up))
+        best_down = int(np.argmax(gain_down))
+        if gain_up[best_up] >= gain_down[best_down]:
+            best, step, gain = best_up, 1, gain_up[best_up]
+        else:
+            best, step, gain = best_down, -1, gain_down[best_down]
+        if gain <= tolerance:
+            break
+        refined[best] += step
+        residual -= step * matrix[:, best]
+        moves += 1
+    return refined, moves
+
+
 class CompressedSensingReconciliation(Reconciler):
     """CS syndrome reconciliation over fixed-size key blocks.
 
@@ -74,19 +147,73 @@ class CompressedSensingReconciliation(Reconciler):
         block_bits: Key block size n per syndrome (paper baseline: 64).
         seed: Public randomness for the sensing matrix (both parties
             derive the same matrix).
+        max_restarts: Backtracking budget per block: how many times a
+            decode that fails to reproduce the syndrome is retried with
+            the previous attempt's (wrong) leading atom banned.
     """
 
     def __init__(
-        self, measurements: int = 20, block_bits: int = 64, seed: SeedLike = 0
+        self,
+        measurements: int = 20,
+        block_bits: int = 64,
+        seed: SeedLike = 0,
+        max_restarts: int = 8,
     ):
         require_positive(measurements, "measurements")
         require_positive(block_bits, "block_bits")
+        require(max_restarts >= 0, "max_restarts must be non-negative")
         self.measurements = int(measurements)
         self.block_bits = int(block_bits)
+        self.max_restarts = int(max_restarts)
         rng = as_generator(seed)
         self._matrix = rng.standard_normal((self.measurements, self.block_bits))
         self._matrix /= np.sqrt(self.measurements)
         self.last_decoder_iterations = 0
+
+    def _decode_block(self, target, bits, max_sparsity, tolerance=1e-6):
+        """Decode one block's difference vector from its syndrome gap.
+
+        OMP is greedy: with coherent sensing columns its first atom pick
+        is occasionally wrong, and the rounded decode then fails to
+        reproduce the syndrome at all.  Every decode is therefore
+        verified (the true difference gives a ~0 residual) and repaired
+        in two stages: a box-constrained integer descent (the true
+        difference is integer, and a bit at 0 can only move up, a bit at
+        1 only down -- structure real-valued OMP ignores), then, if the
+        residual still stands, a full retry with the misleading leading
+        atom banned.  Returns ``(correction, iterations)`` for the best
+        attempt; an unrepairable decode leaves those bits wrong, and the
+        result is still a key.
+        """
+        norms = np.linalg.norm(self._matrix, axis=0)
+        norms[norms == 0] = 1.0
+        initial_ranking = np.argsort(-np.abs(self._matrix.T @ target) / norms)
+        best_correction = np.zeros(bits.size, dtype=int)
+        best_residual = float(np.linalg.norm(target))
+        iterations = 0
+        for attempt in range(1 + self.max_restarts):
+            # Attempt k bans the k highest-correlation atoms: attempt
+            # k-1 led with the (k-1)-th of them and failed verification.
+            banned = tuple(int(atom) for atom in initial_ranking[:attempt])
+            difference, omp_iterations = orthogonal_matching_pursuit(
+                self._matrix, target, max_sparsity, exclude=banned
+            )
+            iterations += omp_iterations
+            correction, moves = refine_integer_correction(
+                self._matrix,
+                target,
+                np.rint(difference).astype(int),
+                lower=-bits,
+                upper=1 - bits,
+            )
+            iterations += moves
+            residual = float(np.linalg.norm(target - self._matrix @ correction))
+            if residual < best_residual:
+                best_residual = residual
+                best_correction = correction
+            if best_residual <= tolerance:
+                break
+        return best_correction, iterations
 
     def reconcile(self, alice_key, bob_key) -> ReconciliationOutcome:
         alice = np.asarray(alice_key, dtype=np.uint8).copy()
@@ -108,15 +235,12 @@ class CompressedSensingReconciliation(Reconciler):
             hi = lo + self.block_bits
             syndrome_bob = self._matrix @ bob[lo:hi].astype(float)
             syndrome_alice = self._matrix @ alice[lo:hi].astype(float)
-            difference, iterations = orthogonal_matching_pursuit(
-                self._matrix, syndrome_bob - syndrome_alice, max_sparsity
+            bits = alice[lo:hi].astype(int)
+            correction, iterations = self._decode_block(
+                syndrome_bob - syndrome_alice, bits, max_sparsity
             )
             total_iterations += iterations
-            correction = np.rint(difference).astype(int)
-            corrected = alice[lo:hi].astype(int) + correction
-            # Corrections outside {0, 1} are decoder errors; clamp so the
-            # result is still a key (the bits simply stay wrong).
-            alice[lo:hi] = np.clip(corrected, 0, 1).astype(np.uint8)
+            alice[lo:hi] = np.clip(bits + correction, 0, 1).astype(np.uint8)
 
         self.last_decoder_iterations = total_iterations
         return ReconciliationOutcome(

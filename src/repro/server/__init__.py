@@ -1,0 +1,59 @@
+"""Fault-tolerant async key-establishment session server.
+
+The server subsystem turns the in-process Vehicle-Key pipeline into a
+long-running service: a framed transport (:mod:`~repro.server.framing`),
+per-device session records with liveness budgets
+(:mod:`~repro.server.session`), a checksummed hot-reloading model
+registry (:mod:`~repro.server.registry`), health counters
+(:mod:`~repro.server.metrics`), the asyncio server itself
+(:mod:`~repro.server.server`) and a device client / misbehavior driver
+(:mod:`~repro.server.client`).  See ``docs/SERVER.md`` for the
+architecture and the robustness contract.
+"""
+
+from repro.server.client import (
+    BEHAVIORS,
+    ClientOutcome,
+    DeviceClient,
+    Endpoint,
+    run_behavior,
+)
+from repro.server.framing import (
+    FRAME_CORRUPT,
+    FRAME_OVERSIZED,
+    FRAME_TRUNCATED,
+    MAX_FRAME_BYTES,
+    FrameError,
+    encode_frame,
+    decode_body,
+    read_frame,
+    write_frame,
+)
+from repro.server.metrics import ServerMetrics
+from repro.server.registry import ARTIFACT_NAMES, ModelRegistry
+from repro.server.server import DrainReport, KeyEstablishmentServer, ServerConfig
+from repro.server.session import DeviceSession
+
+__all__ = [
+    "ARTIFACT_NAMES",
+    "BEHAVIORS",
+    "ClientOutcome",
+    "DeviceClient",
+    "DeviceSession",
+    "DrainReport",
+    "Endpoint",
+    "FrameError",
+    "FRAME_CORRUPT",
+    "FRAME_OVERSIZED",
+    "FRAME_TRUNCATED",
+    "KeyEstablishmentServer",
+    "MAX_FRAME_BYTES",
+    "ModelRegistry",
+    "ServerConfig",
+    "ServerMetrics",
+    "decode_body",
+    "encode_frame",
+    "read_frame",
+    "run_behavior",
+    "write_frame",
+]

@@ -1,0 +1,260 @@
+"""Device-side client for the key-establishment server.
+
+:class:`DeviceClient` implements the honest protocol -- hello, start,
+await the result frame -- and doubles as the chaos harness's attack
+driver: :func:`run_behavior` executes one of a closed set of
+*behaviors*, most of which deliberately violate the protocol
+(disconnect mid-phase, slow-loris a frame, send garbage bytes, claim an
+oversized frame) so the harness can verify the server sheds, reaps or
+aborts them without hanging or leaking.  Every behavior resolves to a
+:class:`ClientOutcome` -- including the misbehaving ones, whose
+"outcome" is whatever structured verdict (or clean close) the server
+answered with.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.server.framing import encode_frame, read_frame, write_frame
+
+#: The closed set of client behaviors the chaos harness draws from.
+BEHAVIORS = (
+    "normal",
+    "ping-then-normal",
+    "disconnect-after-hello",
+    "disconnect-after-start",
+    "slow-loris",
+    "corrupt-frame",
+    "oversized-frame",
+    "unknown-frame",
+    "silent",
+)
+
+
+@dataclass
+class ClientOutcome:
+    """What one client interaction ended with.
+
+    Attributes:
+        session_id: The session id the client claimed.
+        behavior: The behavior slug that was executed.
+        kind: ``"result"`` (establishment outcome delivered),
+            ``"abort"`` (taxonomized server abort), ``"rejected"``
+            (structured admission rejection), ``"closed"`` (server
+            closed without a terminal frame -- legal only for behaviors
+            that disconnect first), or ``"error"`` (transport error on
+            the client side).
+        frame: The terminal server frame, when one arrived.
+        detail: Free-text context (transport error strings).
+    """
+
+    session_id: str
+    behavior: str
+    kind: str
+    frame: Optional[dict] = None
+    detail: str = ""
+
+    @property
+    def structured(self) -> bool:
+        """Whether the server answered with a structured verdict."""
+        return self.kind in ("result", "abort", "rejected")
+
+
+@dataclass
+class Endpoint:
+    """Where the server listens: TCP host/port or a unix socket path."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    unix_path: Optional[str] = None
+
+    async def connect(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        """Open one stream connection to the endpoint."""
+        if self.unix_path is not None:
+            return await asyncio.open_unix_connection(self.unix_path)
+        return await asyncio.open_connection(self.host, self.port)
+
+
+@dataclass
+class DeviceClient:
+    """One honest (or deliberately misbehaving) device.
+
+    Attributes:
+        endpoint: Where to connect.
+        session_id: Session id to claim in the hello frame.
+        episode: Episode label for the probing burst.
+        rounds: Probing rounds to request (``None``: server default).
+        timeout_s: Client-side budget for each await on the server.
+    """
+
+    endpoint: Endpoint
+    session_id: str
+    episode: Optional[str] = None
+    rounds: Optional[int] = None
+    timeout_s: float = 60.0
+    _reader: Optional[asyncio.StreamReader] = field(default=None, repr=False)
+    _writer: Optional[asyncio.StreamWriter] = field(default=None, repr=False)
+
+    async def connect(self) -> None:
+        """Open the transport."""
+        self._reader, self._writer = await self.endpoint.connect()
+
+    async def close(self) -> None:
+        """Close the transport (idempotent, swallows transport errors)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+            self._writer = None
+
+    async def send(self, payload: dict) -> None:
+        """Send one protocol frame."""
+        await write_frame(self._writer, payload)
+
+    async def recv(self) -> Optional[dict]:
+        """Receive one frame (``None`` on clean server close)."""
+        return await asyncio.wait_for(
+            read_frame(self._reader), timeout=self.timeout_s
+        )
+
+    async def hello(self) -> Optional[dict]:
+        """Run the admission handshake; returns the server's answer."""
+        frame = {"type": "hello", "session_id": self.session_id}
+        if self.episode is not None:
+            frame["episode"] = self.episode
+        if self.rounds is not None:
+            frame["rounds"] = self.rounds
+        await self.send(frame)
+        return await self.recv()
+
+    async def establish(self) -> ClientOutcome:
+        """Honest full exchange: hello, start, await the verdict."""
+        try:
+            await self.connect()
+            answer = await self.hello()
+            if answer is None:
+                return ClientOutcome(self.session_id, "normal", "closed")
+            if answer.get("type") == "rejected":
+                return ClientOutcome(self.session_id, "normal", "rejected", answer)
+            await self.send({"type": "start"})
+            verdict = await self.recv()
+            if verdict is None:
+                return ClientOutcome(self.session_id, "normal", "closed")
+            kind = "result" if verdict.get("type") == "result" else "abort"
+            return ClientOutcome(self.session_id, "normal", kind, verdict)
+        except (OSError, asyncio.TimeoutError, ConnectionError) as error:
+            return ClientOutcome(
+                self.session_id, "normal", "error", detail=str(error)
+            )
+        finally:
+            await self.close()
+
+
+async def run_behavior(
+    endpoint: Endpoint,
+    behavior: str,
+    session_id: str,
+    episode: Optional[str] = None,
+    rounds: Optional[int] = None,
+    timeout_s: float = 60.0,
+) -> ClientOutcome:
+    """Execute one behavior against the server; never raises.
+
+    Honest behaviors await a terminal frame.  Misbehaving behaviors do
+    their damage and then read whatever the server answers (a
+    taxonomized abort, or a clean close once the server reaped the
+    session); a transport error on the client side is itself a legal
+    outcome (kind ``"error"``) -- the invariants are checked on the
+    *server's* metrics, not the attacker's experience.
+    """
+    client = DeviceClient(
+        endpoint, session_id, episode=episode, rounds=rounds, timeout_s=timeout_s
+    )
+    if behavior == "normal":
+        return await client.establish()
+    try:
+        await client.connect()
+        if behavior == "ping-then-normal":
+            answer = await client.hello()
+            if answer is None or answer.get("type") == "rejected":
+                return ClientOutcome(
+                    session_id,
+                    behavior,
+                    "rejected" if answer else "closed",
+                    answer,
+                )
+            await client.send({"type": "ping"})
+            pong = await client.recv()
+            if pong is None or pong.get("type") != "pong":
+                return ClientOutcome(session_id, behavior, "closed", pong)
+            await client.send({"type": "start"})
+            verdict = await client.recv()
+            if verdict is None:
+                return ClientOutcome(session_id, behavior, "closed")
+            kind = "result" if verdict.get("type") == "result" else "abort"
+            return ClientOutcome(session_id, behavior, kind, verdict)
+        if behavior == "disconnect-after-hello":
+            await client.hello()
+            return ClientOutcome(session_id, behavior, "closed")
+        if behavior == "disconnect-after-start":
+            answer = await client.hello()
+            if answer is not None and answer.get("type") == "rejected":
+                return ClientOutcome(session_id, behavior, "rejected", answer)
+            await client.send({"type": "start"})
+            return ClientOutcome(session_id, behavior, "closed")
+        if behavior == "slow-loris":
+            # A frame header promising bytes that trickle, then stop.
+            answer = await client.hello()
+            if answer is not None and answer.get("type") == "rejected":
+                return ClientOutcome(session_id, behavior, "rejected", answer)
+            partial = encode_frame({"type": "start"})[:-3]
+            client._writer.write(partial)
+            await client._writer.drain()
+            verdict = await client.recv()  # the reaper's abort, or a close
+            if verdict is None:
+                return ClientOutcome(session_id, behavior, "closed")
+            return ClientOutcome(session_id, behavior, "abort", verdict)
+        if behavior == "corrupt-frame":
+            answer = await client.hello()
+            if answer is not None and answer.get("type") == "rejected":
+                return ClientOutcome(session_id, behavior, "rejected", answer)
+            body = b"\x00\xffnot-json\xfe"
+            client._writer.write(len(body).to_bytes(4, "big") + body)
+            await client._writer.drain()
+            verdict = await client.recv()
+            if verdict is None:
+                return ClientOutcome(session_id, behavior, "closed")
+            return ClientOutcome(session_id, behavior, "abort", verdict)
+        if behavior == "oversized-frame":
+            answer = await client.hello()
+            if answer is not None and answer.get("type") == "rejected":
+                return ClientOutcome(session_id, behavior, "rejected", answer)
+            client._writer.write((2**31).to_bytes(4, "big"))
+            await client._writer.drain()
+            verdict = await client.recv()
+            if verdict is None:
+                return ClientOutcome(session_id, behavior, "closed")
+            return ClientOutcome(session_id, behavior, "abort", verdict)
+        if behavior == "unknown-frame":
+            answer = await client.hello()
+            if answer is not None and answer.get("type") == "rejected":
+                return ClientOutcome(session_id, behavior, "rejected", answer)
+            await client.send({"type": "flood", "junk": "x" * 128})
+            verdict = await client.recv()
+            if verdict is None:
+                return ClientOutcome(session_id, behavior, "closed")
+            return ClientOutcome(session_id, behavior, "abort", verdict)
+        if behavior == "silent":
+            # Connect and never even say hello; the hello timeout closes us.
+            verdict = await client.recv()
+            return ClientOutcome(session_id, behavior, "closed", verdict)
+        raise ValueError(f"unknown behavior {behavior!r}")
+    except (OSError, asyncio.TimeoutError, ConnectionError) as error:
+        return ClientOutcome(session_id, behavior, "error", detail=str(error))
+    finally:
+        await client.close()

@@ -1,0 +1,107 @@
+"""Length-prefixed JSON framing for the key-establishment server.
+
+The session server talks to devices over a byte stream (TCP or a unix
+socket); frames give that stream message boundaries.  The format is
+deliberately minimal -- a 4-byte big-endian payload length followed by a
+UTF-8 JSON object -- because the hard part is not the encoding but the
+failure taxonomy: a peer can stall mid-frame (slow loris), lie about the
+length (memory exhaustion), or send bytes that are not JSON (corruption
+or malice).  Every one of those ends in a typed :class:`FrameError`
+carrying a closed ``reason`` slug, so the server can map transport
+damage onto the session state machine's abort taxonomy instead of
+leaking ``json``/``struct`` internals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Optional
+
+from repro.exceptions import ReproError
+
+#: Default ceiling on one frame's payload (covers every legitimate
+#: protocol message with two orders of magnitude to spare).
+MAX_FRAME_BYTES = 64 * 1024
+
+#: Frame-failure reason slugs (the complete set).
+FRAME_OVERSIZED = "frame-oversized"
+FRAME_TRUNCATED = "frame-truncated"
+FRAME_CORRUPT = "frame-corrupt"
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(ReproError):
+    """A wire frame could not be read or decoded.
+
+    Attributes:
+        reason: One of :data:`FRAME_OVERSIZED` (declared length exceeds
+            the limit), :data:`FRAME_TRUNCATED` (the stream ended
+            mid-frame) or :data:`FRAME_CORRUPT` (the payload is not a
+            JSON object).
+    """
+
+    def __init__(self, reason: str, message: str):
+        super().__init__(message)
+        self.reason = reason
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one protocol message to its on-wire bytes."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """Decode one frame payload; raises :class:`FrameError` on damage."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(FRAME_CORRUPT, f"undecodable frame payload: {error}")
+    if not isinstance(message, dict):
+        raise FrameError(
+            FRAME_CORRUPT, f"frame payload is {type(message).__name__}, not an object"
+        )
+    return message
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[dict]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`FrameError` when the peer declares an oversized
+    length, disconnects mid-frame, or delivers a payload that is not a
+    JSON object.  Liveness (a peer that simply stops sending) is the
+    caller's concern: wrap the call in :func:`asyncio.wait_for`.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean close between frames
+        raise FrameError(
+            FRAME_TRUNCATED,
+            f"stream ended {len(error.partial)} bytes into a frame header",
+        )
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise FrameError(
+            FRAME_OVERSIZED, f"declared frame length {length} exceeds {max_bytes}"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise FrameError(
+            FRAME_TRUNCATED,
+            f"stream ended {len(error.partial)}/{length} bytes into a frame",
+        )
+    return decode_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
+    """Write one frame and flush it to the transport."""
+    writer.write(encode_frame(payload))
+    await writer.drain()

@@ -1,0 +1,107 @@
+"""Counters the key-establishment server exposes for health monitoring.
+
+Every robustness behaviour the server promises -- shedding instead of
+hanging, reaping instead of leaking, degrading instead of silently
+failing -- increments a counter here, so the chaos harness (and an
+operator's health endpoint) can verify the behaviour actually happened.
+In particular ``degraded_sessions`` makes the InferenceGuard's
+quantizer-fallback mode a *counted* observation: a session that served a
+key in degraded mode is never silent in server metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ServerMetrics:
+    """Monotonic counters over one server's lifetime.
+
+    Attributes:
+        accepted: Sessions admitted past the hello handshake.
+        rejected_overload: Sessions shed with a structured retry-after
+            because the ingress queue (or session table) was full.
+        rejected_draining: Sessions refused because the server was
+            draining.
+        rejected_duplicate: Sessions refused because a live session
+            already owned the claimed session id.
+        completed: Sessions that received a key-establishment outcome.
+        succeeded: Completed sessions whose outcome was a confirmed key.
+        failed: Completed sessions whose outcome carried a failure.
+        degraded_sessions: Completed sessions served in a degraded mode
+            (InferenceGuard quantizer fallback); counted so degradation
+            is never silent.
+        aborted: Sessions ended by a server-side abort, by reason slug.
+        reaped_idle: Sessions aborted by the idle reaper.
+        reaped_deadline: Sessions aborted by the end-to-end deadline.
+        disconnects: Peers that dropped the transport mid-session.
+        malformed_frames: Frames rejected by the framing layer.
+        ticks: Batch ticks executed.
+        tick_sessions_max: Largest number of sessions coalesced into one
+            tick.
+        batch_fallbacks: Ticks whose batched run failed and fell back to
+            supervised per-session execution (failure isolation).
+        model_reloads: Successful hot-reloads of the model registry.
+        model_reload_failures: Rejected (corrupt/mismatched) reloads that
+            rolled back to the serving generation.
+    """
+
+    accepted: int = 0
+    rejected_overload: int = 0
+    rejected_draining: int = 0
+    rejected_duplicate: int = 0
+    completed: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    degraded_sessions: int = 0
+    aborted: Dict[str, int] = field(default_factory=dict)
+    reaped_idle: int = 0
+    reaped_deadline: int = 0
+    disconnects: int = 0
+    malformed_frames: int = 0
+    ticks: int = 0
+    tick_sessions_max: int = 0
+    batch_fallbacks: int = 0
+    model_reloads: int = 0
+    model_reload_failures: int = 0
+
+    def record_abort(self, reason: str) -> None:
+        """Count one server-side session abort by its taxonomy slug."""
+        self.aborted[reason] = self.aborted.get(reason, 0) + 1
+
+    @property
+    def total_aborted(self) -> int:
+        """Sessions ended by any server-side abort."""
+        return sum(self.aborted.values())
+
+    @property
+    def total_rejected(self) -> int:
+        """Sessions shed at admission (overload, draining, duplicate)."""
+        return (
+            self.rejected_overload + self.rejected_draining + self.rejected_duplicate
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable copy for the health frame / logs."""
+        return {
+            "accepted": self.accepted,
+            "rejected_overload": self.rejected_overload,
+            "rejected_draining": self.rejected_draining,
+            "rejected_duplicate": self.rejected_duplicate,
+            "completed": self.completed,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "degraded_sessions": self.degraded_sessions,
+            "aborted": dict(self.aborted),
+            "reaped_idle": self.reaped_idle,
+            "reaped_deadline": self.reaped_deadline,
+            "disconnects": self.disconnects,
+            "malformed_frames": self.malformed_frames,
+            "ticks": self.ticks,
+            "tick_sessions_max": self.tick_sessions_max,
+            "batch_fallbacks": self.batch_fallbacks,
+            "model_reloads": self.model_reloads,
+            "model_reload_failures": self.model_reload_failures,
+        }

@@ -1,0 +1,116 @@
+"""Model registry: checksummed hot-reload with atomic rollback.
+
+A long-running key-establishment server cannot restart to pick up a
+newly trained model, and it must *never* start serving a half-written or
+tampered artifact.  The registry solves both:
+
+- the serving :class:`~repro.core.pipeline.VehicleKeyPipeline` is one
+  attribute swap away from its successor, so readers (the tick loop)
+  always see a complete generation;
+- a candidate generation is loaded into a *fresh* pipeline object first,
+  which routes through :mod:`repro.utils.artifact` -- SHA-256 checksum,
+  kind and architecture verification -- before the swap.  Any failure
+  (truncated file, bad checksum, wrong architecture) leaves the serving
+  generation untouched and is only counted, never raised into the serve
+  loop.
+
+Reload checks are cheap (file size + mtime fingerprint), so the server
+can poll between batch ticks without touching artifact bytes until
+something actually changed.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.core.pipeline import PipelineConfig, VehicleKeyPipeline
+
+#: Artifact filenames a pipeline generation consists of.
+ARTIFACT_NAMES = ("model.npz", "reconciler.npz")
+
+
+class ModelRegistry:
+    """Serve one pipeline generation; swap in verified successors.
+
+    Args:
+        pipeline: The generation to start serving (already trained or
+            loaded).
+        directory: Optional artifact directory to watch for hot-reloads
+            (the layout :meth:`VehicleKeyPipeline.save` writes).  ``None``
+            pins the registry to its initial generation.
+        config: Pipeline configuration used to construct candidate
+            generations; defaults to ``pipeline.config``.
+        seed: Root seed for candidate pipeline construction (weights are
+            overwritten by the loaded artifacts).
+    """
+
+    def __init__(
+        self,
+        pipeline: VehicleKeyPipeline,
+        directory: Optional[Union[str, Path]] = None,
+        config: Optional[PipelineConfig] = None,
+        seed: int = 0,
+    ):
+        self._pipeline = pipeline
+        self.directory = Path(directory) if directory is not None else None
+        self.config = config if config is not None else pipeline.config
+        self.seed = seed
+        self.generation = 1
+        self.reloads = 0
+        self.reload_failures = 0
+        self.last_error: Optional[str] = None
+        self._served_fingerprint = self._fingerprint()
+
+    @property
+    def pipeline(self) -> VehicleKeyPipeline:
+        """The currently serving pipeline generation."""
+        return self._pipeline
+
+    def _fingerprint(self) -> Optional[Tuple]:
+        """(size, mtime_ns) per artifact file; ``None`` when unwatched
+        or incomplete (a generation mid-write is never a candidate)."""
+        if self.directory is None:
+            return None
+        parts = []
+        for name in ARTIFACT_NAMES:
+            path = self.directory / name
+            try:
+                stat = os.stat(path)
+            except OSError:
+                return None
+            parts.append((name, stat.st_size, stat.st_mtime_ns))
+        return tuple(parts)
+
+    def maybe_reload(self) -> bool:
+        """Swap in the on-disk generation if it changed and verifies.
+
+        Returns ``True`` only when a new generation was swapped in.  A
+        corrupt, truncated or architecture-mismatched artifact set is
+        counted in :attr:`reload_failures` (with :attr:`last_error`) and
+        the serving generation keeps serving -- the rollback is atomic
+        because the swap happens only after *both* artifacts loaded and
+        verified into a fresh pipeline.
+        """
+        if self.directory is None:
+            return False
+        fingerprint = self._fingerprint()
+        if fingerprint is None or fingerprint == self._served_fingerprint:
+            return False
+        candidate = VehicleKeyPipeline(self.config, seed=self.seed)
+        try:
+            candidate.load(self.directory)
+        except Exception as error:  # noqa: BLE001 - a bad artifact must never kill serving
+            self.reload_failures += 1
+            self.last_error = f"{type(error).__name__}: {error}"
+            # Remember the rejected fingerprint so an unchanged corrupt
+            # set is not re-verified every tick.
+            self._served_fingerprint = fingerprint
+            return False
+        self._pipeline = candidate
+        self._served_fingerprint = fingerprint
+        self.generation += 1
+        self.reloads += 1
+        self.last_error = None
+        return True

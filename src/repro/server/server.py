@@ -1,0 +1,659 @@
+"""Fault-tolerant asyncio key-establishment session server.
+
+Accepts concurrent device sessions over the framed transport
+(:mod:`repro.server.framing`), drives each through the authenticated
+state machine (:mod:`repro.core.statemachine`), and coalesces ready
+sessions into :class:`~repro.core.batch.BatchedSessionRunner` ticks so
+the batched-inference fast path is amortized across whatever arrives
+together.
+
+The robustness contract, in order of importance:
+
+- **Never hang, never raise.**  Misbehaving peers -- slow-loris frames,
+  corrupt payloads, mid-phase disconnects, duplicate ids -- end in a
+  taxonomized :class:`~repro.core.statemachine.SessionAbort`, reported
+  on the wire when the peer is still there to hear it.
+- **Backpressure with structured shedding.**  The ingress queue is
+  bounded; a session that cannot be admitted receives a ``rejected``
+  frame carrying ``retry_after_s`` and a clean close, never an
+  unanswered socket.
+- **Failure isolation.**  One poisoned session cannot take down its
+  batch tick: a failed batched run falls back to supervised per-session
+  execution, and a session that still fails aborts alone with
+  ``internal-error``.
+- **Liveness.**  A reaper task enforces per-session idle budgets and
+  end-to-end deadlines, so wedged peers are reclaimed (no session leak)
+  and the tick loop never waits on a client.
+- **Graceful drain.**  On SIGTERM (or :meth:`KeyEstablishmentServer.drain`)
+  in-flight sessions complete and deliver their results; unstarted
+  sessions abort with ``server-draining`` and a retry-after; nothing is
+  silently dropped.
+- **Verified hot-reload.**  Between ticks the
+  :class:`~repro.server.registry.ModelRegistry` may swap in a new model
+  generation; corrupt artifacts roll back atomically and are counted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import signal
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.batch import BatchedSessionRunner
+from repro.core.pipeline import KeyEstablishmentOutcome
+from repro.core.statemachine import SessionEvent
+from repro.server.framing import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    read_frame,
+    write_frame,
+)
+from repro.server.metrics import ServerMetrics
+from repro.server.registry import ModelRegistry
+from repro.server.session import DeviceSession
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Liveness, backpressure and batching knobs of the session server.
+
+    Attributes:
+        host: TCP bind host (ignored when ``unix_path`` is set).
+        port: TCP bind port (0 picks a free port; see ``bound_port``).
+        unix_path: Bind to a unix socket instead of TCP when set.
+        hello_timeout_s: Budget for the peer's first (``hello``) frame.
+        idle_timeout_s: Budget between peer frames before the reaper
+            aborts the session with ``idle-timeout``.
+        session_deadline_s: End-to-end budget per session before the
+            reaper aborts it with ``deadline-exceeded``.
+        tick_interval_s: Coalescing window: how long a tick waits for
+            more ready sessions after the first arrival.
+        max_batch: Most sessions one tick may coalesce.
+        queue_limit: Bounded ingress queue; a full queue sheds new
+            sessions with ``server-overloaded`` + retry-after.
+        max_sessions: Most live sessions the server admits at once.
+        retry_after_s: The retry hint carried by shed/draining rejections.
+        reap_interval_s: Period of the idle/deadline reaper sweep.
+        send_timeout_s: Budget for writing one frame to a peer (a wedged
+            receive buffer counts as a disconnect, not a stall).
+        drain_timeout_s: Default budget for a graceful drain.
+        max_frame_bytes: Framing layer's per-frame payload ceiling.
+        default_rounds: Probing rounds when a session does not ask for a
+            specific count (``None``: the pipeline's ``session_rounds``).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    unix_path: Optional[str] = None
+    hello_timeout_s: float = 5.0
+    idle_timeout_s: float = 30.0
+    session_deadline_s: float = 120.0
+    tick_interval_s: float = 0.05
+    max_batch: int = 32
+    queue_limit: int = 64
+    max_sessions: int = 1024
+    retry_after_s: float = 1.0
+    reap_interval_s: float = 0.5
+    send_timeout_s: float = 5.0
+    drain_timeout_s: float = 30.0
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    default_rounds: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        require_positive(self.max_batch, "max_batch")
+        require_positive(self.queue_limit, "queue_limit")
+        require_positive(self.max_sessions, "max_sessions")
+
+
+@dataclass
+class DrainReport:
+    """What a graceful drain delivered and reclaimed.
+
+    Attributes:
+        delivered: Started sessions whose outcome was delivered (or was
+            already terminal) during the drain.
+        aborted_draining: Unstarted sessions aborted with
+            ``server-draining`` (they may retry later).
+        leaked: Sessions still registered after the drain -- the chaos
+            harness asserts this is zero.
+    """
+
+    delivered: int = 0
+    aborted_draining: int = 0
+    leaked: int = 0
+
+
+class KeyEstablishmentServer:
+    """The asyncio session server around one :class:`ModelRegistry`.
+
+    Args:
+        registry: The model registry whose serving pipeline executes the
+            coalesced session batches (hot-reload checks run between
+            ticks).
+        config: Liveness/backpressure/batching knobs.
+        on_outcome: Optional observer called with every
+            ``(DeviceSession, KeyEstablishmentOutcome)`` a tick produces;
+            the chaos harness uses it to check the library-path safety
+            invariants on the served path.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: Optional[ServerConfig] = None,
+        on_outcome: Optional[
+            Callable[[DeviceSession, KeyEstablishmentOutcome], None]
+        ] = None,
+    ):
+        self.registry = registry
+        self.config = config if config is not None else ServerConfig()
+        self.metrics = ServerMetrics()
+        self.on_outcome = on_outcome
+        self.sessions: Dict[str, DeviceSession] = {}
+        self._pending: Optional[asyncio.Queue] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tick_task: Optional[asyncio.Task] = None
+        self._reaper_task: Optional[asyncio.Task] = None
+        self._draining = False
+        self._stopping = False
+        self._closed = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket and start the tick/reaper tasks."""
+        self._pending = asyncio.Queue(maxsize=self.config.queue_limit)
+        if self.config.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.config.unix_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.config.host, port=self.config.port
+            )
+        self._tick_task = asyncio.create_task(self._tick_loop())
+        self._reaper_task = asyncio.create_task(self._reaper_loop())
+
+    @property
+    def bound_port(self) -> Optional[int]:
+        """The TCP port actually bound (``None`` on a unix socket)."""
+        if self._server is None or self.config.unix_path is not None:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        """Whether the server is refusing new work."""
+        return self._draining
+
+    @property
+    def closed(self) -> bool:
+        """Whether the server has fully shut down (post-drain)."""
+        return self._closed.is_set()
+
+    @property
+    def active_sessions(self) -> int:
+        """Live (registered, not yet closed) sessions."""
+        return len(self.sessions)
+
+    def health(self) -> Dict[str, object]:
+        """A JSON-serializable liveness/metrics snapshot."""
+        return {
+            "active_sessions": self.active_sessions,
+            "queue_depth": 0 if self._pending is None else self._pending.qsize(),
+            "draining": self._draining,
+            "model_generation": self.registry.generation,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    async def drain(self, timeout: Optional[float] = None) -> DrainReport:
+        """Gracefully drain: finish in-flight work, refuse new work, stop.
+
+        Started sessions run to completion and their results are
+        delivered; sessions that never started abort with
+        ``server-draining`` (a structured signal to retry elsewhere or
+        later).  Returns a :class:`DrainReport`; ``leaked`` is the
+        number of sessions still registered when the budget ran out and
+        must be zero on a healthy drain.
+        """
+        timeout = self.config.drain_timeout_s if timeout is None else timeout
+        self._draining = True
+        report = DrainReport()
+        # Unstarted sessions cannot make progress once draining: abort
+        # them now so their handlers answer and release the connection.
+        for session in list(self.sessions.values()):
+            if not session.started and not session.terminal:
+                self._abort_session(
+                    session, SessionEvent.DRAINING, "server is draining"
+                )
+                report.aborted_draining += 1
+        pending_results = [
+            session.result
+            for session in self.sessions.values()
+            if not session.result.done()
+        ]
+        if pending_results:
+            await asyncio.wait(pending_results, timeout=timeout)
+        report.delivered = sum(
+            1
+            for session in self.sessions.values()
+            if session.outcome is not None or session.terminal
+        )
+        # Give handlers one reap interval to flush frames and unregister.
+        deadline = asyncio.get_running_loop().time() + max(
+            1.0, self.config.reap_interval_s
+        )
+        while self.sessions and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.01)
+        report.leaked = len(self.sessions)
+        await self._shutdown()
+        return report
+
+    async def _shutdown(self) -> None:
+        """Stop the loops and close the listener (drain's final step)."""
+        self._stopping = True
+        if self._tick_task is not None:
+            await self._tick_task
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+            try:
+                await self._reaper_task
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._closed.set()
+
+    async def serve_forever(self) -> DrainReport:
+        """Serve until SIGTERM/SIGINT, then drain gracefully."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await stop.wait()
+        return await self.drain()
+
+    # -- admission + per-connection protocol ---------------------------------
+    async def _reject(
+        self, writer: asyncio.StreamWriter, reason: str, detail: str
+    ) -> None:
+        """Send a structured rejection (with retry-after) and close."""
+        try:
+            await asyncio.wait_for(
+                write_frame(
+                    writer,
+                    {
+                        "type": "rejected",
+                        "reason": reason,
+                        "detail": detail,
+                        "retry_after_s": self.config.retry_after_s,
+                    },
+                ),
+                timeout=self.config.send_timeout_s,
+            )
+        except (OSError, asyncio.TimeoutError):
+            pass
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One device connection, hello through result/abort/close.
+
+        Every exit path unregisters the session and closes the
+        transport; nothing a peer sends can raise out of this handler.
+        """
+        session: Optional[DeviceSession] = None
+        try:
+            session = await self._admit(reader, writer)
+            if session is not None:
+                await self._serve_session(session, reader, writer)
+        except (OSError, asyncio.TimeoutError, ConnectionError):
+            if session is not None and not session.terminal:
+                self.metrics.disconnects += 1
+                self._abort_session(
+                    session, SessionEvent.PEER_DISCONNECTED, "transport error"
+                )
+        finally:
+            if session is not None:
+                self.sessions.pop(session.session_id, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    async def _admit(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Optional[DeviceSession]:
+        """Run the hello handshake; returns the admitted session or None."""
+        try:
+            hello = await asyncio.wait_for(
+                read_frame(reader, self.config.max_frame_bytes),
+                timeout=self.config.hello_timeout_s,
+            )
+        except asyncio.TimeoutError:
+            return None  # silent peer; nothing to reject
+        except FrameError:
+            self.metrics.malformed_frames += 1
+            return None
+        if hello is None or hello.get("type") != "hello":
+            self.metrics.malformed_frames += 1
+            return None
+        session_id = str(hello.get("session_id", ""))
+        if not session_id:
+            self.metrics.malformed_frames += 1
+            return None
+        if self._draining:
+            self.metrics.rejected_draining += 1
+            await self._reject(writer, "server-draining", "server is draining")
+            return None
+        if (
+            len(self.sessions) >= self.config.max_sessions
+            or self._pending.qsize() >= self.config.queue_limit
+        ):
+            self.metrics.rejected_overload += 1
+            await self._reject(
+                writer, "server-overloaded", "session table or ingress queue full"
+            )
+            return None
+        if session_id in self.sessions:
+            self.metrics.rejected_duplicate += 1
+            await self._reject(
+                writer,
+                "duplicate-session",
+                f"session id {session_id!r} is already live",
+            )
+            return None
+        rounds = hello.get("rounds")
+        session = DeviceSession(
+            session_id=session_id,
+            episode=str(hello.get("episode") or f"serve-{session_id}"),
+            rounds=int(rounds) if rounds is not None else None,
+            idle_timeout_s=self.config.idle_timeout_s,
+        )
+        session.deadline_s = session.created_s + self.config.session_deadline_s
+        self.sessions[session_id] = session
+        self.metrics.accepted += 1
+        await asyncio.wait_for(
+            write_frame(
+                writer,
+                {
+                    "type": "welcome",
+                    "session_id": session_id,
+                    "idle_timeout_s": self.config.idle_timeout_s,
+                    "deadline_s": self.config.session_deadline_s,
+                },
+            ),
+            timeout=self.config.send_timeout_s,
+        )
+        return session
+
+    async def _serve_session(
+        self,
+        session: DeviceSession,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Drive one admitted session until a terminal frame is sent.
+
+        The handler watches the peer's frames and the session's result
+        future *concurrently*: a reaped or tick-completed session is
+        answered even while the peer is quiet, and a peer disconnect is
+        noticed even while the session waits in the ingress queue.
+        """
+        read_task = asyncio.create_task(
+            read_frame(reader, self.config.max_frame_bytes)
+        )
+        try:
+            while True:
+                done, _ = await asyncio.wait(
+                    {read_task, session.result},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if session.result in done:
+                    await self._send_verdict(session, writer)
+                    return
+                frame_or_error = read_task
+                try:
+                    frame = frame_or_error.result()
+                except FrameError as error:
+                    self.metrics.malformed_frames += 1
+                    self._abort_session(
+                        session, SessionEvent.FRAME_CORRUPT, str(error)
+                    )
+                    await self._send_verdict(session, writer)
+                    return
+                if frame is None:  # peer closed the stream
+                    if not session.terminal:
+                        self.metrics.disconnects += 1
+                        self._abort_session(
+                            session,
+                            SessionEvent.PEER_DISCONNECTED,
+                            "peer closed mid-session",
+                        )
+                    return
+                session.touch()
+                read_task = asyncio.create_task(
+                    read_frame(reader, self.config.max_frame_bytes)
+                )
+                await self._handle_frame(session, writer, frame)
+                if frame.get("type") == "bye":
+                    return
+        finally:
+            read_task.cancel()
+
+    async def _handle_frame(
+        self, session: DeviceSession, writer: asyncio.StreamWriter, frame: dict
+    ) -> None:
+        """Dispatch one in-session frame from the peer."""
+        kind = frame.get("type")
+        if kind == "start":
+            if session.started or session.terminal:
+                return  # idempotent: a duplicate start is absorbed
+            session.started = True
+            try:
+                self._pending.put_nowait(session)
+            except asyncio.QueueFull:
+                self.metrics.rejected_overload += 1
+                self._abort_session(
+                    session, SessionEvent.OVERLOADED, "ingress queue full"
+                )
+        elif kind == "ping":
+            await asyncio.wait_for(
+                write_frame(writer, {"type": "pong"}),
+                timeout=self.config.send_timeout_s,
+            )
+        elif kind == "health":
+            await asyncio.wait_for(
+                write_frame(writer, {"type": "health", **self.health()}),
+                timeout=self.config.send_timeout_s,
+            )
+        elif kind == "bye":
+            return
+        else:
+            self.metrics.malformed_frames += 1
+            self._abort_session(
+                session,
+                SessionEvent.MALFORMED,
+                f"unknown frame type {kind!r}",
+            )
+
+    async def _send_verdict(
+        self, session: DeviceSession, writer: asyncio.StreamWriter
+    ) -> None:
+        """Send the terminal result/abort frame for a resolved session."""
+        verdict = session.result.result()
+        if isinstance(verdict, KeyEstablishmentOutcome):
+            frame = self._result_frame(session, verdict)
+        else:  # SessionAbort record
+            frame = {
+                "type": "abort",
+                "session_id": session.session_id,
+                "reason": verdict.reason,
+                "detail": verdict.detail,
+            }
+            if verdict.reason in ("server-overloaded", "server-draining"):
+                frame["retry_after_s"] = self.config.retry_after_s
+        try:
+            await asyncio.wait_for(
+                write_frame(writer, frame), timeout=self.config.send_timeout_s
+            )
+        except (OSError, asyncio.TimeoutError, ConnectionError):
+            self.metrics.disconnects += 1
+
+    @staticmethod
+    def _result_frame(
+        session: DeviceSession, outcome: KeyEstablishmentOutcome
+    ) -> dict:
+        """The wire form of one establishment outcome.
+
+        The key itself never crosses this channel -- the device derives
+        it from the probing exchange; the server sends a digest so both
+        ends can cross-check which key they hold.
+        """
+        digest = None
+        if outcome.final_key is not None:
+            digest = hashlib.sha256(outcome.final_key).hexdigest()[:32]
+        return {
+            "type": "result",
+            "session_id": session.session_id,
+            "success": outcome.success,
+            "failure_reason": outcome.failure_reason,
+            "degraded_mode": outcome.degraded_mode,
+            "ood_windows": outcome.ood_windows,
+            "agreed_bits": outcome.session.agreed_bits,
+            "key_generation_rate_bps": outcome.key_generation_rate_bps,
+            "key_digest": digest,
+            "final_state": session.machine.state.value,
+        }
+
+    # -- supervision ---------------------------------------------------------
+    def _abort_session(
+        self, session: DeviceSession, event: SessionEvent, detail: str
+    ) -> None:
+        """Abort one session and account for it; never raises."""
+        record = session.abort(event, detail)
+        if record is not None:
+            self.metrics.record_abort(record.reason)
+
+    async def _reaper_loop(self) -> None:
+        """Periodically reclaim idle and deadline-expired sessions."""
+        while True:
+            await asyncio.sleep(self.config.reap_interval_s)
+            now = None
+            for session in list(self.sessions.values()):
+                if session.terminal or session.result.done():
+                    continue
+                if session.deadline_expired(now):
+                    self.metrics.reaped_deadline += 1
+                    self._abort_session(
+                        session,
+                        SessionEvent.DEADLINE_EXPIRED,
+                        f"exceeded {self.config.session_deadline_s}s deadline",
+                    )
+                elif session.idle_expired(now):
+                    self.metrics.reaped_idle += 1
+                    self._abort_session(
+                        session,
+                        SessionEvent.IDLE_EXPIRED,
+                        f"no frame for {self.config.idle_timeout_s}s",
+                    )
+
+    async def _tick_loop(self) -> None:
+        """Coalesce ready sessions and run them through batch ticks."""
+        while True:
+            if self._stopping and (self._pending is None or self._pending.empty()):
+                return
+            try:
+                first = await asyncio.wait_for(self._pending.get(), timeout=0.1)
+            except asyncio.TimeoutError:
+                continue
+            # Coalescing window: let concurrent arrivals join this tick.
+            await asyncio.sleep(self.config.tick_interval_s)
+            batch = [first]
+            while len(batch) < self.config.max_batch:
+                try:
+                    batch.append(self._pending.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            await self._run_tick(batch)
+
+    async def _run_tick(self, batch: List[DeviceSession]) -> None:
+        """Execute one coalesced batch; failures stay per-session.
+
+        The CPU-bound establishment runs in the default executor so the
+        event loop keeps answering pings, admitting sessions and reaping
+        the dead while a tick computes.
+        """
+        live = [s for s in batch if not s.terminal and not s.result.done()]
+        if not live:
+            return
+        if self.registry.maybe_reload():
+            self.metrics.model_reloads += 1
+        elif self.registry.last_error is not None:
+            self.metrics.model_reload_failures = self.registry.reload_failures
+        self.metrics.ticks += 1
+        self.metrics.tick_sessions_max = max(
+            self.metrics.tick_sessions_max, len(live)
+        )
+        pipeline = self.registry.pipeline
+        loop = asyncio.get_running_loop()
+        by_rounds: Dict[Optional[int], List[DeviceSession]] = {}
+        for session in live:
+            by_rounds.setdefault(session.rounds, []).append(session)
+        for rounds, sessions in by_rounds.items():
+            effective = rounds if rounds is not None else self.config.default_rounds
+            labels = [s.episode for s in sessions]
+            try:
+                runner = BatchedSessionRunner(pipeline, n_rounds=effective)
+                report = await loop.run_in_executor(
+                    None, runner.run_episodes, labels
+                )
+                verdicts: List[object] = list(report.outcomes)
+            except Exception:  # noqa: BLE001 - isolate, then retry per session
+                self.metrics.batch_fallbacks += 1
+                verdicts = []
+                for session in sessions:
+                    try:
+                        outcome = await loop.run_in_executor(
+                            None,
+                            lambda s=session: pipeline.establish_key(
+                                episode=s.episode, n_rounds=effective
+                            ),
+                        )
+                        verdicts.append(outcome)
+                    except Exception as error:  # noqa: BLE001 - isolate the session
+                        verdicts.append(error)
+            for session, verdict in zip(sessions, verdicts):
+                self._settle(session, verdict)
+
+    def _settle(self, session: DeviceSession, verdict: object) -> None:
+        """Deliver one tick verdict to one session; never raises."""
+        if isinstance(verdict, KeyEstablishmentOutcome):
+            session.complete(verdict)
+            if session.outcome is verdict:
+                self.metrics.completed += 1
+                if verdict.success:
+                    self.metrics.succeeded += 1
+                else:
+                    self.metrics.failed += 1
+                if verdict.degraded_mode is not None:
+                    self.metrics.degraded_sessions += 1
+                if self.on_outcome is not None:
+                    try:
+                        self.on_outcome(session, verdict)
+                    except Exception:  # noqa: BLE001 - observers cannot break serving
+                        pass
+        else:
+            self._abort_session(
+                session,
+                SessionEvent.INTERNAL_ERROR,
+                f"{type(verdict).__name__}: {verdict}",
+            )

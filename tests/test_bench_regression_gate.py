@@ -89,3 +89,43 @@ class TestGateSemantics:
         slow = {"before_s": 1.0, "after_s": 0.5, "speedup": 2.0}
         assert run_gate(gate, tmp_path, {"k": slow}, {"k": dict(ENTRY)}, 0.6) == 0
         assert run_gate(gate, tmp_path, {"k": slow}, {"k": dict(ENTRY)}, 0.4) == 1
+
+
+class TestGateInputs:
+    """A defective gate input must fail the gate, never skip or crash it."""
+
+    def test_missing_current_file_fails_cleanly(self, gate, tmp_path):
+        baseline = write_bench(tmp_path / "baseline.json", {"k": dict(ENTRY)})
+        argv = [
+            "--current", str(tmp_path / "does-not-exist.json"),
+            "--baseline", str(baseline),
+        ]
+        assert gate.main(argv) == 1
+
+    def test_missing_baseline_file_fails_cleanly(self, gate, tmp_path):
+        # The satellite scenario: a committed BENCH_*.json was deleted, so
+        # CI has no baseline to stash.  That must be a failure, not a skip.
+        current = write_bench(tmp_path / "current.json", {"k": dict(ENTRY)})
+        argv = [
+            "--current", str(current),
+            "--baseline", str(tmp_path / "deleted-baseline.json"),
+        ]
+        assert gate.main(argv) == 1
+
+    def test_empty_entries_fail_not_vacuously_pass(self, gate, tmp_path):
+        # Zero entries on either side means nothing was gated; the old
+        # behaviour reported "passed (0 entries)".
+        assert run_gate(gate, tmp_path, {}, {}) == 1
+        assert run_gate(gate, tmp_path, {"k": dict(ENTRY)}, {}) == 1
+
+    def test_malformed_json_fails_cleanly(self, gate, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        baseline = write_bench(tmp_path / "baseline.json", {"k": dict(ENTRY)})
+        assert gate.main(["--current", str(bad), "--baseline", str(baseline)]) == 1
+
+    def test_schema_mismatch_fails_cleanly(self, gate, tmp_path):
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"results": []}))
+        baseline = write_bench(tmp_path / "baseline.json", {"k": dict(ENTRY)})
+        assert gate.main(["--current", str(wrong), "--baseline", str(baseline)]) == 1

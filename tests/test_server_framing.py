@@ -1,0 +1,96 @@
+"""Unit tests for the server's length-prefixed JSON framing layer.
+
+The framing layer is the first thing attacker bytes touch, so its
+failure taxonomy must be closed: every way a peer can damage a frame
+(lie about the length, stall mid-frame, send non-JSON) maps to a typed
+:class:`FrameError` with one of the three reason slugs, and a clean
+close at a frame boundary is distinguishable (``None``) from a
+truncation mid-frame (an error).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.server.framing import (
+    FRAME_CORRUPT,
+    FRAME_OVERSIZED,
+    FRAME_TRUNCATED,
+    FrameError,
+    decode_body,
+    encode_frame,
+    read_frame,
+)
+
+
+def read_from_bytes(data: bytes, eof: bool = True, **kwargs):
+    """Feed raw bytes to a StreamReader and read one frame from it."""
+
+    async def body():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        if eof:
+            reader.feed_eof()
+        return await read_frame(reader, **kwargs)
+
+    return asyncio.run(body())
+
+
+class TestRoundTrip:
+    def test_encode_decode_roundtrip(self):
+        payload = {"type": "hello", "session_id": "dev-1", "rounds": 96}
+        assert read_from_bytes(encode_frame(payload)) == payload
+
+    def test_multiple_frames_in_sequence(self):
+        async def body():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"n": 1}) + encode_frame({"n": 2}))
+            reader.feed_eof()
+            return await read_frame(reader), await read_frame(reader)
+
+        first, second = asyncio.run(body())
+        assert (first, second) == ({"n": 1}, {"n": 2})
+
+    def test_clean_eof_returns_none(self):
+        assert read_from_bytes(b"") is None
+
+
+class TestFailureTaxonomy:
+    def test_oversized_declared_length(self):
+        header = (2**31).to_bytes(4, "big")
+        with pytest.raises(FrameError) as info:
+            read_from_bytes(header)
+        assert info.value.reason == FRAME_OVERSIZED
+
+    def test_custom_limit_is_enforced(self):
+        frame = encode_frame({"type": "x", "pad": "y" * 256})
+        with pytest.raises(FrameError) as info:
+            read_from_bytes(frame, max_bytes=64)
+        assert info.value.reason == FRAME_OVERSIZED
+
+    def test_truncated_header(self):
+        with pytest.raises(FrameError) as info:
+            read_from_bytes(b"\x00\x00")
+        assert info.value.reason == FRAME_TRUNCATED
+
+    def test_truncated_body(self):
+        frame = encode_frame({"type": "hello"})
+        with pytest.raises(FrameError) as info:
+            read_from_bytes(frame[:-3])
+        assert info.value.reason == FRAME_TRUNCATED
+
+    def test_corrupt_payload(self):
+        body = b"\x00\xffdefinitely-not-json"
+        with pytest.raises(FrameError) as info:
+            read_from_bytes(len(body).to_bytes(4, "big") + body)
+        assert info.value.reason == FRAME_CORRUPT
+
+    def test_non_object_payload(self):
+        body = b"[1, 2, 3]"
+        with pytest.raises(FrameError) as info:
+            read_from_bytes(len(body).to_bytes(4, "big") + body)
+        assert info.value.reason == FRAME_CORRUPT
+
+    def test_decode_body_requires_object(self):
+        with pytest.raises(FrameError):
+            decode_body(b'"just a string"')

@@ -73,7 +73,11 @@ class TestAbort:
             SessionAbort(reason="not-a-reason", detail="x", state="init")
 
     def test_taxonomy_is_closed(self):
-        assert len(ABORT_REASONS) == 4
-        assert len(set(ABORT_REASONS)) == 4
+        # 4 protocol slugs from the original machine plus desync, plus
+        # the 8 server-path slugs (liveness, transport, admission,
+        # supervisor); tests/test_statemachine_matrix.py proves every
+        # abort event maps into this set.
+        assert len(ABORT_REASONS) == 13
+        assert len(set(ABORT_REASONS)) == 13
         for reason in ABORT_REASONS:
             SessionAbort(reason=reason, detail="d", state="reconciling")

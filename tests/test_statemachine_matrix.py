@@ -1,0 +1,156 @@
+"""Exhaustive transition-matrix proof for the session state machine.
+
+The session server feeds :meth:`SessionStateMachine.on_event` with
+events derived from the wire, from timers and from the batch executor --
+i.e. from attacker-controlled and timing-dependent sources.  The safety
+claim is therefore not "the happy path works" but "*every* (state, event)
+pair resolves without an exception": a legal progress transition, a
+taxonomized abort, or an absorbed no-op in a terminal state.  This module
+enumerates the full |states| x |events| matrix and pins that claim, plus
+the closedness of the abort taxonomy itself.
+"""
+
+import pytest
+
+from repro.core.statemachine import (
+    ABORT_DESYNC,
+    ABORT_REASONS,
+    SessionEvent,
+    SessionState,
+    SessionStateMachine,
+)
+
+#: Event sequences that drive a fresh machine into each state.
+_PATH_TO_STATE = {
+    SessionState.INIT: (),
+    SessionState.EXTRACTING: (SessionEvent.START,),
+    SessionState.RECONCILING: (SessionEvent.START, SessionEvent.BLOCKS_READY),
+    SessionState.CONFIRMING: (
+        SessionEvent.START,
+        SessionEvent.BLOCKS_READY,
+        SessionEvent.SYNDROMES_VERIFIED,
+    ),
+    SessionState.COMPLETE: (
+        SessionEvent.START,
+        SessionEvent.BLOCKS_READY,
+        SessionEvent.SYNDROMES_VERIFIED,
+        SessionEvent.CONFIRM_OK,
+    ),
+    SessionState.ABORTED: (SessionEvent.REPLAY,),
+}
+
+#: The one (state, successor) pair each progress event is legal in.
+_LEGAL_PROGRESS = {
+    SessionEvent.START: (SessionState.INIT, SessionState.EXTRACTING),
+    SessionEvent.BLOCKS_READY: (SessionState.EXTRACTING, SessionState.RECONCILING),
+    SessionEvent.NO_BLOCKS: (SessionState.EXTRACTING, SessionState.COMPLETE),
+    SessionEvent.SYNDROMES_VERIFIED: (
+        SessionState.RECONCILING,
+        SessionState.CONFIRMING,
+    ),
+    SessionEvent.RECONCILE_EXHAUSTED: (
+        SessionState.RECONCILING,
+        SessionState.COMPLETE,
+    ),
+    SessionEvent.CONFIRM_OK: (SessionState.CONFIRMING, SessionState.COMPLETE),
+}
+
+#: Abort events and the taxonomy slug each must record.
+_ABORT_SLUGS = {
+    SessionEvent.REPLAY: "replay-detected",
+    SessionEvent.MALFORMED: "malformed-message",
+    SessionEvent.MAC_FAILURE: "mac-verification-failed",
+    SessionEvent.CONFIRM_FAIL: "confirmation-failed",
+    SessionEvent.DEADLINE_EXPIRED: "deadline-exceeded",
+    SessionEvent.IDLE_EXPIRED: "idle-timeout",
+    SessionEvent.PEER_DISCONNECTED: "client-disconnected",
+    SessionEvent.FRAME_CORRUPT: "malformed-frame",
+    SessionEvent.DUPLICATE_SESSION: "duplicate-session",
+    SessionEvent.OVERLOADED: "server-overloaded",
+    SessionEvent.DRAINING: "server-draining",
+    SessionEvent.INTERNAL_ERROR: "internal-error",
+}
+
+
+def machine_in(state: SessionState) -> SessionStateMachine:
+    """A machine driven into ``state`` through legal events only."""
+    machine = SessionStateMachine()
+    for event in _PATH_TO_STATE[state]:
+        machine.on_event(event)
+    assert machine.state is state
+    return machine
+
+
+class TestMatrixIsTotal:
+    """Every (state, event) pair resolves; none raises."""
+
+    @pytest.mark.parametrize("state", list(SessionState))
+    @pytest.mark.parametrize("event", list(SessionEvent))
+    def test_pair_never_raises(self, state, event):
+        machine = machine_in(state)
+        record = machine.on_event(event, "matrix probe")
+        # Whatever happened, the machine is in a consistent, legal place:
+        assert machine.state in SessionState
+        if record is not None:
+            assert record.reason in ABORT_REASONS
+
+    @pytest.mark.parametrize("state", list(SessionState))
+    @pytest.mark.parametrize("event", list(SessionEvent))
+    def test_pair_outcome_is_classified(self, state, event):
+        """Each pair lands in exactly one of the three legal outcomes."""
+        machine = machine_in(state)
+        before_record = machine.abort_record
+        record = machine.on_event(event, "matrix probe")
+        if state in (SessionState.COMPLETE, SessionState.ABORTED):
+            # Terminal absorption: nothing changes, the original verdict
+            # (None for COMPLETE, the first abort for ABORTED) is echoed.
+            assert machine.state is state
+            assert record is before_record
+        elif event in _LEGAL_PROGRESS and _LEGAL_PROGRESS[event][0] is state:
+            # Legal progress: advance to the one successor, no abort.
+            assert machine.state is _LEGAL_PROGRESS[event][1]
+            assert record is None
+            assert machine.abort_record is None
+        elif event in _LEGAL_PROGRESS:
+            # Out-of-order progress event: a peer desync abort.
+            assert machine.state is SessionState.ABORTED
+            assert record is not None
+            assert record.reason == ABORT_DESYNC
+            assert record.state == state.value
+        else:
+            # Abort event: the taxonomized abort for that event.
+            assert machine.state is SessionState.ABORTED
+            assert record is not None
+            assert record.reason == _ABORT_SLUGS[event]
+            assert record.state == state.value
+
+
+class TestTaxonomyClosed:
+    """The event set and the abort taxonomy tile each other exactly."""
+
+    def test_every_event_is_progress_or_abort(self):
+        classified = set(_LEGAL_PROGRESS) | set(_ABORT_SLUGS)
+        assert classified == set(SessionEvent)
+
+    def test_abort_slugs_cover_taxonomy(self):
+        # Every reason is reachable: the twelve event-mapped slugs plus
+        # the desync abort produced by out-of-order progress events.
+        reachable = set(_ABORT_SLUGS.values()) | {ABORT_DESYNC}
+        assert reachable == set(ABORT_REASONS)
+
+    def test_first_abort_wins(self):
+        machine = machine_in(SessionState.RECONCILING)
+        first = machine.on_event(SessionEvent.MAC_FAILURE, "first")
+        second = machine.on_event(SessionEvent.IDLE_EXPIRED, "late reap")
+        assert second is first
+        assert machine.abort_record.reason == "mac-verification-failed"
+
+    def test_history_records_every_visit(self):
+        machine = machine_in(SessionState.COMPLETE)
+        assert machine.history == [
+            SessionState.INIT,
+            SessionState.EXTRACTING,
+            SessionState.RECONCILING,
+            SessionState.CONFIRMING,
+            SessionState.COMPLETE,
+        ]
