@@ -1,0 +1,142 @@
+"""Secure-channel microbenchmarks: record throughput and key agility.
+
+No pipeline training here -- the channel layer is pure stdlib crypto
+over already-derived keys, so this module is cheap enough for every CI
+run.  It measures the costs a deployment plans around: KDF derivations
+per channel open, sealed+opened records per second at small and large
+payloads, the tamper-rejection path (which burns MAC verification but
+must never decrypt), and epoch rollover.  Timings land in
+``BENCH_secure.json`` at the repo root.
+
+All entries are absolute-cost trackers (``speedup: null``):
+``scripts/check_bench_regression.py`` reports them and fails CI if any
+entry disappears, but does not gate on the absolute seconds, which do
+not transfer across runners.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.secure import (
+    ChannelContext,
+    SecureLink,
+    derive_channel_keys,
+)
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_secure.json"
+
+MASTER = b"\x5a" * 32
+NONCE = b"\x11" * 16
+
+#: Collected by the tests below, written once at module teardown.
+_ENTRIES = {}
+
+
+def _record(name, elapsed_s, **extra):
+    _ENTRIES[name] = {
+        "before_s": None,
+        "after_s": round(elapsed_s, 6),
+        "speedup": None,
+        **extra,
+    }
+    return _ENTRIES[name]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_results():
+    """Persist everything the module measured to ``BENCH_secure.json``."""
+    yield
+    if not _ENTRIES:
+        return
+    payload = {
+        "benchmark": "secure-channel-records",
+        "units": "seconds, single run (absolute-cost trackers)",
+        "before": None,
+        "after": "HMAC-SHA256 keystream + truncated-HMAC AEAD records",
+        "numpy": np.__version__,
+        "entries": dict(sorted(_ENTRIES.items())),
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n[benchmarks] wrote {RESULTS_PATH} with {len(_ENTRIES)} entries")
+
+
+def _context(epoch: int = 0) -> ChannelContext:
+    return ChannelContext(
+        session_nonce=NONCE, pipeline_fingerprint="bench", epoch=epoch
+    )
+
+
+def test_kdf_derivation_cost():
+    """Four-key channel derivation: the per-open (and per-rekey) KDF bill."""
+    n = 200
+    start = time.perf_counter()
+    for epoch in range(n):
+        keys = derive_channel_keys(MASTER, _context(epoch))
+    elapsed = time.perf_counter() - start
+    assert keys.epoch == n - 1
+    _record(
+        f"kdf_derive@{n}_epochs",
+        elapsed,
+        derives_per_sec=round(n / elapsed, 1),
+    )
+
+
+@pytest.mark.parametrize("payload_bytes", [64, 1024])
+def test_seal_open_throughput(payload_bytes):
+    """Honest-path records per second at protocol-typical payload sizes."""
+    link = SecureLink(derive_channel_keys(MASTER, _context()))
+    plaintext = bytes(payload_bytes)
+    n = 2000
+    start = time.perf_counter()
+    for _ in range(n):
+        outcome = link.responder.open(link.initiator.seal(plaintext))
+    elapsed = time.perf_counter() - start
+    assert outcome.ok and outcome.plaintext == plaintext
+    assert link.responder.opened == n
+    _record(
+        f"seal_open@{payload_bytes}B",
+        elapsed,
+        records_per_sec=round(n / elapsed, 1),
+    )
+
+
+def test_tamper_rejection_cost():
+    """The attacked path: MAC-reject throughput with zero decryptions."""
+    link = SecureLink(derive_channel_keys(MASTER, _context()))
+    tampered = bytearray(link.initiator.seal(b"victim record " * 4))
+    tampered[-1] ^= 0x01
+    blob = bytes(tampered)
+    n = 2000
+    start = time.perf_counter()
+    for _ in range(n):
+        outcome = link.responder.open(blob)
+    elapsed = time.perf_counter() - start
+    assert not outcome.ok and outcome.plaintext is None
+    assert link.responder.open_failures["auth-failed"] == n
+    _record(
+        f"tamper_reject@{n}_records",
+        elapsed,
+        rejects_per_sec=round(n / elapsed, 1),
+    )
+
+
+def test_rollover_latency():
+    """Epoch rollover (derive next epoch + install on both endpoints)."""
+    link = SecureLink(derive_channel_keys(MASTER, _context()))
+    n = 100
+    start = time.perf_counter()
+    for epoch in range(1, n + 1):
+        link.rollover(derive_channel_keys(MASTER, _context(epoch)), grace_opens=4)
+    elapsed = time.perf_counter() - start
+    assert link.epoch == n
+    # The rolled channel still carries traffic.
+    assert link.responder.open(link.initiator.seal(b"post-roll")).ok
+    _record(
+        f"rollover@{n}_epochs",
+        elapsed,
+        rollovers_per_sec=round(n / elapsed, 1),
+    )

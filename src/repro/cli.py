@@ -144,7 +144,12 @@ def _cmd_robustness(args) -> int:
 
 def _cmd_chaos(args) -> int:
     """Run the chaos invariant harness; exit non-zero on any violation."""
-    from repro.faults.chaos import INVARIANTS, build_chaos_pipeline, run_chaos
+    from repro.faults.chaos import (
+        INVARIANTS,
+        PAYLOAD_INVARIANTS,
+        build_chaos_pipeline,
+        run_chaos,
+    )
 
     print(f"training chaos pipeline for {args.scenario.value} ...")
     pipeline = build_chaos_pipeline(scenario=args.scenario)
@@ -160,6 +165,7 @@ def _cmd_chaos(args) -> int:
         seed=args.seed,
         n_rounds=args.rounds,
         max_attempts=args.max_attempts,
+        data_phase=not args.no_data_phase,
     )
     print(f"sessions             : {report.n_sessions}")
     print(f"  with faults        : {report.faulted_sessions}")
@@ -168,9 +174,16 @@ def _cmd_chaos(args) -> int:
     print(f"degraded sessions    : {report.degraded_sessions}")
     print(f"structured aborts    : {report.aborts}  {report.abort_reasons}")
     print(f"failure reasons      : {report.failure_reasons}")
+    print(f"secured sessions     : {report.secured_sessions}")
+    print(f"records delivered    : {report.records_delivered}")
+    print(f"payload failures     : {report.payload_failures}")
+    print(
+        f"rekeys / closes      : {report.rekeys_completed} rekeys, "
+        f"{report.channels_closed} closed {report.close_reasons}"
+    )
     counts = report.violation_counts()
-    for invariant in INVARIANTS:
-        print(f"invariant {invariant:28s}: {counts[invariant]} violation(s)")
+    for invariant in INVARIANTS + PAYLOAD_INVARIANTS:
+        print(f"invariant {invariant:32s}: {counts[invariant]} violation(s)")
     for violation in report.violations:
         print(
             f"VIOLATION [{violation.invariant}] session {violation.session} "
@@ -185,7 +198,12 @@ def _cmd_chaos(args) -> int:
 
 def _chaos_server(pipeline, args) -> int:
     """Run the server-path chaos sweep; exit non-zero on any violation."""
-    from repro.faults.chaos import INVARIANTS, SERVER_INVARIANTS, run_server_chaos
+    from repro.faults.chaos import (
+        INVARIANTS,
+        PAYLOAD_INVARIANTS,
+        SERVER_INVARIANTS,
+        run_server_chaos,
+    )
 
     print(
         f"sweeping {args.sessions} concurrent clients against a live "
@@ -208,9 +226,14 @@ def _chaos_server(pipeline, args) -> int:
         f"drain                : {report.drain_delivered} delivered, "
         f"{report.drain_aborted} aborted, {report.leaked_sessions} leaked"
     )
+    print(
+        f"secured clients      : {report.secured_clients} "
+        f"({report.metrics.get('secure_records')} records, "
+        f"{report.metrics.get('secure_echoed')} echoed)"
+    )
     counts = report.violation_counts()
-    for invariant in INVARIANTS + SERVER_INVARIANTS:
-        print(f"invariant {invariant:28s}: {counts[invariant]} violation(s)")
+    for invariant in INVARIANTS + PAYLOAD_INVARIANTS + SERVER_INVARIANTS:
+        print(f"invariant {invariant:32s}: {counts[invariant]} violation(s)")
     for violation in report.violations:
         print(
             f"VIOLATION [{violation.invariant}] client {violation.session} "
@@ -377,6 +400,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--server", action="store_true",
         help="sweep misbehaving concurrent clients against a live session "
         "server instead of the in-process pipeline",
+    )
+    chaos.add_argument(
+        "--no-data-phase", action="store_true",
+        help="skip the secure-channel data phase after successful sessions "
+        "(library sweep only)",
     )
     chaos.set_defaults(handler=_cmd_chaos)
 

@@ -631,6 +631,25 @@ class VehicleKeyPipeline:
             aborted_attempts=aborted_attempts,
         )
 
+    def fingerprint(self) -> str:
+        """Short stable digest of this pipeline's configuration and seed.
+
+        The secure-channel KDF binds traffic keys to it
+        (:class:`repro.secure.kdf.ChannelContext.pipeline_fingerprint`),
+        so keys established under one model/config generation never
+        verify under another.  Hashes every :class:`PipelineConfig` field
+        (recursively) plus the root seed; trained weights are deliberately
+        excluded -- a hot-reloaded model of the same generation must not
+        orphan live channels.
+        """
+        import hashlib
+        import json
+        from dataclasses import asdict
+
+        payload = {"config": asdict(self.config), "seed": self.seeds.root_seed}
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
     # -- persistence ------------------------------------------------------------
     def save(self, directory) -> None:
         """Persist both trained components into ``directory``.

@@ -157,6 +157,9 @@ class SessionResult:
         mac_failures: Syndrome messages whose MAC verification failed.
         rejected_messages: Messages rejected before MAC verification
             (stale nonce, malformed structure, unknown block).
+        session_nonce: The fresh public nonce this session ran under;
+            the secure-channel KDF binds traffic keys to it
+            (:class:`repro.secure.kdf.ChannelContext`).
         final_state: Terminal :class:`~repro.core.statemachine.SessionState`
             value (``"complete"`` or ``"aborted"``).
         phase_s: Wall-clock seconds per session phase -- ``window``
@@ -188,6 +191,7 @@ class SessionResult:
     confirmation_bytes: int = 0
     mac_failures: int = 0
     rejected_messages: int = 0
+    session_nonce: bytes = b""
     final_state: Optional[str] = None
     phase_s: Dict[str, float] = field(default_factory=dict)
 
@@ -754,6 +758,7 @@ class KeyAgreementSession:
             confirmation_bytes=confirmation_bytes,
             mac_failures=mac_failures,
             rejected_messages=rejected,
+            session_nonce=nonce,
             final_state=machine.state.value,
             phase_s=phase_s,
         )

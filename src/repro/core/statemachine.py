@@ -46,6 +46,9 @@ in an exception):
                           admitted.
 ``internal-error``        A server-side failure was isolated to this
                           session instead of poisoning its batch tick.
+``secure-channel-failed`` The post-establishment secure data phase was
+                          misused (a secure record before establishment
+                          completed, or with no channel negotiated).
 ========================= ====================================================
 """
 
@@ -73,6 +76,7 @@ ABORT_DUPLICATE = "duplicate-session"
 ABORT_OVERLOAD = "server-overloaded"
 ABORT_DRAINING = "server-draining"
 ABORT_INTERNAL = "internal-error"
+ABORT_SECURE = "secure-channel-failed"
 
 #: All valid abort reasons, for validation and reporting.
 ABORT_REASONS = (
@@ -89,6 +93,7 @@ ABORT_REASONS = (
     ABORT_OVERLOAD,
     ABORT_DRAINING,
     ABORT_INTERNAL,
+    ABORT_SECURE,
 )
 
 
@@ -156,6 +161,8 @@ class SessionEvent(Enum):
     DRAINING = "draining"
     #: An isolated server-side failure ended this session.
     INTERNAL_ERROR = "internal-error"
+    #: The secure data phase was misused before a channel existed.
+    SECURE_FAILURE = "secure-failure"
 
 
 #: Progress events: the one state each is legal in, and its successor.
@@ -188,6 +195,7 @@ _ABORT_EVENTS: Dict[SessionEvent, str] = {
     SessionEvent.OVERLOADED: ABORT_OVERLOAD,
     SessionEvent.DRAINING: ABORT_DRAINING,
     SessionEvent.INTERNAL_ERROR: ABORT_INTERNAL,
+    SessionEvent.SECURE_FAILURE: ABORT_SECURE,
 }
 
 

@@ -40,6 +40,7 @@ from repro.experiments import (
     fig14_generalization,
     fig15_security,
     fig16_eve_trace,
+    payload_attacks,
     robustness_sweep,
     table1_robustness,
     table2_nist,
@@ -65,6 +66,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "duty-cycle": duty_cycle.run,
     "robustness": robustness_sweep.run,
     "active-adversary": active_adversary.run,
+    "payload-attacks": payload_attacks.run,
 }
 
 

@@ -17,7 +17,12 @@ a seeded :class:`ActiveAdversary` executes them against one session:
 - **syndrome tamper/replay/spoof** -- modify Bob's syndromes in flight,
   replay stale-nonce syndromes, or inject wholly forged ones (the nonce is
   public, so a spoofer can copy it; the MAC is what stops them);
-- **confirmation tamper** -- corrupt the final key-confirmation hashes.
+- **confirmation tamper** -- corrupt the final key-confirmation hashes;
+- **payload attacks** -- once a key is established and the secure-channel
+  data phase begins (:mod:`repro.secure`), flip ciphertext bits, truncate
+  records, replay captured records, or splice in records sealed under a
+  different session's keys.  The AEAD layer must answer each with its
+  closed failure taxonomy and never release plaintext.
 
 Attacks compose with a :class:`~repro.faults.plan.FaultPlan`: natural loss
 and adversarial interference stack.  All adversary randomness comes from
@@ -65,6 +70,15 @@ class AdversaryPlan:
             injects one forged syndrome message (public nonce copied,
             forged MAC).
         confirmation_tamper: Corrupt the key-confirmation hash exchange.
+        record_bitflip_rate: Per-record probability one bit of a sealed
+            AEAD record is flipped in flight during the data phase.
+        record_replay_rate: Per-record probability a previously captured
+            record is re-delivered after the legitimate one.
+        record_truncate_rate: Per-record probability the record is cut
+            short in flight.
+        record_splice_rate: Per-record probability a record sealed under a
+            *different* session's keys is substituted (cross-session
+            splicing).
     """
 
     probe_replay_rate: float = 0.0
@@ -77,6 +91,10 @@ class AdversaryPlan:
     syndrome_replay_rate: float = 0.0
     syndrome_spoof_rate: float = 0.0
     confirmation_tamper: bool = False
+    record_bitflip_rate: float = 0.0
+    record_replay_rate: float = 0.0
+    record_truncate_rate: float = 0.0
+    record_splice_rate: float = 0.0
 
     def __post_init__(self) -> None:
         require_in_range(self.probe_replay_rate, 0.0, 1.0, "probe_replay_rate")
@@ -89,6 +107,12 @@ class AdversaryPlan:
         require_in_range(self.syndrome_tamper_rate, 0.0, 1.0, "syndrome_tamper_rate")
         require_in_range(self.syndrome_replay_rate, 0.0, 1.0, "syndrome_replay_rate")
         require_in_range(self.syndrome_spoof_rate, 0.0, 1.0, "syndrome_spoof_rate")
+        require_in_range(self.record_bitflip_rate, 0.0, 1.0, "record_bitflip_rate")
+        require_in_range(self.record_replay_rate, 0.0, 1.0, "record_replay_rate")
+        require_in_range(
+            self.record_truncate_rate, 0.0, 1.0, "record_truncate_rate"
+        )
+        require_in_range(self.record_splice_rate, 0.0, 1.0, "record_splice_rate")
 
     @classmethod
     def none(cls) -> "AdversaryPlan":
@@ -106,6 +130,10 @@ class AdversaryPlan:
             or self.syndrome_replay_rate > 0.0
             or self.syndrome_spoof_rate > 0.0
             or self.confirmation_tamper
+            or self.record_bitflip_rate > 0.0
+            or self.record_replay_rate > 0.0
+            or self.record_truncate_rate > 0.0
+            or self.record_splice_rate > 0.0
         )
 
     @property
@@ -126,12 +154,23 @@ class AdversaryPlan:
             or self.syndrome_spoof_rate > 0.0
         )
 
+    @property
+    def attacks_payload(self) -> bool:
+        """Whether any data-phase (secure-record) attack is enabled."""
+        return (
+            self.record_bitflip_rate > 0.0
+            or self.record_replay_rate > 0.0
+            or self.record_truncate_rate > 0.0
+            or self.record_splice_rate > 0.0
+        )
+
 
 class ActiveAdversary:
     """One session's worth of seeded active attacks.
 
     All randomness comes from named streams of ``seeds``
-    (``adversary-probe``, ``adversary-message``, ``adversary-jam-*``), so
+    (``adversary-probe``, ``adversary-message``, ``adversary-payload``,
+    ``adversary-jam-*``), so
     the attack pattern is reproducible per session and independent of the
     legitimate protocol's streams.  The adversary also keeps per-attack
     event counters so detection rates can be computed against what was
@@ -146,6 +185,7 @@ class ActiveAdversary:
         self.plan = plan
         self._probe_rng = seeds.generator("adversary-probe")
         self._message_rng = seeds.generator("adversary-message")
+        self._payload_rng = seeds.generator("adversary-payload")
         self._jam: Dict[str, GilbertElliottProcess] = {
             direction: GilbertElliottProcess(
                 plan.jamming_rate,
@@ -163,6 +203,10 @@ class ActiveAdversary:
             "syndromes_replayed": 0,
             "syndromes_spoofed": 0,
             "confirmations_tampered": 0,
+            "records_bitflipped": 0,
+            "records_replayed": 0,
+            "records_truncated": 0,
+            "records_spliced": 0,
         }
 
     def event_counts(self) -> Dict[str, int]:
@@ -258,6 +302,60 @@ class ActiveAdversary:
                 mac=mac,
             )
         ]
+
+    # -- data-phase (secure-record) attacks ------------------------------------
+    def attack_record(
+        self,
+        data: bytes,
+        history: List[bytes],
+        foreign: Optional[bytes] = None,
+    ) -> List[bytes]:
+        """The wire blobs delivered in place of one sealed AEAD record.
+
+        Draw order is fixed (bitflip, truncate, splice, replay) so the
+        attack pattern is deterministic in the seed regardless of which
+        rates are enabled.  ``history`` is the caller's capture log of
+        previously delivered records (the replay pool); ``foreign`` is a
+        record sealed under a *different* session's keys, used for
+        cross-session splicing when provided.
+
+        Returns the list of byte strings to deliver: the (possibly
+        mutated or substituted) record, optionally followed by one
+        replayed capture.  Never returns an empty list -- even a
+        truncated record still arrives as *something* on the wire.
+        """
+        plan = self.plan
+        out = data
+        if plan.record_bitflip_rate > 0.0 and bool(
+            self._payload_rng.random() < plan.record_bitflip_rate
+        ):
+            self.events["records_bitflipped"] += 1
+            position = int(self._payload_rng.integers(0, len(out)))
+            flipped = out[position] ^ (1 << int(self._payload_rng.integers(0, 8)))
+            out = out[:position] + bytes([flipped]) + out[position + 1 :]
+        if plan.record_truncate_rate > 0.0 and bool(
+            self._payload_rng.random() < plan.record_truncate_rate
+        ):
+            self.events["records_truncated"] += 1
+            out = out[: int(self._payload_rng.integers(0, len(out)))]
+        if (
+            foreign is not None
+            and plan.record_splice_rate > 0.0
+            and bool(self._payload_rng.random() < plan.record_splice_rate)
+        ):
+            self.events["records_spliced"] += 1
+            out = foreign
+        deliveries = [out]
+        if (
+            history
+            and plan.record_replay_rate > 0.0
+            and bool(self._payload_rng.random() < plan.record_replay_rate)
+        ):
+            self.events["records_replayed"] += 1
+            deliveries.append(
+                history[int(self._payload_rng.integers(0, len(history)))]
+            )
+        return deliveries
 
     def tamper_confirmation(self, payload: bytes) -> bytes:
         """Maybe corrupt one key-confirmation hash in flight."""

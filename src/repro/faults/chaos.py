@@ -25,6 +25,26 @@ and asserts the machine-checked safety invariants that must hold for
     A replayed (stale-nonce) syndrome that cannot have been dropped in
     flight always drives the session into an abort.
 
+Sessions that establish a key then continue into a secure-channel *data
+phase* (:mod:`repro.secure`): both endpoints exchange AEAD records under
+a random :class:`~repro.secure.rekey.RekeyPolicy` while the adversary
+mounts payload attacks (ciphertext bit-flips, record replay, truncation,
+cross-session splicing).  Four payload-level invariants are checked on
+every delivery:
+
+``no-decrypt-under-mismatched-keys``
+    A record that this session's channel never sealed (spliced from
+    another session, or mutated in flight) never opens successfully.
+``no-nonce-reuse-ever``
+    A global per-key nonce ledger witnesses every seal and accept across
+    the whole sweep -- including rekeys -- and never sees a duplicate.
+``no-plaintext-on-auth-failure``
+    A failed open never releases plaintext, whatever the failure slug.
+``rekey-preserves-continuity``
+    Untouched records always round-trip, canaries sealed right after a
+    rekey decrypt on the first try, and a channel that stops always
+    carries a structured close report.
+
 Any violation is recorded with its seed and session index, so a failure
 in CI reproduces locally with one command (``repro chaos --seed N``).
 
@@ -62,7 +82,7 @@ import numpy as np
 
 from repro.channel.scenario import ScenarioName, scenario_config
 from repro.core.pipeline import PipelineConfig, VehicleKeyPipeline
-from repro.faults.adversary import AdversaryPlan
+from repro.faults.adversary import AdversaryPlan, build_adversary
 from repro.faults.plan import (
     FaultPlan,
     LossConfig,
@@ -72,9 +92,12 @@ from repro.faults.plan import (
 from repro.faults.retry import RetryPolicy
 from repro.lora.regional import EU433, EU868, UNRESTRICTED
 from repro.probing.features import FeatureConfig
+from repro.secure import ManagedSecureLink, NonceLedger, RekeyPolicy
+from repro.secure.rekey import CLOSE_REASONS
 from repro.server.client import ClientOutcome, Endpoint, run_behavior
 from repro.server.registry import ModelRegistry
 from repro.server.server import KeyEstablishmentServer, ServerConfig
+from repro.utils.rng import SeedSequenceFactory
 from repro.utils.validation import require_positive
 
 #: Every invariant the harness checks, in reporting order.
@@ -85,6 +108,14 @@ INVARIANTS = (
     "retry-budget-exceeded",
     "duty-cycle-violated",
     "undetected-replay",
+)
+
+#: Payload-level invariants checked during the secure-channel data phase.
+PAYLOAD_INVARIANTS = (
+    "no-decrypt-under-mismatched-keys",
+    "no-nonce-reuse-ever",
+    "no-plaintext-on-auth-failure",
+    "rekey-preserves-continuity",
 )
 
 #: Server-level invariants :func:`run_server_chaos` adds on top.
@@ -143,6 +174,12 @@ def random_adversary_plan(rng: np.random.Generator) -> AdversaryPlan:
             float(rng.uniform(0.0, 1.0)) if rng.random() < 0.4 else 0.0
         ),
         confirmation_tamper=bool(rng.random() < 0.2),
+        record_bitflip_rate=float(rng.uniform(0.0, 0.5)) if rng.random() < 0.5 else 0.0,
+        record_replay_rate=float(rng.uniform(0.0, 0.5)) if rng.random() < 0.5 else 0.0,
+        record_truncate_rate=(
+            float(rng.uniform(0.0, 0.4)) if rng.random() < 0.4 else 0.0
+        ),
+        record_splice_rate=float(rng.uniform(0.0, 0.4)) if rng.random() < 0.4 else 0.0,
     )
 
 
@@ -157,6 +194,24 @@ def random_retry_policy(rng: np.random.Generator) -> RetryPolicy:
         max_backoff_s=float(rng.uniform(0.5, 3.0)),
         jitter_fraction=float(rng.uniform(0.0, 0.5)),
         regional_plan=regional,
+    )
+
+
+def random_rekey_policy(rng: np.random.Generator) -> RekeyPolicy:
+    """One seeded random key-lifecycle policy for the data phase.
+
+    Epoch limits are often tiny so sweeps actually exercise rekeying;
+    ``max_rekeys`` is occasionally zero so the rekey-budget close path
+    gets traffic too.
+    """
+    return RekeyPolicy(
+        max_records_per_epoch=(
+            int(rng.integers(3, 12)) if rng.random() < 0.6 else 4096
+        ),
+        decrypt_failure_budget=int(rng.integers(2, 7)),
+        grace_opens=int(rng.integers(0, 5)),
+        max_rekey_attempts=2,
+        max_rekeys=int(rng.integers(0, 4)) if rng.random() < 0.3 else None,
     )
 
 
@@ -195,6 +250,17 @@ class ChaosReport:
         degraded_sessions: Sessions served in a degraded mode (the
             InferenceGuard's quantizer fallback) -- a counted
             observation, so degradation under chaos is never silent.
+        secured_sessions: Successful sessions that ran a secure-channel
+            data phase.
+        records_delivered: Wire blobs (legitimate and attacked) delivered
+            into channels across all data phases.
+        payload_failures: Open-failure-slug histogram over the data
+            phases (every slug from a closed taxonomy).
+        rekeys_completed: Epoch rollovers completed across all channels.
+        channels_closed: Channels that ended in a structured close.
+        close_reasons: Close-reason histogram over closed channels.
+        nonce_reuses: Duplicate (key, direction, sequence) events the
+            global nonce ledger witnessed (must be zero).
     """
 
     n_sessions: int = 0
@@ -207,6 +273,13 @@ class ChaosReport:
     attacked_sessions: int = 0
     faulted_sessions: int = 0
     degraded_sessions: int = 0
+    secured_sessions: int = 0
+    records_delivered: int = 0
+    payload_failures: Dict[str, int] = field(default_factory=dict)
+    rekeys_completed: int = 0
+    channels_closed: int = 0
+    close_reasons: Dict[str, int] = field(default_factory=dict)
+    nonce_reuses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -215,7 +288,7 @@ class ChaosReport:
 
     def violation_counts(self) -> Dict[str, int]:
         """Per-invariant violation counts (zero-filled for reporting)."""
-        counts = {name: 0 for name in INVARIANTS}
+        counts = {name: 0 for name in INVARIANTS + PAYLOAD_INVARIANTS}
         for violation in self.violations:
             counts[violation.invariant] = counts.get(violation.invariant, 0) + 1
         return counts
@@ -233,6 +306,15 @@ class ChaosReport:
         self.attacked_sessions += other.attacked_sessions
         self.faulted_sessions += other.faulted_sessions
         self.degraded_sessions += other.degraded_sessions
+        self.secured_sessions += other.secured_sessions
+        self.records_delivered += other.records_delivered
+        for key, value in other.payload_failures.items():
+            self.payload_failures[key] = self.payload_failures.get(key, 0) + value
+        self.rekeys_completed += other.rekeys_completed
+        self.channels_closed += other.channels_closed
+        for key, value in other.close_reasons.items():
+            self.close_reasons[key] = self.close_reasons.get(key, 0) + value
+        self.nonce_reuses += other.nonce_reuses
         return self
 
 
@@ -314,12 +396,188 @@ def _check_invariants(
     return violations
 
 
+#: The two channel endpoints and who receives what each seals.
+_ROLES = ("initiator", "responder")
+_PEER = {"initiator": "responder", "responder": "initiator"}
+
+
+def _payload_canary(
+    link: ManagedSecureLink,
+    legit: set,
+    history: List[bytes],
+    label: bytes,
+    report: ChaosReport,
+) -> Optional[str]:
+    """Round-trip one canary in each direction; the failure detail or None.
+
+    Sealing the canary may itself trigger (and complete) another rekey;
+    that is fine -- the invariant is that whatever epoch the canary was
+    sealed under, it opens first try.
+    """
+    for sender in _ROLES:
+        plaintext = label + sender.encode()
+        wire = link.seal(sender, plaintext)
+        if wire is None:
+            return None  # structured close; checked by the caller
+        legit.add(wire)
+        history.append(wire)
+        result = link.deliver(_PEER[sender], wire)
+        if result is None:
+            return None
+        report.records_delivered += 1
+        if not result.ok or result.plaintext != plaintext:
+            return (
+                f"post-rekey canary from {sender} failed "
+                f"(failure={result.failure!r})"
+            )
+    return None
+
+
+def _run_payload_phase(
+    pipeline: VehicleKeyPipeline,
+    outcome,
+    rng: np.random.Generator,
+    fault_plan: FaultPlan,
+    retry_policy: RetryPolicy,
+    adversary_plan: AdversaryPlan,
+    ledger: NonceLedger,
+    foreign_pool: List[bytes],
+    session_index: int,
+    seed: int,
+    report: ChaosReport,
+    replay_window_enabled: bool = True,
+) -> List[ChaosViolation]:
+    """Drive one successful session's secure-channel data phase.
+
+    Both endpoints exchange AEAD records under a random
+    :class:`RekeyPolicy` while the session's adversary mounts payload
+    attacks; every delivery is checked against the payload invariants.
+    ``foreign_pool`` supplies records sealed by *earlier* sessions for
+    cross-session splicing, and receives one of this session's records
+    for later sessions to splice.
+    """
+    violations: List[ChaosViolation] = []
+
+    def violated(invariant: str, detail: str) -> None:
+        violations.append(
+            ChaosViolation(
+                invariant=invariant,
+                session=session_index,
+                seed=seed,
+                detail=detail,
+            )
+        )
+
+    policy = random_rekey_policy(rng)
+    link = ManagedSecureLink(
+        pipeline,
+        outcome.session,
+        f"chaos-{seed}-{session_index}",
+        policy=policy,
+        ledger=ledger,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+        adversary_plan=adversary_plan,
+        replay_window_enabled=replay_window_enabled,
+    )
+    adversary = None
+    if adversary_plan.attacks_payload:
+        payload_seed = int(rng.integers(0, 2**63 - 1))
+        adversary = build_adversary(
+            adversary_plan, SeedSequenceFactory(payload_seed)
+        )
+
+    legit: set = set()
+    history: List[bytes] = []
+    rekeys_seen = 0
+    n_messages = int(rng.integers(6, 18))
+    for message_index in range(n_messages):
+        if link.closed:
+            break
+        sender = _ROLES[int(rng.integers(0, 2))]
+        plaintext = f"chaos-{seed}-{session_index}-m{message_index}".encode()
+        wire = link.seal(sender, plaintext)
+        if wire is None:
+            break
+        legit.add(wire)
+        deliveries = [wire]
+        if adversary is not None:
+            foreign = foreign_pool[-1] if foreign_pool else None
+            deliveries = adversary.attack_record(wire, history, foreign)
+        history.append(wire)
+        for blob in deliveries:
+            result = link.deliver(_PEER[sender], blob)
+            if result is None:
+                break
+            report.records_delivered += 1
+            if result.ok:
+                if blob not in legit:
+                    violated(
+                        "no-decrypt-under-mismatched-keys",
+                        "a record this channel never sealed opened "
+                        f"successfully (message {message_index})",
+                    )
+                elif blob == wire and result.plaintext != plaintext:
+                    violated(
+                        "rekey-preserves-continuity",
+                        f"legitimate record {message_index} decrypted to "
+                        "the wrong plaintext",
+                    )
+            else:
+                report.payload_failures[result.failure] = (
+                    report.payload_failures.get(result.failure, 0) + 1
+                )
+                if result.plaintext is not None:
+                    violated(
+                        "no-plaintext-on-auth-failure",
+                        f"open failed with {result.failure!r} but "
+                        "released plaintext",
+                    )
+                if blob is wire:
+                    violated(
+                        "rekey-preserves-continuity",
+                        f"untouched record {message_index} failed to open "
+                        f"({result.failure!r}) at epoch {link.epoch}",
+                    )
+        if link.rekeys_completed > rekeys_seen and not link.closed:
+            rekeys_seen = link.rekeys_completed
+            detail = _payload_canary(
+                link,
+                legit,
+                history,
+                f"canary-{seed}-{session_index}-".encode(),
+                report,
+            )
+            if detail is not None:
+                violated("rekey-preserves-continuity", detail)
+
+    report.rekeys_completed += link.rekeys_completed
+    if link.closed:
+        report.channels_closed += 1
+        close = link.close_report
+        if close is None or close.reason not in CLOSE_REASONS:
+            violated(
+                "rekey-preserves-continuity",
+                "channel stopped without a structured close report",
+            )
+        else:
+            report.close_reasons[close.reason] = (
+                report.close_reasons.get(close.reason, 0) + 1
+            )
+    if history:
+        foreign_pool.append(history[0])
+        del foreign_pool[:-4]
+    return violations
+
+
 def run_chaos(
     pipeline: VehicleKeyPipeline,
     n_sessions: int,
     seed: int = 0,
     n_rounds: Optional[int] = None,
     max_attempts: int = 2,
+    data_phase: bool = True,
+    replay_window_enabled: bool = True,
 ) -> ChaosReport:
     """Sweep seeded random fault/attack combinations through the pipeline.
 
@@ -334,6 +592,13 @@ def run_chaos(
             ``session_rounds``).
         max_attempts: Probing bursts allowed per session, letting abort
             recovery (desync re-sync) exercise its re-probe path.
+        data_phase: Continue successful sessions into the secure-channel
+            data phase and check the payload invariants.
+        replay_window_enabled: Test hook -- ``False`` disables the
+            channels' replay windows, which a correct harness must report
+            as ``no-nonce-reuse-ever`` violations (the deliberately
+            broken channel the harness's own tests use to prove the
+            invariant actually fires).
 
     Returns:
         The :class:`ChaosReport`; ``report.ok`` is the harness verdict.
@@ -341,6 +606,8 @@ def run_chaos(
     require_positive(n_sessions, "n_sessions")
     airtime_s = pipeline.config.phy.airtime_s
     report = ChaosReport(n_sessions=n_sessions, seed=seed)
+    ledger = NonceLedger()
+    foreign_pool: List[bytes] = []
     for index in range(n_sessions):
         rng = np.random.default_rng([seed, index])
         fault_plan = random_fault_plan(rng)
@@ -392,13 +659,55 @@ def run_chaos(
                 seed,
             )
         )
+        if data_phase and outcome.success:
+            report.secured_sessions += 1
+            try:
+                report.violations.extend(
+                    _run_payload_phase(
+                        pipeline,
+                        outcome,
+                        rng,
+                        fault_plan,
+                        policy,
+                        adversary_plan,
+                        ledger,
+                        foreign_pool,
+                        index,
+                        seed,
+                        report,
+                        replay_window_enabled=replay_window_enabled,
+                    )
+                )
+            except Exception as error:  # noqa: BLE001 - same contract as above
+                report.violations.append(
+                    ChaosViolation(
+                        invariant="uncaught-exception",
+                        session=index,
+                        seed=seed,
+                        detail=f"data phase: {type(error).__name__}: {error}",
+                    )
+                )
+    report.nonce_reuses = len(ledger.reuses)
+    for reuse in ledger.reuses:
+        report.violations.append(
+            ChaosViolation(
+                invariant="no-nonce-reuse-ever",
+                session=-1,
+                seed=seed,
+                detail=f"duplicate {reuse.kind} of sequence {reuse.sequence} "
+                f"({reuse.direction}) under key {reuse.key_id}",
+            )
+        )
     return report
 
 
 #: Seeded behavior mix the server sweep draws from (weights sum to 1).
 _BEHAVIOR_WEIGHTS = (
-    ("normal", 0.45),
+    ("normal", 0.27),
     ("ping-then-normal", 0.10),
+    ("secure-echo", 0.10),
+    ("secure-tamper", 0.05),
+    ("normal-retry", 0.03),
     ("disconnect-after-hello", 0.08),
     ("disconnect-after-start", 0.08),
     ("slow-loris", 0.07),
@@ -442,6 +751,9 @@ class ServerChaosReport:
             ``server-draining``.
         leaked_sessions: Sessions still registered after the drain
             (must be zero).
+        secured_clients: Clients that ran a data phase to completion.
+        nonce_reuses: Duplicate nonce events the server-wide ledger
+            witnessed across every data-phase channel (must be zero).
         metrics: The server's full metrics snapshot.
     """
 
@@ -458,6 +770,8 @@ class ServerChaosReport:
     drain_delivered: int = 0
     drain_aborted: int = 0
     leaked_sessions: int = 0
+    secured_clients: int = 0
+    nonce_reuses: int = 0
     metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -467,7 +781,10 @@ class ServerChaosReport:
 
     def violation_counts(self) -> Dict[str, int]:
         """Per-invariant violation counts (zero-filled for reporting)."""
-        counts = {name: 0 for name in INVARIANTS + SERVER_INVARIANTS}
+        counts = {
+            name: 0
+            for name in INVARIANTS + PAYLOAD_INVARIANTS + SERVER_INVARIANTS
+        }
         for violation in self.violations:
             counts[violation.invariant] = counts.get(violation.invariant, 0) + 1
         return counts
@@ -546,10 +863,12 @@ async def _run_server_chaos(
             observed["degraded"] += 1
         report.violations.extend(_served_outcome_violations(outcome, index, seed))
 
+    ledger = NonceLedger()
     server = KeyEstablishmentServer(
         ModelRegistry(pipeline),
         config if config is not None else chaos_server_config(n_clients),
         on_outcome=on_outcome,
+        nonce_ledger=ledger,
     )
     await server.start()
     endpoint = Endpoint(port=server.bound_port)
@@ -585,7 +904,13 @@ async def _run_server_chaos(
     report.metrics = server.metrics.snapshot()
     report.degraded_sessions = server.metrics.degraded_sessions
 
-    honest = ("normal", "ping-then-normal")
+    honest = (
+        "normal",
+        "normal-retry",
+        "ping-then-normal",
+        "secure-echo",
+        "secure-tamper",
+    )
     for index, outcome in enumerate(outcomes):
         report.behaviors[outcome.behavior] = (
             report.behaviors.get(outcome.behavior, 0) + 1
@@ -593,10 +918,26 @@ async def _run_server_chaos(
         report.client_kinds[outcome.kind] = (
             report.client_kinds.get(outcome.kind, 0) + 1
         )
+        if outcome.detail.startswith("payload-invariant:"):
+            name = outcome.detail.split(":", 1)[1]
+            report.violations.append(
+                ChaosViolation(
+                    invariant=(
+                        name if name in PAYLOAD_INVARIANTS else "shed-not-hang"
+                    ),
+                    session=index,
+                    seed=seed,
+                    detail=f"{outcome.behavior!r} client's payload check "
+                    f"failed ({outcome.detail})",
+                )
+            )
+            continue
         if outcome.kind == "result":
             report.results += 1
             if outcome.frame is not None and outcome.frame.get("success"):
                 report.successes += 1
+                if outcome.behavior in ("secure-echo", "secure-tamper"):
+                    report.secured_clients += 1
         elif outcome.kind == "abort":
             report.aborts += 1
         elif outcome.kind == "rejected":
@@ -642,6 +983,17 @@ async def _run_server_chaos(
                 seed=seed,
                 detail=f"observer saw {observed['degraded']} degraded sessions "
                 f"but server metrics counted {server.metrics.degraded_sessions}",
+            )
+        )
+    report.nonce_reuses = len(ledger.reuses)
+    for reuse in ledger.reuses:
+        report.violations.append(
+            ChaosViolation(
+                invariant="no-nonce-reuse-ever",
+                session=-1,
+                seed=seed,
+                detail=f"served channel duplicated {reuse.kind} of sequence "
+                f"{reuse.sequence} ({reuse.direction}) under key {reuse.key_id}",
             )
         )
     return report

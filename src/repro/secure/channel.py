@@ -1,0 +1,418 @@
+"""Stateful secure-channel endpoints: nonce discipline over the records.
+
+:class:`SecureChannel` is one party's endpoint.  It owns the monotonic
+send counter (sealing past the counter bound raises -- the *sender* can
+never reuse a nonce), a DTLS-style sliding replay window on the receive
+side (a replayed or duplicated record is rejected as ``nonce-replayed``,
+never delivered twice), and the epoch routing that makes rekey rollover
+safe (current-epoch records verify under current keys; previous-epoch
+records drain through a bounded grace allowance; anything older is
+``epoch-mismatch``; an epoch never issued can only fail its MAC).
+
+:meth:`SecureChannel.open` **never raises and never leaks**: every
+outcome is an :class:`OpenOutcome` whose ``failure`` is one of the closed
+:data:`~repro.secure.records.OPEN_FAILURES` slugs, and ``plaintext`` is
+``None`` on every one of them.  Decryption happens only after the MAC
+verified and the nonce checks passed, so there is no code path on which
+attacker-controlled bytes are decrypted and then "unreleased".
+
+:class:`SecureLink` bundles the two endpoints of one simulated channel --
+the reproduction holds both parties in one process, exactly as the
+session layer holds Alice and Bob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.exceptions import ProtocolError
+from repro.secure.kdf import ChannelContext, ChannelKeys, derive_channel_keys
+from repro.secure.kdf import master_secret_from_result
+from repro.secure.ledger import NonceLedger
+from repro.secure.records import (
+    DIRECTION_I2R,
+    DIRECTION_R2I,
+    FAILURE_AUTH,
+    FAILURE_EPOCH,
+    FAILURE_EXHAUSTED,
+    FAILURE_REPLAY,
+    FAILURE_TRUNCATED,
+    OPEN_FAILURES,
+    RecordDamage,
+    SecureRecord,
+    decrypt_record,
+    parse_record,
+    seal_record,
+    verify_record,
+)
+from repro.utils.validation import require
+
+#: Default highest sequence number either side will seal or accept.
+DEFAULT_MAX_SEQUENCE = 2**20
+
+#: Default replay-window width (sequence numbers tracked behind the highest).
+DEFAULT_REPLAY_WINDOW = 64
+
+
+class NonceExhaustedError(ProtocolError):
+    """The send counter hit its bound; sealing more records is refused.
+
+    This is the sender-side guarantee behind "no nonce reuse, ever": a
+    channel that cannot advance its counter refuses to seal rather than
+    wrap.  The rekey layer treats it as a trigger, not an error.
+    """
+
+
+@dataclass
+class ReplayWindow:
+    """Sliding anti-replay window over received sequence numbers.
+
+    Tracks the highest authenticated sequence seen and a bitmap of the
+    ``size`` numbers behind it.  A sequence ahead of the highest is new;
+    one inside the window is new only if its bit is clear; one that fell
+    off the back is treated as replayed (the conservative DTLS rule).
+
+    Attributes:
+        size: Window width in sequence numbers.
+        highest: Highest sequence accepted so far (-1 before any).
+    """
+
+    size: int = DEFAULT_REPLAY_WINDOW
+    highest: int = -1
+    _bitmap: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        require(self.size > 0, "replay window size must be > 0")
+
+    def seen(self, sequence: int) -> bool:
+        """Whether ``sequence`` was already accepted (or is too old to tell)."""
+        if sequence > self.highest:
+            return False
+        offset = self.highest - sequence
+        if offset >= self.size:
+            return True
+        return bool((self._bitmap >> offset) & 1)
+
+    def mark(self, sequence: int) -> None:
+        """Record ``sequence`` as accepted."""
+        if sequence > self.highest:
+            shift = sequence - self.highest if self.highest >= 0 else self.size
+            self._bitmap = ((self._bitmap << min(shift, self.size)) | 1) & (
+                (1 << self.size) - 1
+            )
+            self.highest = sequence
+        else:
+            offset = self.highest - sequence
+            if offset < self.size:
+                self._bitmap |= 1 << offset
+
+
+@dataclass(frozen=True)
+class OpenOutcome:
+    """The structured result of one :meth:`SecureChannel.open` call.
+
+    Attributes:
+        ok: Whether the record verified and its plaintext was released.
+        plaintext: The decrypted payload; ``None`` on *every* failure --
+            the harness's ``no-plaintext-on-auth-failure`` invariant
+            checks exactly this field.
+        failure: ``None`` on success, else one of the closed
+            :data:`~repro.secure.records.OPEN_FAILURES` slugs.
+        record: The parsed record when parsing succeeded (diagnostics);
+            ``None`` when the bytes were structurally damaged.
+    """
+
+    ok: bool
+    plaintext: Optional[bytes] = None
+    failure: Optional[str] = None
+    record: Optional[SecureRecord] = None
+
+
+class SecureChannel:
+    """One endpoint of an established secure channel.
+
+    Args:
+        keys: The epoch's traffic keys (both directions; the endpoint
+            picks its send/receive halves from ``role``).
+        role: ``"initiator"`` or ``"responder"``.
+        max_sequence: Highest sequence number this endpoint will seal or
+            accept; sealing past it raises :class:`NonceExhaustedError`,
+            receiving past it fails as ``nonce-exhausted``.
+        replay_window: Receive-side anti-replay window width.
+        ledger: Optional :class:`~repro.secure.ledger.NonceLedger` that
+            witnesses every seal and accept (the chaos harness threads
+            one global ledger through all sessions of a sweep).
+        replay_window_enabled: **Test hook.**  ``False`` disables the
+            receive-side replay window -- the deliberately broken channel
+            the chaos tests use to prove the ``no-nonce-reuse-ever``
+            invariant actually fires.  Production paths never touch it.
+    """
+
+    def __init__(
+        self,
+        keys: ChannelKeys,
+        role: str,
+        max_sequence: int = DEFAULT_MAX_SEQUENCE,
+        replay_window: int = DEFAULT_REPLAY_WINDOW,
+        ledger: Optional[NonceLedger] = None,
+        replay_window_enabled: bool = True,
+    ):
+        require(role in ("initiator", "responder"), f"unknown role {role!r}")
+        require(max_sequence > 0, "max_sequence must be > 0")
+        self.role = role
+        self.max_sequence = max_sequence
+        self.ledger = ledger
+        self.replay_window_enabled = replay_window_enabled
+        self._keys = keys
+        self._send_direction = (
+            DIRECTION_I2R if role == "initiator" else DIRECTION_R2I
+        )
+        self._recv_direction = (
+            DIRECTION_R2I if role == "initiator" else DIRECTION_I2R
+        )
+        self._send_sequence = 0
+        self._window_size = replay_window
+        self._window = ReplayWindow(replay_window)
+        self._previous: Optional[ChannelKeys] = None
+        self._previous_window: Optional[ReplayWindow] = None
+        self._grace_opens_left = 0
+        #: Records sealed by this endpoint.
+        self.sealed = 0
+        #: Records opened (verified and released) by this endpoint.
+        self.opened = 0
+        #: Failed opens by taxonomy slug (zero-filled, closed key set).
+        self.open_failures: Dict[str, int] = {slug: 0 for slug in OPEN_FAILURES}
+
+    @property
+    def epoch(self) -> int:
+        """The current send/receive epoch."""
+        return self._keys.epoch
+
+    @property
+    def keys(self) -> ChannelKeys:
+        """The current epoch's traffic keys."""
+        return self._keys
+
+    @property
+    def send_sequence(self) -> int:
+        """The next sequence number this endpoint would seal with."""
+        return self._send_sequence
+
+    @property
+    def sequence_remaining(self) -> int:
+        """How many more records this endpoint may seal before exhaustion."""
+        return max(0, self.max_sequence + 1 - self._send_sequence)
+
+    @property
+    def total_open_failures(self) -> int:
+        """Failed opens across all taxonomy slugs."""
+        return sum(self.open_failures.values())
+
+    def seal(self, plaintext: bytes, force_sequence: Optional[int] = None) -> bytes:
+        """Seal one plaintext into wire bytes; advances the send counter.
+
+        Raises :class:`NonceExhaustedError` once the counter bound is
+        reached -- the caller (the rekey layer) must roll the epoch.
+
+        Args:
+            plaintext: Payload bytes to protect.
+            force_sequence: **Test hook.**  Seal under a specific
+                sequence number without touching the counter -- the
+                deliberate-misuse tests use it to prove the nonce ledger
+                catches a sender that repeats a counter.  Production
+                paths never pass it.
+        """
+        if force_sequence is not None:
+            sequence = force_sequence
+        else:
+            if self._send_sequence > self.max_sequence:
+                raise NonceExhaustedError(
+                    f"send counter exhausted at {self.max_sequence} "
+                    f"(epoch {self.epoch}, role {self.role}); rekey required"
+                )
+            sequence = self._send_sequence
+            self._send_sequence += 1
+        send_keys = self._keys.send_keys(self.role)
+        if self.ledger is not None:
+            self.ledger.record_seal(
+                send_keys.key_id, self._send_direction, sequence
+            )
+        record = seal_record(
+            send_keys, self.epoch, self._send_direction, sequence, plaintext
+        )
+        self.sealed += 1
+        return record.encode()
+
+    def _fail(self, slug: str, record: Optional[SecureRecord]) -> OpenOutcome:
+        """Count and return one taxonomized open failure (no plaintext)."""
+        self.open_failures[slug] += 1
+        return OpenOutcome(ok=False, plaintext=None, failure=slug, record=record)
+
+    def _keys_for_epoch(self, epoch: int):
+        """Route a record's epoch to keys and replay window, or a failure.
+
+        Returns ``(keys, window, is_previous, failure_slug)``.  The
+        routing rule keeps the taxonomy honest: the in-grace previous
+        epoch verifies under its own retained keys; an older (rolled-past)
+        epoch is ``epoch-mismatch`` without consulting a MAC; an epoch
+        *newer than anything issued* cannot name real keys, so it is
+        checked under the current keys and can only fail as
+        ``auth-failed`` -- a forged header field is an authentication
+        failure, not a protocol state.
+        """
+        if epoch == self.epoch:
+            return self._keys, self._window, False, None
+        if (
+            self._previous is not None
+            and epoch == self._previous.epoch
+            and self._grace_opens_left > 0
+        ):
+            return self._previous, self._previous_window, True, None
+        if epoch < self.epoch:
+            return None, None, False, FAILURE_EPOCH
+        return self._keys, self._window, False, None
+
+    def open(self, data: bytes) -> OpenOutcome:
+        """Open one wire record; never raises, never leaks plaintext.
+
+        The check order is fixed: structure, epoch routing, MAC, counter
+        bound, replay window, and only then decryption.  Every rejection
+        maps to exactly one slug of the closed taxonomy, and the replay
+        window is only advanced by *authenticated* records, so a forger
+        cannot burn window state.
+        """
+        try:
+            record = parse_record(data)
+        except RecordDamage:
+            return self._fail(FAILURE_TRUNCATED, None)
+        keys, window, is_previous, failure = self._keys_for_epoch(record.epoch)
+        if failure is not None:
+            return self._fail(failure, record)
+        recv_keys = keys.recv_keys(self.role)
+        if record.direction != self._recv_direction or not verify_record(
+            recv_keys, record
+        ):
+            # A reflected own-direction record carries the peer's MAC
+            # under the *other* key; it is a forgery from this endpoint's
+            # point of view and fails authentication like any other.
+            return self._fail(FAILURE_AUTH, record)
+        if record.sequence > self.max_sequence:
+            return self._fail(FAILURE_EXHAUSTED, record)
+        if self.replay_window_enabled and window.seen(record.sequence):
+            return self._fail(FAILURE_REPLAY, record)
+        plaintext = decrypt_record(recv_keys, record)
+        window.mark(record.sequence)
+        if is_previous:
+            self._grace_opens_left -= 1
+            if self._grace_opens_left <= 0:
+                self._previous = None
+                self._previous_window = None
+        if self.ledger is not None:
+            self.ledger.record_accept(
+                recv_keys.key_id, record.direction, record.sequence
+            )
+        self.opened += 1
+        return OpenOutcome(ok=True, plaintext=plaintext, record=record)
+
+    def rollover(self, new_keys: ChannelKeys, grace_opens: int = 0) -> None:
+        """Install the next epoch's keys; optionally drain the old epoch.
+
+        The send counter and replay window reset -- safe precisely
+        because the new epoch's keys are unrelated.  With
+        ``grace_opens > 0`` the outgoing epoch's *receive* state is
+        retained so that many in-flight records may still drain; after
+        the allowance (or a zero allowance) old-epoch records fail as
+        ``epoch-mismatch``.
+        """
+        require(
+            new_keys.epoch == self.epoch + 1,
+            f"rollover must advance the epoch by 1 "
+            f"(current {self.epoch}, offered {new_keys.epoch})",
+        )
+        require(grace_opens >= 0, "grace_opens must be >= 0")
+        if grace_opens > 0:
+            self._previous = self._keys
+            self._previous_window = self._window
+            self._grace_opens_left = grace_opens
+        else:
+            self._previous = None
+            self._previous_window = None
+            self._grace_opens_left = 0
+        self._keys = new_keys
+        self._send_sequence = 0
+        self._window = ReplayWindow(self._window_size)
+
+
+class SecureLink:
+    """Both endpoints of one simulated secure channel.
+
+    The reproduction holds both parties in one process (exactly as the
+    session layer holds Alice and Bob), so a link is a pair of
+    :class:`SecureChannel` endpoints over the same derived keys.
+
+    Args:
+        keys: One epoch's traffic keys.
+        ledger: Optional shared nonce ledger (both endpoints register).
+        max_sequence: Per-endpoint counter bound.
+        replay_window: Receive-side window width for both endpoints.
+        replay_window_enabled: Test hook, passed to both endpoints.
+    """
+
+    def __init__(
+        self,
+        keys: ChannelKeys,
+        ledger: Optional[NonceLedger] = None,
+        max_sequence: int = DEFAULT_MAX_SEQUENCE,
+        replay_window: int = DEFAULT_REPLAY_WINDOW,
+        replay_window_enabled: bool = True,
+    ):
+        self.initiator = SecureChannel(
+            keys,
+            "initiator",
+            max_sequence=max_sequence,
+            replay_window=replay_window,
+            ledger=ledger,
+            replay_window_enabled=replay_window_enabled,
+        )
+        self.responder = SecureChannel(
+            keys,
+            "responder",
+            max_sequence=max_sequence,
+            replay_window=replay_window,
+            ledger=ledger,
+            replay_window_enabled=replay_window_enabled,
+        )
+
+    @classmethod
+    def from_result(
+        cls,
+        result,
+        context: Optional[ChannelContext] = None,
+        **kwargs,
+    ) -> "SecureLink":
+        """Build a link from a completed session result.
+
+        Derives the epoch's keys from the result's confirmed final key
+        and its session nonce; ``context`` overrides the default context
+        (ids, fingerprint, epoch) when the caller binds more state.
+        """
+        if context is None:
+            context = ChannelContext(session_nonce=result.session_nonce)
+        keys = derive_channel_keys(master_secret_from_result(result), context)
+        return cls(keys, **kwargs)
+
+    def endpoint(self, role: str) -> SecureChannel:
+        """The endpoint playing ``role``."""
+        require(role in ("initiator", "responder"), f"unknown role {role!r}")
+        return self.initiator if role == "initiator" else self.responder
+
+    @property
+    def epoch(self) -> int:
+        """The link's current epoch (both endpoints agree by construction)."""
+        return self.initiator.epoch
+
+    def rollover(self, new_keys: ChannelKeys, grace_opens: int = 0) -> None:
+        """Advance both endpoints to the next epoch together."""
+        self.initiator.rollover(new_keys, grace_opens=grace_opens)
+        self.responder.rollover(new_keys, grace_opens=grace_opens)

@@ -1,0 +1,79 @@
+"""Global nonce ledger: the "no nonce reuse, ever" witness.
+
+The channel layer makes nonce reuse impossible *by construction*
+(monotonic send counters, per-epoch per-direction keys, a replay window
+on the receive side).  The ledger is the independent check of that
+construction: the chaos harness threads one :class:`NonceLedger` through
+every session, epoch and rekey of a sweep, and every sealed record and
+every accepted (successfully opened) record registers its
+``(key_id, direction, sequence)`` triple here.  Any duplicate -- a seal
+counter that repeated, or a receiver that accepted the same nonce twice
+(e.g. with the replay window disabled under the test hook) -- is recorded
+as a :class:`NonceReuse` and trips the ``no-nonce-reuse-ever`` invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+
+@dataclass(frozen=True)
+class NonceReuse:
+    """One observed duplicate use of a ``(key, direction, sequence)`` nonce.
+
+    Attributes:
+        key_id: Public identifier of the traffic key involved.
+        direction: The record-layer direction code.
+        sequence: The repeated sequence number.
+        kind: ``"seal"`` when a sender reused a counter, ``"accept"``
+            when a receiver accepted the same nonce twice.
+    """
+
+    key_id: str
+    direction: int
+    sequence: int
+    kind: str
+
+
+@dataclass
+class NonceLedger:
+    """Append-only registry of every nonce sealed and accepted under watch.
+
+    Attributes:
+        total_seals: Records sealed while this ledger was attached.
+        total_accepts: Records successfully opened while attached.
+        reuses: Every duplicate observed, in discovery order; an empty
+            list is the ``no-nonce-reuse-ever`` verdict.
+    """
+
+    total_seals: int = 0
+    total_accepts: int = 0
+    reuses: List[NonceReuse] = field(default_factory=list)
+    _sealed: Set[Tuple[str, int, int]] = field(default_factory=set, repr=False)
+    _accepted: Set[Tuple[str, int, int]] = field(default_factory=set, repr=False)
+
+    def record_seal(self, key_id: str, direction: int, sequence: int) -> bool:
+        """Register one sealed nonce; returns False on a duplicate."""
+        self.total_seals += 1
+        triple = (key_id, direction, sequence)
+        if triple in self._sealed:
+            self.reuses.append(NonceReuse(key_id, direction, sequence, "seal"))
+            return False
+        self._sealed.add(triple)
+        return True
+
+    def record_accept(self, key_id: str, direction: int, sequence: int) -> bool:
+        """Register one accepted nonce; returns False on a duplicate."""
+        self.total_accepts += 1
+        triple = (key_id, direction, sequence)
+        if triple in self._accepted:
+            self.reuses.append(NonceReuse(key_id, direction, sequence, "accept"))
+            return False
+        self._accepted.add(triple)
+        return True
+
+    @property
+    def ok(self) -> bool:
+        """Whether no nonce was ever reused under this ledger's watch."""
+        return not self.reuses

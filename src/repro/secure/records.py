@@ -1,0 +1,236 @@
+"""The authenticated-encryption record format of the secure channel.
+
+No AES implementation ships with this environment, so the record layer is
+built from the primitives the protocol already trusts -- HMAC-SHA256 via
+:mod:`repro.reconciliation.mac`:
+
+- **Encryption** is an HMAC-SHA256 keystream in counter mode: block ``i``
+  of the keystream is ``HMAC(enc_key, label || epoch || direction ||
+  sequence || i)``, XORed over the plaintext.  The ``(epoch, direction,
+  sequence)`` triple is the nonce; the channel layer guarantees it is
+  never reused under one key, which is exactly the stream-cipher safety
+  condition.
+- **Authentication** is encrypt-then-MAC: a truncated HMAC-SHA256 tag
+  (:func:`repro.reconciliation.mac.compute_mac`) over the full header and
+  the ciphertext, under the independent ``mac_key``.  Every header field
+  is authenticated, so any single-bit flip anywhere in the record --
+  header, nonce fields, ciphertext or tag -- fails as ``auth-failed``.
+
+The wire format (big-endian)::
+
+    version(1) | epoch(4) | direction(1) | sequence(8) | ct_len(4)
+    | ciphertext(ct_len) | tag(16)
+
+Open failures form a closed taxonomy (:data:`OPEN_FAILURES`); the channel
+layer maps every rejected record onto exactly one slug and never releases
+plaintext alongside any of them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import struct
+from dataclasses import dataclass
+
+from repro.exceptions import ProtocolError
+from repro.reconciliation.mac import MAC_BYTES, compute_mac, verify_mac
+from repro.secure.kdf import DirectionKeys
+from repro.utils.bits import bytes_to_bits
+from repro.utils.validation import require
+
+#: Record format version carried in every header.
+RECORD_VERSION = 1
+
+#: Direction codes (match the KDF's label order).
+DIRECTION_I2R = 0
+DIRECTION_R2I = 1
+DIRECTIONS = (DIRECTION_I2R, DIRECTION_R2I)
+
+#: Header codec: version, epoch, direction, sequence, ciphertext length.
+_HEADER = struct.Struct(">BIBQI")
+
+#: Header bytes preceding the ciphertext.
+HEADER_BYTES = _HEADER.size
+
+#: Authentication tag bytes (truncated HMAC-SHA256, same as syndrome MACs).
+TAG_BYTES = MAC_BYTES
+
+#: Fixed per-record overhead: header plus tag.
+RECORD_OVERHEAD = HEADER_BYTES + TAG_BYTES
+
+#: Versioned domain-separation label of the keystream PRF.
+STREAM_LABEL = b"vehicle-key-stream-v1"
+
+#: Keystream block width (SHA-256 digest size).
+_BLOCK_BYTES = 32
+
+#: Closed decrypt-failure taxonomy, in reporting order.
+FAILURE_AUTH = "auth-failed"
+FAILURE_REPLAY = "nonce-replayed"
+FAILURE_EXHAUSTED = "nonce-exhausted"
+FAILURE_TRUNCATED = "record-truncated"
+FAILURE_EPOCH = "epoch-mismatch"
+OPEN_FAILURES = (
+    FAILURE_AUTH,
+    FAILURE_REPLAY,
+    FAILURE_EXHAUSTED,
+    FAILURE_TRUNCATED,
+    FAILURE_EPOCH,
+)
+
+
+class RecordDamage(ProtocolError):
+    """A byte string does not parse as a structurally valid record.
+
+    Carried internally between :func:`parse_record` and the channel's
+    ``open`` path, where it becomes the ``record-truncated`` failure slug;
+    it never escapes :meth:`repro.secure.channel.SecureChannel.open`.
+    """
+
+
+@dataclass(frozen=True)
+class SecureRecord:
+    """One parsed (not yet verified) record.
+
+    Attributes:
+        epoch: Channel epoch the sender sealed under.
+        direction: :data:`DIRECTION_I2R` or :data:`DIRECTION_R2I`.
+        sequence: The sender's monotonic per-direction counter value.
+        ciphertext: Encrypted payload bytes.
+        tag: Truncated HMAC-SHA256 over header and ciphertext.
+    """
+
+    epoch: int
+    direction: int
+    sequence: int
+    ciphertext: bytes
+    tag: bytes
+
+    def header_bytes(self) -> bytes:
+        """The authenticated header encoding of this record."""
+        return _HEADER.pack(
+            RECORD_VERSION,
+            self.epoch,
+            self.direction,
+            self.sequence,
+            len(self.ciphertext),
+        )
+
+    def encode(self) -> bytes:
+        """The full wire encoding: header, ciphertext, tag."""
+        return self.header_bytes() + self.ciphertext + self.tag
+
+
+def parse_record(data: bytes) -> SecureRecord:
+    """Parse a wire record; raises :class:`RecordDamage` on any damage.
+
+    Structural damage -- too short for the header, an unknown version, a
+    length field disagreeing with the actual byte count (truncated *or*
+    trailing garbage), an out-of-range direction -- is all one failure
+    class: the bytes are not a record.  Tampering *within* a structurally
+    valid record is the MAC's job, not the parser's.
+    """
+    data = bytes(data)
+    if len(data) < RECORD_OVERHEAD:
+        raise RecordDamage(
+            f"record too short: {len(data)} bytes < {RECORD_OVERHEAD} overhead"
+        )
+    version, epoch, direction, sequence, ct_len = _HEADER.unpack_from(data)
+    if version != RECORD_VERSION:
+        raise RecordDamage(f"unknown record version {version}")
+    if direction not in DIRECTIONS:
+        raise RecordDamage(f"unknown direction code {direction}")
+    if len(data) != RECORD_OVERHEAD + ct_len:
+        raise RecordDamage(
+            f"length mismatch: header promises {ct_len} ciphertext bytes, "
+            f"record carries {len(data) - RECORD_OVERHEAD}"
+        )
+    ciphertext = data[HEADER_BYTES : HEADER_BYTES + ct_len]
+    tag = data[HEADER_BYTES + ct_len :]
+    return SecureRecord(
+        epoch=epoch,
+        direction=direction,
+        sequence=sequence,
+        ciphertext=ciphertext,
+        tag=tag,
+    )
+
+
+def _keystream_xor(
+    enc_key: bytes, epoch: int, direction: int, sequence: int, data: bytes
+) -> bytes:
+    """XOR ``data`` with the (epoch, direction, sequence) keystream."""
+    if not data:
+        return b""
+    nonce = (
+        STREAM_LABEL
+        + epoch.to_bytes(4, "big")
+        + bytes([direction])
+        + sequence.to_bytes(8, "big")
+    )
+    blocks = []
+    for counter in range(-(-len(data) // _BLOCK_BYTES)):
+        blocks.append(
+            hmac.new(
+                enc_key, nonce + counter.to_bytes(4, "big"), hashlib.sha256
+            ).digest()
+        )
+    stream = b"".join(blocks)[: len(data)]
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def _mac_key_bits(keys: DirectionKeys):
+    """The MAC key as the bit array :mod:`repro.reconciliation.mac` takes."""
+    return bytes_to_bits(keys.mac_key)
+
+
+def seal_record(
+    keys: DirectionKeys,
+    epoch: int,
+    direction: int,
+    sequence: int,
+    plaintext: bytes,
+) -> SecureRecord:
+    """Encrypt-then-MAC one plaintext into a :class:`SecureRecord`.
+
+    The caller (the channel layer) owns nonce discipline: it must never
+    pass the same ``(epoch, direction, sequence)`` twice for one key.
+    """
+    require(direction in DIRECTIONS, f"unknown direction code {direction}")
+    require(sequence >= 0, "sequence must be >= 0")
+    require(epoch >= 0, "epoch must be >= 0")
+    ciphertext = _keystream_xor(
+        keys.enc_key, epoch, direction, sequence, bytes(plaintext)
+    )
+    header = _HEADER.pack(
+        RECORD_VERSION, epoch, direction, sequence, len(ciphertext)
+    )
+    tag = compute_mac(_mac_key_bits(keys), header + ciphertext)
+    return SecureRecord(
+        epoch=epoch,
+        direction=direction,
+        sequence=sequence,
+        ciphertext=ciphertext,
+        tag=tag,
+    )
+
+
+def verify_record(keys: DirectionKeys, record: SecureRecord) -> bool:
+    """Constant-time check of a record's tag under ``keys``."""
+    return verify_mac(
+        _mac_key_bits(keys),
+        record.header_bytes() + record.ciphertext,
+        record.tag,
+    )
+
+
+def decrypt_record(keys: DirectionKeys, record: SecureRecord) -> bytes:
+    """Decrypt a record's ciphertext.  Only call after :func:`verify_record`."""
+    return _keystream_xor(
+        keys.enc_key,
+        record.epoch,
+        record.direction,
+        record.sequence,
+        record.ciphertext,
+    )

@@ -10,20 +10,34 @@ aborts them without hanging or leaking.  Every behavior resolves to a
 :class:`ClientOutcome` -- including the misbehaving ones, whose
 "outcome" is whatever structured verdict (or clean close) the server
 answered with.
+
+Two behavior families exercise the post-establishment machinery: the
+``secure-*`` behaviors negotiate an encrypted data phase and round-trip
+AEAD records (``secure-tamper`` additionally proves a flipped bit is
+answered with ``secure-error`` and never plaintext), and
+``normal-retry`` honors structured shedding -- on a rejection carrying
+``retry_after_s`` it disconnects, backs off with capped seeded jitter,
+and reconnects.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import random
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.secure import ChannelContext, SecureChannel, derive_channel_keys
 from repro.server.framing import encode_frame, read_frame, write_frame
 
 #: The closed set of client behaviors the chaos harness draws from.
 BEHAVIORS = (
     "normal",
+    "normal-retry",
     "ping-then-normal",
+    "secure-echo",
+    "secure-tamper",
     "disconnect-after-hello",
     "disconnect-after-start",
     "slow-loris",
@@ -48,7 +62,10 @@ class ClientOutcome:
             that disconnect first), or ``"error"`` (transport error on
             the client side).
         frame: The terminal server frame, when one arrived.
-        detail: Free-text context (transport error strings).
+        detail: Free-text context (transport error strings; for secure
+            behaviors, ``payload-invariant:<name>`` when the client-side
+            payload check failed).
+        retries: Admission retries spent before this outcome.
     """
 
     session_id: str
@@ -56,6 +73,7 @@ class ClientOutcome:
     kind: str
     frame: Optional[dict] = None
     detail: str = ""
+    retries: int = 0
 
     @property
     def structured(self) -> bool:
@@ -88,6 +106,12 @@ class DeviceClient:
         episode: Episode label for the probing burst.
         rounds: Probing rounds to request (``None``: server default).
         timeout_s: Client-side budget for each await on the server.
+        data: Request an encrypted data phase in the hello frame.
+        max_admission_retries: Reconnect attempts the client spends
+            honoring structured rejections before giving up.
+        backoff_cap_s: Hard ceiling on any single reconnect backoff.
+        retry_seed: Seed of the backoff-jitter stream, so retry timing
+            is reproducible.
     """
 
     endpoint: Endpoint
@@ -95,6 +119,10 @@ class DeviceClient:
     episode: Optional[str] = None
     rounds: Optional[int] = None
     timeout_s: float = 60.0
+    data: bool = False
+    max_admission_retries: int = 0
+    backoff_cap_s: float = 2.0
+    retry_seed: Optional[int] = None
     _reader: Optional[asyncio.StreamReader] = field(default=None, repr=False)
     _writer: Optional[asyncio.StreamWriter] = field(default=None, repr=False)
 
@@ -129,30 +157,181 @@ class DeviceClient:
             frame["episode"] = self.episode
         if self.rounds is not None:
             frame["rounds"] = self.rounds
+        if self.data:
+            frame["data"] = True
         await self.send(frame)
         return await self.recv()
 
-    async def establish(self) -> ClientOutcome:
-        """Honest full exchange: hello, start, await the verdict."""
-        try:
-            await self.connect()
-            answer = await self.hello()
-            if answer is None:
-                return ClientOutcome(self.session_id, "normal", "closed")
-            if answer.get("type") == "rejected":
-                return ClientOutcome(self.session_id, "normal", "rejected", answer)
-            await self.send({"type": "start"})
-            verdict = await self.recv()
-            if verdict is None:
-                return ClientOutcome(self.session_id, "normal", "closed")
-            kind = "result" if verdict.get("type") == "result" else "abort"
-            return ClientOutcome(self.session_id, "normal", kind, verdict)
-        except (OSError, asyncio.TimeoutError, ConnectionError) as error:
+    async def establish(self, behavior: str = "normal") -> ClientOutcome:
+        """Honest full exchange: hello, start, await the verdict.
+
+        A structured admission rejection is honored, not fought: while
+        ``max_admission_retries`` allows, the client disconnects, backs
+        off for the server's ``retry_after_s`` hint (scaled per attempt,
+        jittered by the seeded stream, capped at ``backoff_cap_s``) and
+        reconnects.  The retries actually spent are reported on the
+        outcome.
+        """
+        jitter = random.Random(self.retry_seed)
+        attempt = 0
+        while True:
+            try:
+                await self.connect()
+                answer = await self.hello()
+                if answer is None:
+                    return ClientOutcome(
+                        self.session_id, behavior, "closed", retries=attempt
+                    )
+                if answer.get("type") == "rejected":
+                    if attempt >= self.max_admission_retries:
+                        return ClientOutcome(
+                            self.session_id,
+                            behavior,
+                            "rejected",
+                            answer,
+                            retries=attempt,
+                        )
+                    hint = float(answer.get("retry_after_s") or 0.1)
+                    delay = min(
+                        hint * (2.0**attempt) * (1.0 + 0.25 * jitter.random()),
+                        self.backoff_cap_s,
+                    )
+                    attempt += 1
+                    await self.close()
+                    await asyncio.sleep(delay)
+                    continue
+                await self.send({"type": "start"})
+                verdict = await self.recv()
+                if verdict is None:
+                    return ClientOutcome(
+                        self.session_id, behavior, "closed", retries=attempt
+                    )
+                kind = "result" if verdict.get("type") == "result" else "abort"
+                return ClientOutcome(
+                    self.session_id, behavior, kind, verdict, retries=attempt
+                )
+            except (OSError, asyncio.TimeoutError, ConnectionError) as error:
+                return ClientOutcome(
+                    self.session_id,
+                    behavior,
+                    "error",
+                    detail=str(error),
+                    retries=attempt,
+                )
+            finally:
+                await self.close()
+
+
+def channel_from_frame(channel_frame: dict, role: str = "initiator") -> SecureChannel:
+    """Build one end of the data-phase channel from a result frame.
+
+    The server's result frame carries a ``channel`` object (see
+    ``KeyEstablishmentServer._open_channel``) with the device-side
+    secret and the public KDF context; deriving from it here yields
+    keys that match the server's responder channel bit for bit.
+    """
+    context = ChannelContext(
+        session_nonce=bytes.fromhex(str(channel_frame["nonce"])),
+        initiator_id=str(channel_frame.get("initiator_id", "alice")),
+        responder_id=str(channel_frame.get("responder_id", "bob")),
+        pipeline_fingerprint=str(channel_frame.get("fingerprint", "")),
+        epoch=int(channel_frame.get("epoch", 0)),
+    )
+    keys = derive_channel_keys(
+        bytes.fromhex(str(channel_frame["device_key"])), context
+    )
+    return SecureChannel(
+        keys,
+        role=role,
+        max_sequence=int(channel_frame.get("max_records", 2**20)),
+        replay_window=int(channel_frame.get("replay_window", 64)),
+    )
+
+
+def _retry_seed(session_id: str) -> int:
+    """A per-session deterministic seed for the backoff-jitter stream."""
+    return int.from_bytes(hashlib.sha256(session_id.encode()).digest()[:4], "big")
+
+
+async def _run_secure_behavior(
+    client: DeviceClient, behavior: str, session_id: str
+) -> ClientOutcome:
+    """Establish with a data phase, then echo (and maybe tamper).
+
+    ``secure-echo`` round-trips three records and verifies each echo
+    decrypts to the sent plaintext; ``secure-tamper`` additionally sends
+    a bit-flipped record and demands a ``secure-error`` answer that
+    releases no plaintext.  A payload-invariant breach is reported as
+    kind ``"error"`` with a ``payload-invariant:<name>`` detail so the
+    chaos harness can attribute it.
+    """
+    client.data = True
+    answer = await client.hello()
+    if answer is None:
+        return ClientOutcome(session_id, behavior, "closed")
+    if answer.get("type") == "rejected":
+        return ClientOutcome(session_id, behavior, "rejected", answer)
+    await client.send({"type": "start"})
+    verdict = await client.recv()
+    if verdict is None:
+        return ClientOutcome(session_id, behavior, "closed")
+    if verdict.get("type") != "result":
+        return ClientOutcome(session_id, behavior, "abort", verdict)
+    channel_frame = verdict.get("channel")
+    if not verdict.get("success") or channel_frame is None:
+        # Establishment failed; there is no channel to exercise.
+        return ClientOutcome(session_id, behavior, "result", verdict)
+    channel = channel_from_frame(channel_frame)
+    for index in range(3):
+        plaintext = f"{session_id}-echo-{index}".encode()
+        await client.send(
+            {"type": "secure", "record": channel.seal(plaintext).hex()}
+        )
+        reply = await client.recv()
+        if reply is None:
+            return ClientOutcome(session_id, behavior, "closed", verdict)
+        if reply.get("type") != "secure":
             return ClientOutcome(
-                self.session_id, "normal", "error", detail=str(error)
+                session_id,
+                behavior,
+                "error",
+                reply,
+                detail="payload-invariant:rekey-preserves-continuity",
             )
-        finally:
-            await self.close()
+        opened = channel.open(bytes.fromhex(str(reply.get("record", ""))))
+        if not opened.ok or opened.plaintext != plaintext:
+            return ClientOutcome(
+                session_id,
+                behavior,
+                "error",
+                reply,
+                detail="payload-invariant:rekey-preserves-continuity",
+            )
+    if behavior == "secure-tamper":
+        record = bytearray(channel.seal(session_id.encode()))
+        record[-1] ^= 0x01  # flip one tag bit: must fail authentication
+        await client.send({"type": "secure", "record": bytes(record).hex()})
+        reply = await client.recv()
+        if reply is None:
+            return ClientOutcome(session_id, behavior, "closed", verdict)
+        if reply.get("type") != "secure-error" or "record" in reply:
+            return ClientOutcome(
+                session_id,
+                behavior,
+                "error",
+                reply,
+                detail="payload-invariant:no-plaintext-on-auth-failure",
+            )
+        if reply.get("failure") != "auth-failed":
+            return ClientOutcome(
+                session_id,
+                behavior,
+                "error",
+                reply,
+                detail="payload-invariant:no-plaintext-on-auth-failure",
+            )
+    await client.send({"type": "bye"})
+    return ClientOutcome(session_id, behavior, "result", verdict)
 
 
 async def run_behavior(
@@ -177,8 +356,14 @@ async def run_behavior(
     )
     if behavior == "normal":
         return await client.establish()
+    if behavior == "normal-retry":
+        client.max_admission_retries = 2
+        client.retry_seed = _retry_seed(session_id)
+        return await client.establish(behavior="normal-retry")
     try:
         await client.connect()
+        if behavior in ("secure-echo", "secure-tamper"):
+            return await _run_secure_behavior(client, behavior, session_id)
         if behavior == "ping-then-normal":
             answer = await client.hello()
             if answer is None or answer.get("type") == "rejected":

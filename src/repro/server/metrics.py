@@ -46,6 +46,16 @@ class ServerMetrics:
         model_reloads: Successful hot-reloads of the model registry.
         model_reload_failures: Rejected (corrupt/mismatched) reloads that
             rolled back to the serving generation.
+        channels_opened: Secure data-phase channels established after a
+            successful key exchange.
+        secure_records: AEAD records received on data-phase channels.
+        secure_echoed: Records that opened successfully and were echoed
+            back under the server's send keys.
+        secure_open_failures: Failed record opens, by failure slug from
+            the channel's closed taxonomy.
+        channels_closed: Data-phase channels the server closed with a
+            structured ``channel-closed`` frame (decrypt budget
+            exhausted, send nonce space exhausted), by reason.
     """
 
     accepted: int = 0
@@ -66,10 +76,25 @@ class ServerMetrics:
     batch_fallbacks: int = 0
     model_reloads: int = 0
     model_reload_failures: int = 0
+    channels_opened: int = 0
+    secure_records: int = 0
+    secure_echoed: int = 0
+    secure_open_failures: Dict[str, int] = field(default_factory=dict)
+    channels_closed: Dict[str, int] = field(default_factory=dict)
 
     def record_abort(self, reason: str) -> None:
         """Count one server-side session abort by its taxonomy slug."""
         self.aborted[reason] = self.aborted.get(reason, 0) + 1
+
+    def record_open_failure(self, failure: str) -> None:
+        """Count one failed data-phase record open by its failure slug."""
+        self.secure_open_failures[failure] = (
+            self.secure_open_failures.get(failure, 0) + 1
+        )
+
+    def record_channel_close(self, reason: str) -> None:
+        """Count one structured data-phase channel close by its reason."""
+        self.channels_closed[reason] = self.channels_closed.get(reason, 0) + 1
 
     @property
     def total_aborted(self) -> int:
@@ -104,4 +129,9 @@ class ServerMetrics:
             "batch_fallbacks": self.batch_fallbacks,
             "model_reloads": self.model_reloads,
             "model_reload_failures": self.model_reload_failures,
+            "channels_opened": self.channels_opened,
+            "secure_records": self.secure_records,
+            "secure_echoed": self.secure_echoed,
+            "secure_open_failures": dict(self.secure_open_failures),
+            "channels_closed": dict(self.channels_closed),
         }

@@ -31,6 +31,15 @@ The robustness contract, in order of importance:
 - **Verified hot-reload.**  Between ticks the
   :class:`~repro.server.registry.ModelRegistry` may swap in a new model
   generation; corrupt artifacts roll back atomically and are counted.
+- **Encrypted data phase.**  A peer whose hello carries ``"data": true``
+  continues past a successful result frame into an AEAD-record echo
+  phase (:mod:`repro.secure`): every record it sends is opened under the
+  established key and the plaintext echoed back sealed under the
+  server's send direction.  Failed opens answer a structured
+  ``secure-error`` carrying the channel's closed failure taxonomy, a
+  channel that exhausts its decrypt budget or send-nonce space ends with
+  a ``channel-closed`` frame -- plaintext is never released, nonces are
+  never reused, and nothing a peer sends to the channel can raise.
 """
 
 from __future__ import annotations
@@ -49,6 +58,14 @@ from repro.server.framing import (
     FrameError,
     read_frame,
     write_frame,
+)
+from repro.secure import (
+    ChannelContext,
+    NonceExhaustedError,
+    NonceLedger,
+    SecureChannel,
+    derive_channel_keys,
+    master_secret_from_result,
 )
 from repro.server.metrics import ServerMetrics
 from repro.server.registry import ModelRegistry
@@ -83,6 +100,14 @@ class ServerConfig:
         max_frame_bytes: Framing layer's per-frame payload ceiling.
         default_rounds: Probing rounds when a session does not ask for a
             specific count (``None``: the pipeline's ``session_rounds``).
+        secure_decrypt_budget: Failed record opens one data-phase channel
+            tolerates before the server answers ``channel-closed``
+            (``decrypt-budget-exceeded``) and ends the session.
+        secure_max_records: Send-nonce space per data-phase channel;
+            exhausting it closes the channel with a structured
+            ``nonce-exhausted`` reason rather than ever reusing a nonce.
+        secure_replay_window: Sliding replay-window size of the server's
+            data-phase channels.
     """
 
     host: str = "127.0.0.1"
@@ -101,11 +126,16 @@ class ServerConfig:
     drain_timeout_s: float = 30.0
     max_frame_bytes: int = MAX_FRAME_BYTES
     default_rounds: Optional[int] = None
+    secure_decrypt_budget: int = 8
+    secure_max_records: int = 2**20
+    secure_replay_window: int = 64
 
     def __post_init__(self) -> None:
         require_positive(self.max_batch, "max_batch")
         require_positive(self.queue_limit, "queue_limit")
         require_positive(self.max_sessions, "max_sessions")
+        require_positive(self.secure_decrypt_budget, "secure_decrypt_budget")
+        require_positive(self.secure_max_records, "secure_max_records")
 
 
 @dataclass
@@ -138,6 +168,10 @@ class KeyEstablishmentServer:
             ``(DeviceSession, KeyEstablishmentOutcome)`` a tick produces;
             the chaos harness uses it to check the library-path safety
             invariants on the served path.
+        nonce_ledger: Optional global nonce ledger shared by every
+            data-phase channel the server opens; the chaos harness
+            passes one to prove no ``(key, direction, sequence)`` triple
+            is ever sealed or accepted twice across the whole sweep.
     """
 
     def __init__(
@@ -147,11 +181,13 @@ class KeyEstablishmentServer:
         on_outcome: Optional[
             Callable[[DeviceSession, KeyEstablishmentOutcome], None]
         ] = None,
+        nonce_ledger: Optional[NonceLedger] = None,
     ):
         self.registry = registry
         self.config = config if config is not None else ServerConfig()
         self.metrics = ServerMetrics()
         self.on_outcome = on_outcome
+        self.nonce_ledger = nonce_ledger
         self.sessions: Dict[str, DeviceSession] = {}
         self._pending: Optional[asyncio.Queue] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -377,6 +413,7 @@ class KeyEstablishmentServer:
             episode=str(hello.get("episode") or f"serve-{session_id}"),
             rounds=int(rounds) if rounds is not None else None,
             idle_timeout_s=self.config.idle_timeout_s,
+            wants_data=bool(hello.get("data", False)),
         )
         session.deadline_s = session.created_s + self.config.session_deadline_s
         self.sessions[session_id] = session
@@ -419,6 +456,8 @@ class KeyEstablishmentServer:
                 )
                 if session.result in done:
                     await self._send_verdict(session, writer)
+                    if session.channel is not None:
+                        await self._data_phase(session, reader, writer, read_task)
                     return
                 frame_or_error = read_task
                 try:
@@ -477,6 +516,15 @@ class KeyEstablishmentServer:
             )
         elif kind == "bye":
             return
+        elif kind == "secure":
+            # A record arrived before any channel exists: the peer is
+            # trying to use a key that was never established.
+            self.metrics.malformed_frames += 1
+            self._abort_session(
+                session,
+                SessionEvent.SECURE_FAILURE,
+                "secure record before establishment completed",
+            )
         else:
             self.metrics.malformed_frames += 1
             self._abort_session(
@@ -492,6 +540,8 @@ class KeyEstablishmentServer:
         verdict = session.result.result()
         if isinstance(verdict, KeyEstablishmentOutcome):
             frame = self._result_frame(session, verdict)
+            if verdict.success and session.wants_data:
+                frame["channel"] = self._open_channel(session, verdict)
         else:  # SessionAbort record
             frame = {
                 "type": "abort",
@@ -533,6 +583,168 @@ class KeyEstablishmentServer:
             "key_digest": digest,
             "final_state": session.machine.state.value,
         }
+
+    # -- encrypted data phase ------------------------------------------------
+    def _open_channel(
+        self, session: DeviceSession, outcome: KeyEstablishmentOutcome
+    ) -> dict:
+        """Build the responder channel; returns its wire description.
+
+        ``device_key`` hands the device its side of the reconciled
+        secret in the clear -- a *simulation affordance*: on real
+        hardware the device derives exactly these bytes from the probing
+        exchange and nothing crosses the wire, but here the simulated
+        device is a separate process with no access to the pipeline's
+        internal session state.  Everything else in the frame (nonce,
+        ids, fingerprint, epoch) is the public context both ends bind
+        into the KDF.
+        """
+        result = outcome.session
+        context = ChannelContext(
+            session_nonce=result.session_nonce,
+            initiator_id=session.session_id,
+            responder_id="server",
+            pipeline_fingerprint=self.registry.pipeline.fingerprint(),
+        )
+        master = master_secret_from_result(result)
+        session.channel = SecureChannel(
+            derive_channel_keys(master, context),
+            role="responder",
+            max_sequence=self.config.secure_max_records,
+            replay_window=self.config.secure_replay_window,
+            ledger=self.nonce_ledger,
+        )
+        self.metrics.channels_opened += 1
+        return {
+            "device_key": master.hex(),
+            "nonce": result.session_nonce.hex(),
+            "initiator_id": session.session_id,
+            "responder_id": "server",
+            "fingerprint": context.pipeline_fingerprint,
+            "epoch": 0,
+            "max_records": self.config.secure_max_records,
+            "replay_window": self.config.secure_replay_window,
+        }
+
+    async def _send_channel_closed(
+        self, session: DeviceSession, writer: asyncio.StreamWriter, reason: str
+    ) -> None:
+        """Answer a structured ``channel-closed`` frame (counted)."""
+        self.metrics.record_channel_close(reason)
+        try:
+            await asyncio.wait_for(
+                write_frame(
+                    writer,
+                    {
+                        "type": "channel-closed",
+                        "session_id": session.session_id,
+                        "reason": reason,
+                    },
+                ),
+                timeout=self.config.send_timeout_s,
+            )
+        except (OSError, asyncio.TimeoutError, ConnectionError):
+            self.metrics.disconnects += 1
+
+    async def _data_phase(
+        self,
+        session: DeviceSession,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        read_task: "asyncio.Task",
+    ) -> None:
+        """Serve one peer's encrypted echo phase until bye/close/budget.
+
+        Every well-formed record is opened under the session's channel:
+        successes are echoed back sealed under the server's send keys,
+        failures answer a ``secure-error`` carrying the failure slug and
+        count toward the decrypt budget.  The phase ends with a
+        structured ``channel-closed`` frame when the budget or the send
+        nonce space is exhausted -- never a silent close, never a reused
+        nonce, never released plaintext.
+        """
+        channel = session.channel
+        failures = 0
+        read = read_task
+        try:
+            while True:
+                try:
+                    frame = await asyncio.wait_for(
+                        read, timeout=self.config.idle_timeout_s
+                    )
+                except asyncio.TimeoutError:
+                    return
+                except FrameError:
+                    self.metrics.malformed_frames += 1
+                    return
+                if frame is None:  # peer closed after its verdict: legal
+                    return
+                session.touch()
+                read = asyncio.create_task(
+                    read_frame(reader, self.config.max_frame_bytes)
+                )
+                kind = frame.get("type")
+                if kind == "bye":
+                    return
+                if kind == "ping":
+                    await asyncio.wait_for(
+                        write_frame(writer, {"type": "pong"}),
+                        timeout=self.config.send_timeout_s,
+                    )
+                    continue
+                if kind != "secure":
+                    self.metrics.malformed_frames += 1
+                    await self._send_channel_closed(
+                        session, writer, "protocol-error"
+                    )
+                    return
+                self.metrics.secure_records += 1
+                try:
+                    blob = bytes.fromhex(str(frame.get("record", "")))
+                except ValueError:
+                    blob = b""  # not even hex: opens as record-truncated
+                opened = channel.open(blob)
+                if opened.ok:
+                    try:
+                        echo = channel.seal(opened.plaintext)
+                    except NonceExhaustedError:
+                        await self._send_channel_closed(
+                            session, writer, "nonce-exhausted"
+                        )
+                        return
+                    self.metrics.secure_echoed += 1
+                    await asyncio.wait_for(
+                        write_frame(
+                            writer,
+                            {
+                                "type": "secure",
+                                "session_id": session.session_id,
+                                "record": echo.hex(),
+                            },
+                        ),
+                        timeout=self.config.send_timeout_s,
+                    )
+                else:
+                    failures += 1
+                    self.metrics.record_open_failure(opened.failure)
+                    await asyncio.wait_for(
+                        write_frame(
+                            writer,
+                            {
+                                "type": "secure-error",
+                                "session_id": session.session_id,
+                                "failure": opened.failure,
+                            },
+                        ),
+                        timeout=self.config.send_timeout_s,
+                    )
+                    if failures >= self.config.secure_decrypt_budget:
+                        await self._send_channel_closed(
+                            session, writer, "decrypt-budget-exceeded"
+                        )
+                        return
+        finally:
+            read.cancel()
 
     # -- supervision ---------------------------------------------------------
     def _abort_session(

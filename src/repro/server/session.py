@@ -25,6 +25,7 @@ from repro.core.statemachine import (
     SessionEvent,
     SessionStateMachine,
 )
+from repro.secure import SecureChannel
 
 
 @dataclass
@@ -43,6 +44,10 @@ class DeviceSession:
         idle_timeout_s: Budget between peer frames before reaping.
         outcome: The establishment outcome once a tick produced one.
         started: Whether the peer requested establishment (``start``).
+        wants_data: Whether the hello frame requested an encrypted data
+            phase after establishment (``"data": true``).
+        channel: The server-side (responder) secure channel, built once
+            a successful outcome is delivered to a ``wants_data`` peer.
     """
 
     session_id: str
@@ -55,6 +60,8 @@ class DeviceSession:
     idle_timeout_s: float = 30.0
     outcome: Optional[KeyEstablishmentOutcome] = None
     started: bool = False
+    wants_data: bool = False
+    channel: Optional[SecureChannel] = None
 
     def __post_init__(self) -> None:
         self._result: asyncio.Future = asyncio.get_running_loop().create_future()

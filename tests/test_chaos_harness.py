@@ -5,10 +5,12 @@ import pytest
 
 from repro.faults.chaos import (
     INVARIANTS,
+    PAYLOAD_INVARIANTS,
     ChaosReport,
     ChaosViolation,
     random_adversary_plan,
     random_fault_plan,
+    random_rekey_policy,
     random_retry_policy,
     run_chaos,
 )
@@ -25,6 +27,7 @@ class TestPlanGenerators:
         assert pa.max_retries == pb.max_retries
         assert pa.backoff_base_s == pb.backoff_base_s
         assert pa.regional_plan == pb.regional_plan
+        assert random_rekey_policy(a) == random_rekey_policy(b)
 
     def test_generators_cover_null_and_active_plans(self):
         faults_null = attacks_null = duty = 0
@@ -53,7 +56,7 @@ class TestChaosReport:
     def test_violation_counts_zero_filled(self):
         report = ChaosReport(n_sessions=3, seed=0)
         counts = report.violation_counts()
-        assert set(counts) == set(INVARIANTS)
+        assert set(counts) == set(INVARIANTS + PAYLOAD_INVARIANTS)
         assert all(v == 0 for v in counts.values())
         assert report.ok
 

@@ -45,7 +45,7 @@ class TestScales:
 
 class TestRunnerRegistry:
     def test_all_experiments_registered(self):
-        assert len(EXPERIMENTS) == 17
+        assert len(EXPERIMENTS) == 18
         for key in (
             "fig02",
             "fig12-13",
@@ -55,6 +55,7 @@ class TestRunnerRegistry:
             "duty-cycle",
             "robustness",
             "active-adversary",
+            "payload-attacks",
         ):
             assert key in EXPERIMENTS
 

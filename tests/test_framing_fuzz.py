@@ -1,0 +1,168 @@
+"""Seeded fuzz of the wire framing layer.
+
+The framing contract is that *any* byte stream -- random noise, truncated
+frames, mutated valid frames, hostile length prefixes -- ends in exactly
+one of three outcomes per read: a decoded dict, a clean ``None`` EOF, or
+a :class:`FrameError` carrying one of the three closed reason slugs.
+Nothing else may escape: no ``struct.error``, no ``json`` internals, no
+``UnicodeDecodeError``.  The sweep is seeded, so a failure names the
+exact stream that produced it.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.server.framing import (
+    FRAME_CORRUPT,
+    FRAME_OVERSIZED,
+    FRAME_TRUNCATED,
+    FrameError,
+    encode_frame,
+    read_frame,
+)
+
+FRAME_REASONS = (FRAME_OVERSIZED, FRAME_TRUNCATED, FRAME_CORRUPT)
+
+#: Small ceiling so oversized declarations are cheap to exercise.
+MAX_BYTES = 4096
+
+
+def drain_stream(data: bytes):
+    """Feed ``data`` as one closed stream; read frames until EOF or error.
+
+    Returns ``(frames, error)`` where ``error`` is the FrameError that
+    ended the stream, if any.  Any *other* exception propagates and
+    fails the test -- that is the point of the fuzz.
+    """
+
+    async def body():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        frames = []
+        try:
+            while True:
+                frame = await read_frame(reader, max_bytes=MAX_BYTES)
+                if frame is None:
+                    return frames, None
+                frames.append(frame)
+        except FrameError as error:
+            return frames, error
+
+    return asyncio.run(body())
+
+
+def seeded_payload(rng: random.Random) -> dict:
+    """One random-but-valid protocol-shaped message."""
+    return {
+        "type": rng.choice(["hello", "start", "ping", "secure", "bye"]),
+        "session_id": f"dev-{rng.randrange(1000)}",
+        "blob": rng.randbytes(rng.randrange(64)).hex(),
+    }
+
+
+class TestRandomStreams:
+    def test_pure_noise_never_escapes_the_taxonomy(self):
+        for seed in range(200):
+            rng = random.Random(seed)
+            data = rng.randbytes(rng.randrange(1, 256))
+            frames, error = drain_stream(data)
+            if error is not None:
+                assert error.reason in FRAME_REASONS, f"seed {seed}"
+            # Decoded frames from noise are astronomically unlikely but
+            # would still be dicts by contract.
+            assert all(isinstance(frame, dict) for frame in frames)
+
+    def test_noise_is_deterministic_per_seed(self):
+        rng_a, rng_b = random.Random(7), random.Random(7)
+        data_a = rng_a.randbytes(128)
+        data_b = rng_b.randbytes(128)
+        result_a = drain_stream(data_a)
+        result_b = drain_stream(data_b)
+        assert data_a == data_b
+        assert (result_a[0], getattr(result_a[1], "reason", None)) == (
+            result_b[0],
+            getattr(result_b[1], "reason", None),
+        )
+
+
+class TestTruncatedFrames:
+    def test_every_truncation_point_is_structured(self):
+        rng = random.Random(11)
+        wire = encode_frame(seeded_payload(rng))
+        for cut in range(len(wire)):
+            frames, error = drain_stream(wire[:cut])
+            if cut == 0:
+                assert frames == [] and error is None  # clean EOF
+            else:
+                assert error is not None, f"cut at {cut} silently passed"
+                assert error.reason == FRAME_TRUNCATED
+
+    def test_truncation_after_a_whole_frame_keeps_the_frame(self):
+        rng = random.Random(13)
+        first = seeded_payload(rng)
+        wire = encode_frame(first) + encode_frame(seeded_payload(rng))
+        cut = len(encode_frame(first)) + 2  # two bytes into frame 2's header
+        frames, error = drain_stream(wire[:cut])
+        assert frames == [first]
+        assert error is not None and error.reason == FRAME_TRUNCATED
+
+
+class TestMutatedFrames:
+    def test_single_byte_mutations_stay_taxonomized(self):
+        for seed in range(100):
+            rng = random.Random(1000 + seed)
+            wire = bytearray(encode_frame(seeded_payload(rng)))
+            position = rng.randrange(len(wire))
+            wire[position] ^= 1 << rng.randrange(8)
+            frames, error = drain_stream(bytes(wire))
+            if error is not None:
+                assert error.reason in FRAME_REASONS, (
+                    f"seed {seed}, byte {position}: {error}"
+                )
+            else:
+                # A mutation inside a JSON string can keep the frame
+                # valid; the decode contract still holds.
+                assert all(isinstance(frame, dict) for frame in frames)
+
+    def test_length_prefix_mutations_never_hang_or_crash(self):
+        rng = random.Random(29)
+        body = encode_frame(seeded_payload(rng))[4:]
+        for seed in range(50):
+            mutated_length = random.Random(seed).randrange(0, 2**32)
+            data = mutated_length.to_bytes(4, "big") + body
+            frames, error = drain_stream(data)
+            if error is not None:
+                assert error.reason in FRAME_REASONS
+            if mutated_length > MAX_BYTES:
+                assert error is not None
+                assert error.reason == FRAME_OVERSIZED
+
+
+class TestHostilePayloads:
+    def test_oversized_declaration_is_refused_before_reading(self):
+        data = (MAX_BYTES + 1).to_bytes(4, "big") + b"\x00" * 16
+        _, error = drain_stream(data)
+        assert error is not None and error.reason == FRAME_OVERSIZED
+
+    def test_non_object_json_is_corrupt(self):
+        for payload in (b"[1,2,3]", b'"string"', b"42", b"null", b"true"):
+            data = len(payload).to_bytes(4, "big") + payload
+            _, error = drain_stream(data)
+            assert error is not None and error.reason == FRAME_CORRUPT
+
+    def test_invalid_utf8_is_corrupt_not_unicode_error(self):
+        payload = b"\xff\xfe{}"
+        data = len(payload).to_bytes(4, "big") + payload
+        _, error = drain_stream(data)
+        assert error is not None and error.reason == FRAME_CORRUPT
+
+    def test_valid_frames_interleaved_with_garbage_tail(self):
+        rng = random.Random(31)
+        payloads = [seeded_payload(rng) for _ in range(3)]
+        wire = b"".join(encode_frame(p) for p in payloads) + rng.randbytes(7)
+        frames, error = drain_stream(wire)
+        assert frames == payloads  # everything before the damage decoded
+        assert error is not None and error.reason in FRAME_REASONS

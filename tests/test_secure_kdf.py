@@ -1,0 +1,162 @@
+"""Domain-separated channel key derivation: contexts, directions, epochs."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.secure.kdf import (
+    ChannelContext,
+    DIRECTION_LABELS,
+    KEY_BYTES,
+    KEY_ID_BYTES,
+    derive_channel_keys,
+    hkdf_expand,
+    hkdf_extract,
+    master_secret_from_result,
+)
+
+MASTER = b"\x5a" * 32
+NONCE = b"\x11" * 16
+
+
+def context(**overrides) -> ChannelContext:
+    """A baseline context with individual fields overridable per test."""
+    fields = dict(
+        session_nonce=NONCE,
+        initiator_id="alice",
+        responder_id="bob",
+        pipeline_fingerprint="f" * 16,
+        epoch=0,
+    )
+    fields.update(overrides)
+    return ChannelContext(**fields)
+
+
+class _Result:
+    """Duck-typed stand-in for a completed SessionResult."""
+
+    def __init__(self, final_key_alice, keys_match):
+        self.final_key_alice = final_key_alice
+        self.keys_match = keys_match
+
+
+class TestChannelContext:
+    def test_encoding_is_deterministic(self):
+        assert context().encode() == context().encode()
+
+    def test_every_field_changes_the_encoding(self):
+        base = context().encode()
+        variants = [
+            context(session_nonce=b"\x22" * 16),
+            context(initiator_id="carol"),
+            context(responder_id="dave"),
+            context(pipeline_fingerprint="0" * 16),
+            context(epoch=1),
+        ]
+        encodings = [variant.encode() for variant in variants]
+        assert all(encoding != base for encoding in encodings)
+        assert len(set(encodings)) == len(encodings)
+
+    def test_length_prefixing_prevents_field_boundary_collisions(self):
+        # ("ab", "c") and ("a", "bc") must encode differently.
+        a = context(initiator_id="ab", responder_id="c").encode()
+        b = context(initiator_id="a", responder_id="bc").encode()
+        assert a != b
+
+    def test_next_epoch_bumps_only_the_counter(self):
+        bumped = context().next_epoch()
+        assert bumped.epoch == 1
+        assert bumped.session_nonce == NONCE
+        assert bumped.initiator_id == "alice"
+
+    def test_invalid_contexts_are_refused(self):
+        with pytest.raises(ConfigurationError):
+            ChannelContext(session_nonce=b"")
+        with pytest.raises(ConfigurationError):
+            context(epoch=-1)
+        with pytest.raises(ConfigurationError):
+            context(initiator_id="")
+
+
+class TestHkdf:
+    def test_extract_concentrates_and_is_keyed_by_salt(self):
+        prk = hkdf_extract(MASTER)
+        assert len(prk) == 32
+        assert prk != hkdf_extract(MASTER, salt=b"other-label")
+
+    def test_expand_lengths_and_info_separation(self):
+        prk = hkdf_extract(MASTER)
+        short = hkdf_expand(prk, b"info-a", 16)
+        long = hkdf_expand(prk, b"info-a", 80)
+        assert len(short) == 16
+        assert len(long) == 80
+        assert long[:16] == short  # same stream, longer read
+        assert hkdf_expand(prk, b"info-b", 16) != short
+
+    def test_expand_rejects_bad_lengths(self):
+        prk = hkdf_extract(MASTER)
+        with pytest.raises(ConfigurationError):
+            hkdf_expand(prk, b"info", 0)
+        with pytest.raises(ConfigurationError):
+            hkdf_expand(prk, b"info", 255 * 32 + 1)
+
+
+class TestDeriveChannelKeys:
+    def test_both_parties_derive_identical_keys(self):
+        assert derive_channel_keys(MASTER, context()) == derive_channel_keys(
+            MASTER, context()
+        )
+
+    def test_all_four_keys_are_independent(self):
+        keys = derive_channel_keys(MASTER, context())
+        material = {
+            keys.initiator_send.enc_key,
+            keys.initiator_send.mac_key,
+            keys.responder_send.enc_key,
+            keys.responder_send.mac_key,
+        }
+        assert len(material) == 4
+        assert all(len(key) == KEY_BYTES for key in material)
+
+    def test_key_ids_are_public_short_and_distinct_per_direction(self):
+        keys = derive_channel_keys(MASTER, context())
+        assert keys.initiator_send.key_id != keys.responder_send.key_id
+        assert len(bytes.fromhex(keys.initiator_send.key_id)) == KEY_ID_BYTES
+
+    def test_epoch_bump_yields_unrelated_keys(self):
+        epoch0 = derive_channel_keys(MASTER, context())
+        epoch1 = derive_channel_keys(MASTER, context().next_epoch())
+        assert epoch0.initiator_send.enc_key != epoch1.initiator_send.enc_key
+        assert epoch0.initiator_send.mac_key != epoch1.initiator_send.mac_key
+        assert epoch0.initiator_send.key_id != epoch1.initiator_send.key_id
+        assert epoch1.epoch == 1
+
+    def test_context_fields_separate_key_material(self):
+        base = derive_channel_keys(MASTER, context())
+        for variant in (
+            context(session_nonce=b"\x22" * 16),
+            context(initiator_id="carol"),
+            context(pipeline_fingerprint="0" * 16),
+        ):
+            other = derive_channel_keys(MASTER, variant)
+            assert other.initiator_send.enc_key != base.initiator_send.enc_key
+
+    def test_role_key_selection_is_symmetric(self):
+        keys = derive_channel_keys(MASTER, context())
+        assert keys.send_keys("initiator") == keys.recv_keys("responder")
+        assert keys.send_keys("responder") == keys.recv_keys("initiator")
+        with pytest.raises(ConfigurationError):
+            keys.send_keys("eve")
+
+    def test_direction_labels_are_ordered_pair(self):
+        assert DIRECTION_LABELS == (b"i2r", b"r2i")
+
+
+class TestMasterSecretFromResult:
+    def test_confirmed_matching_key_is_released(self):
+        assert master_secret_from_result(_Result(MASTER, True)) == MASTER
+
+    def test_unconfirmed_or_missing_key_is_refused(self):
+        with pytest.raises(ConfigurationError):
+            master_secret_from_result(_Result(MASTER, False))
+        with pytest.raises(ConfigurationError):
+            master_secret_from_result(_Result(None, True))

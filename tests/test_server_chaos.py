@@ -12,6 +12,7 @@ import pytest
 
 from repro.faults.chaos import (
     INVARIANTS,
+    PAYLOAD_INVARIANTS,
     SERVER_INVARIANTS,
     ServerChaosReport,
     random_client_behavior,
@@ -64,7 +65,9 @@ class TestServerChaosSweep:
 
     def test_violation_counts_cover_both_invariant_sets(self, sweep):
         counts = sweep.violation_counts()
-        assert set(counts) == set(INVARIANTS + SERVER_INVARIANTS)
+        assert set(counts) == set(
+            INVARIANTS + PAYLOAD_INVARIANTS + SERVER_INVARIANTS
+        )
         assert all(count == 0 for count in counts.values())
 
     def test_degraded_sessions_counted_not_silent(self, sweep):

@@ -75,9 +75,10 @@ class TestAbort:
     def test_taxonomy_is_closed(self):
         # 4 protocol slugs from the original machine plus desync, plus
         # the 8 server-path slugs (liveness, transport, admission,
-        # supervisor); tests/test_statemachine_matrix.py proves every
-        # abort event maps into this set.
-        assert len(ABORT_REASONS) == 13
-        assert len(set(ABORT_REASONS)) == 13
+        # supervisor) and the secure data-phase slug;
+        # tests/test_statemachine_matrix.py proves every abort event
+        # maps into this set.
+        assert len(ABORT_REASONS) == 14
+        assert len(set(ABORT_REASONS)) == 14
         for reason in ABORT_REASONS:
             SessionAbort(reason=reason, detail="d", state="reconciling")

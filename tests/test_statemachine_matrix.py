@@ -69,6 +69,7 @@ _ABORT_SLUGS = {
     SessionEvent.OVERLOADED: "server-overloaded",
     SessionEvent.DRAINING: "server-draining",
     SessionEvent.INTERNAL_ERROR: "internal-error",
+    SessionEvent.SECURE_FAILURE: "secure-channel-failed",
 }
 
 
@@ -133,7 +134,7 @@ class TestTaxonomyClosed:
         assert classified == set(SessionEvent)
 
     def test_abort_slugs_cover_taxonomy(self):
-        # Every reason is reachable: the twelve event-mapped slugs plus
+        # Every reason is reachable: the thirteen event-mapped slugs plus
         # the desync abort produced by out-of-order progress events.
         reachable = set(_ABORT_SLUGS.values()) | {ABORT_DESYNC}
         assert reachable == set(ABORT_REASONS)
