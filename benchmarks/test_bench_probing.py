@@ -15,6 +15,7 @@ so these entries time pure implementation differences.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -121,9 +122,10 @@ class TestTraceGeneration:
         # Acceptance criterion for the fast path at paper scale.  The
         # loop pays per-round Python dispatch into the channel stack and
         # samplers ~1300 times; the grid path pays it twice per
-        # direction and lands 2.5-3.5x depending on the runner.  The
-        # in-test assertion is a coarse sanity floor ("vectorization
-        # must clearly win"); the fine-grained trajectory is enforced by
+        # direction and lands 2.5-3.5x depending on the runner (the
+        # committed baseline records the honest number).  The in-test
+        # assertion is a coarse sanity floor ("vectorization must
+        # clearly win"); the fine-grained trajectory is enforced by
         # scripts/check_bench_regression.py against the committed
         # baseline, so one loaded machine doesn't fail two different
         # thresholds in two different places.
@@ -157,13 +159,23 @@ class TestSessionThroughput:
         return pipeline
 
     def test_batched_vs_sequential(self, trained_pipeline):
+        # REPRO_BENCH_SHARDS>1 times the fork-sharded runner instead of
+        # the in-process one (CI smokes shards=2); the shard count is
+        # recorded with the entry so baselines compare like with like.
+        shards = int(os.environ.get("REPRO_BENCH_SHARDS", "1"))
         runner = BatchedSessionRunner(
-            trained_pipeline, n_rounds=self.ROUNDS, episode_prefix="tput"
+            trained_pipeline, n_rounds=self.ROUNDS, episode_prefix="tput",
+            shards=shards,
         )
 
         def before():
+            # The declared reference: a sequential establish_key loop on
+            # the frozen per-round probing path, one session at a time --
+            # what the paper's single-device pipeline costs.
             for label in runner.session_labels(self.SESSIONS):
-                trained_pipeline.establish_key(episode=label, n_rounds=self.ROUNDS)
+                trained_pipeline.establish_key(
+                    episode=label, n_rounds=self.ROUNDS, probing_fast_path=False
+                )
 
         last_report = {}
 
@@ -178,6 +190,7 @@ class TestSessionThroughput:
             after_s,
             sessions=self.SESSIONS,
             sessions_per_sec=round(self.SESSIONS / after_s, 3),
+            shards=report.shards,
             # Where a batch tick's time goes (seconds, from the last run):
             # probing, window building, the single stacked predict,
             # per-session reconciliation + amplification, and whatever
@@ -192,7 +205,10 @@ class TestSessionThroughput:
             "probe", "window", "predict", "reconcile", "amplify", "orchestrate",
         }
         assert all(value >= 0.0 for value in entry["phases"].values())
-        # Batching must never be slower than the sequential loop beyond
-        # timing noise; the model-inference amortization should make it
-        # strictly faster.
-        assert entry["speedup"] > 0.95
+        # Cross-session stacking + the mixed-precision trig kernel must
+        # clearly beat the sequential loop; the committed baseline gates
+        # the fine-grained number (and each phase's share) in CI.  Probe
+        # must no longer monopolize the tick: the stacked channel pass
+        # has to leave visible room for the other phases.
+        assert entry["speedup"] >= 3.0
+        assert report.phase_s["probe"] < 0.9 * report.elapsed_s

@@ -15,6 +15,17 @@ below the baseline's fails the check, as does an entry that disappeared.
 Entries without a speedup (absolute-cost trackers like the end-to-end
 establish timing) are reported but never gate.
 
+Gated entries that record a per-phase breakdown (a ``phases`` object of
+seconds) are additionally gated phase by phase on *normalized* cost:
+``phase_s / before_s`` is machine-independent for the same reason the
+speedup ratio is, so a phase whose normalized share grows more than
+``--tolerance`` over the baseline's fails the check even when the
+headline speedup still clears its floor (a probe win can otherwise mask
+an orchestration regression of the same magnitude).  Phases below
+``--phase-floor`` of the baseline's ``before_s`` are timer noise and are
+not gated; a gated phase that disappears from the current breakdown
+fails, as does losing the breakdown entirely.
+
 The gate's inputs are themselves gated: a missing or unreadable
 ``BENCH_*.json`` (a baseline that was deleted from the repo, a benchmark
 run that silently produced nothing) is a hard failure with a clear
@@ -58,6 +69,52 @@ def load_entries(path: Path, role: str) -> dict:
     return entries
 
 
+def phase_failures(
+    name: str,
+    base_entry: dict,
+    cur_entry: dict,
+    tolerance: float,
+    phase_floor: float,
+) -> list:
+    """Per-phase normalized-cost regressions for one gated entry.
+
+    Only entries whose baseline records a ``phases`` breakdown alongside
+    a gated speedup reach here.  Each baseline phase above the noise
+    floor is compared on ``phase_s / before_s`` -- the fraction of the
+    frozen reference the phase costs, which transfers across machines of
+    different absolute speed.
+    """
+    base_phases = base_entry.get("phases")
+    base_before = base_entry.get("before_s")
+    if not isinstance(base_phases, dict) or not base_phases or not base_before:
+        return []
+    cur_phases = cur_entry.get("phases")
+    cur_before = cur_entry.get("before_s")
+    if not isinstance(cur_phases, dict) or not cur_before:
+        return [f"{name}: baseline gates phases {sorted(base_phases)} but the "
+                "current entry records no phase breakdown"]
+    failures = []
+    for phase, base_s in sorted(base_phases.items()):
+        base_norm = base_s / base_before
+        if base_norm < phase_floor:
+            continue  # timer noise; the headline speedup still gates it
+        if phase not in cur_phases:
+            failures.append(f"{name}: gated phase '{phase}' missing from "
+                            "current results")
+            continue
+        cur_norm = cur_phases[phase] / cur_before
+        ceiling = base_norm * (1.0 + tolerance)
+        status = "OK" if cur_norm <= ceiling else "REGRESSED"
+        print(f"    {name}/{phase}: {cur_norm:.4f} of before vs baseline "
+              f"{base_norm:.4f} (ceiling {ceiling:.4f}) {status}")
+        if cur_norm > ceiling:
+            failures.append(
+                f"{name}: phase '{phase}' costs {cur_norm:.4f} of before_s, "
+                f"above {ceiling:.4f} ({base_norm:.4f} + {tolerance:.0%})"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current", type=Path, required=True,
@@ -66,6 +123,9 @@ def main(argv=None) -> int:
                         help="committed baseline to compare against")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional speedup drop (default 0.25)")
+    parser.add_argument("--phase-floor", type=float, default=0.01,
+                        help="skip phases below this fraction of the "
+                        "baseline before_s (default 0.01)")
     args = parser.parse_args(argv)
 
     try:
@@ -99,6 +159,9 @@ def main(argv=None) -> int:
                 f"{name}: speedup {cur_speedup:.2f}x fell below "
                 f"{floor:.2f}x ({base_speedup:.2f}x - {args.tolerance:.0%})"
             )
+        failures.extend(phase_failures(
+            name, base_entry, cur_entry, args.tolerance, args.phase_floor
+        ))
 
     if failures:
         print("\nbenchmark regression check FAILED:", file=sys.stderr)

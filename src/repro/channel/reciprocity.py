@@ -68,6 +68,24 @@ class ReciprocalChannel:
             return float(gain)
         return gain
 
+    def prefading_gain_db(self, time_s):
+        """The :meth:`path_gain_db` split used by cross-session batching.
+
+        Returns ``(partial, displacement)`` where ``partial`` is the gain
+        with path loss and shadowing applied in exactly
+        :meth:`path_gain_db`'s association order and ``displacement`` is
+        the row to feed a batched fading evaluation:
+        ``partial + self.fading.gain_db(displacement)`` is bit-identical
+        to ``path_gain_db(time_s)``.  Only meaningful when ``fading`` is
+        set (callers without fading should use :meth:`path_gain_db`).
+        """
+        t = np.asarray(time_s, dtype=float)
+        gain = -np.asarray(self.pathloss.loss_db(self.motion.distance_m(t)), dtype=float)
+        displacement = self.motion.relative_displacement_m(t)
+        if self.shadowing is not None:
+            gain = gain + self.shadowing.value_at(displacement)
+        return gain, displacement
+
     def large_scale_gain_db(self, time_s) -> np.ndarray:
         """Path loss + shadowing only (what an imitating attacker shares)."""
         t = np.asarray(time_s, dtype=float)

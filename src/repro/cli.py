@@ -53,7 +53,7 @@ def _cmd_establish(args) -> int:
             pipeline.save(args.save_dir)
             print(f"saved trained components to {args.save_dir}")
     if args.sessions > 1:
-        return _establish_batch(pipeline, args.sessions)
+        return _establish_batch(pipeline, args.sessions, shards=args.shards)
     outcome = pipeline.establish_key(episode="cli")
     session = outcome.session
     print(f"raw agreement        : {outcome.raw_agreement_rate:.2%}")
@@ -72,11 +72,13 @@ def _cmd_establish(args) -> int:
     return 1
 
 
-def _establish_batch(pipeline, n_sessions: int) -> int:
+def _establish_batch(pipeline, n_sessions: int, shards: int = 1) -> int:
     """Run ``n_sessions`` concurrent establishments through the batched engine."""
     from repro.core.batch import BatchedSessionRunner
 
-    report = BatchedSessionRunner(pipeline, episode_prefix="cli").run(n_sessions)
+    report = BatchedSessionRunner(
+        pipeline, episode_prefix="cli", shards=shards
+    ).run(n_sessions)
     for index, outcome in enumerate(report.outcomes):
         status = "ok" if outcome.success else f"failed ({outcome.failure_reason})"
         key = outcome.final_key.hex() if outcome.success else "-"
@@ -86,6 +88,7 @@ def _establish_batch(pipeline, n_sessions: int) -> int:
             f"kgr {outcome.key_generation_rate_bps:7.3f} bit/s  key {key}"
         )
     print(f"sessions             : {report.n_successful}/{report.n_sessions} successful")
+    print(f"shards               : {report.shards}")
     print(f"batch wall time      : {report.elapsed_s:.2f} s")
     print(f"throughput           : {report.sessions_per_sec:.2f} sessions/s")
     return 0 if report.n_successful == report.n_sessions else 1
@@ -209,8 +212,20 @@ def _chaos_server(pipeline, args) -> int:
         f"sweeping {args.sessions} concurrent clients against a live "
         f"server (seed {args.seed}) ..."
     )
+    config = None
+    if args.shards > 1:
+        # The sweep's tuned knobs, with batch ticks sharded across cores.
+        from dataclasses import replace
+
+        from repro.faults.chaos import chaos_server_config
+
+        config = replace(chaos_server_config(args.sessions), shards=args.shards)
     report = run_server_chaos(
-        pipeline, n_clients=args.sessions, seed=args.seed, n_rounds=args.rounds
+        pipeline,
+        n_clients=args.sessions,
+        seed=args.seed,
+        n_rounds=args.rounds,
+        config=config,
     )
     print(f"clients              : {report.n_clients}  {report.behaviors}")
     print(f"terminal kinds       : {report.client_kinds}")
@@ -275,6 +290,7 @@ def _cmd_serve(args) -> int:
         session_deadline_s=args.deadline,
         queue_limit=args.queue_limit,
         max_batch=args.max_batch,
+        shards=args.shards,
     )
     server = KeyEstablishmentServer(registry, config)
 
@@ -342,6 +358,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run N concurrent key establishments through the batched engine",
     )
+    establish.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="fork workers to split the batched engine across (1 = in-process)",
+    )
     establish.set_defaults(handler=_cmd_establish)
 
     attack = sub.add_parser("attack", help="evaluate an attacker")
@@ -406,6 +428,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the secure-channel data phase after successful sessions "
         "(library sweep only)",
     )
+    chaos.add_argument(
+        "--shards", type=int, default=1,
+        help="fork workers per server batch tick (--server sweep only)",
+    )
     chaos.set_defaults(handler=_cmd_chaos)
 
     serve = sub.add_parser(
@@ -440,6 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-batch", type=int, default=32,
         help="most sessions one batch tick may coalesce",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="fork workers to split each batch tick across (1 = in-process)",
     )
     serve.set_defaults(handler=_cmd_serve)
     return parser

@@ -50,6 +50,35 @@ from repro.probing.features import arrssi_sequences
 from repro.probing.trace import ProbeTrace
 from repro.utils.validation import require, require_positive
 
+#: The runner a forked shard worker executes.  Set by the parent
+#: immediately before its worker pool forks, so children inherit the
+#: whole runner (trained model weights included) as copy-on-write pages
+#: instead of a per-worker pickle.
+_SHARD_RUNNER: Optional["BatchedSessionRunner"] = None
+
+
+def _run_shard_chunk(labels: List[str]) -> "BatchReport":
+    """Fork-pool worker: run one contiguous chunk of the batch's labels."""
+    return _SHARD_RUNNER._run_episodes_local(labels)
+
+
+def _contiguous_chunks(labels: List[str], n_chunks: int) -> List[List[str]]:
+    """Split ``labels`` into up to ``n_chunks`` contiguous, near-even runs.
+
+    Earlier chunks absorb the remainder, sizes differ by at most one, and
+    concatenating the chunks reproduces ``labels`` exactly -- the merge
+    side relies on that for deterministic session order.
+    """
+    n_chunks = min(n_chunks, len(labels))
+    base, remainder = divmod(len(labels), n_chunks)
+    chunks: List[List[str]] = []
+    cursor = 0
+    for index in range(n_chunks):
+        size = base + (1 if index < remainder else 0)
+        chunks.append(labels[cursor : cursor + size])
+        cursor += size
+    return chunks
+
 
 @dataclass(frozen=True)
 class BatchReport:
@@ -63,16 +92,22 @@ class BatchReport:
             generation), ``window`` (stacked feature extraction),
             ``predict`` (the single batched forward pass), ``reconcile``
             and ``amplify`` (summed from each session's own phase
-            timings) and ``orchestrate`` (everything else: session-layer
-            re-windowing, outcome grading, Python dispatch).  Populated
-            on the amortized fast path; empty on the fault/adversary
-            fallback, whose per-session ``establish_key`` calls do not
-            decompose.
+            timings) and ``orchestrate`` (everything else: outcome
+            grading, Python dispatch, and on a sharded run the fork /
+            merge overhead).  Populated on the amortized fast path; empty
+            on the fault/adversary fallback, whose per-session
+            ``establish_key`` calls do not decompose.  On a sharded run
+            each named phase is the *maximum* across shards (the
+            wall-clock view of phases running in parallel).
+        shards: Worker processes the batch actually ran across (1 for an
+            in-process run, including any fallback from an unavailable
+            fork context).
     """
 
     outcomes: List[KeyEstablishmentOutcome]
     elapsed_s: float
     phase_s: Dict[str, float] = field(default_factory=dict)
+    shards: int = 1
 
     @property
     def n_sessions(self) -> int:
@@ -109,6 +144,15 @@ class BatchedSessionRunner:
             adversary plan.
         adversary_plan: Optional active-attack plan applied to every
             session; also disables the amortized fast path.
+        shards: Worker processes to split a batch across (default 1 =
+            in-process).  Shards are forked, so the trained model weights
+            are shared copy-on-write rather than pickled per worker; the
+            batch's labels are split into contiguous chunks and the
+            merged outcomes keep session order, bit-identical to
+            ``shards=1`` (episodes are seeded by name, the same argument
+            that makes ``collect_dataset`` process-count invariant).  On
+            platforms without a ``fork`` start method the batch silently
+            runs in-process.
     """
 
     def __init__(
@@ -119,6 +163,7 @@ class BatchedSessionRunner:
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         adversary_plan: Optional[AdversaryPlan] = None,
+        shards: int = 1,
     ):
         self.pipeline = pipeline
         self.n_rounds = (
@@ -127,10 +172,12 @@ class BatchedSessionRunner:
             else pipeline.config.session_rounds
         )
         require_positive(self.n_rounds, "n_rounds")
+        require_positive(int(shards), "shards")
         self.episode_prefix = episode_prefix
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
         self.adversary_plan = adversary_plan
+        self.shards = int(shards)
 
     @property
     def amortized(self) -> bool:
@@ -168,9 +215,19 @@ class BatchedSessionRunner:
         whatever sessions are ready when a tick fires are coalesced under
         their own episode labels, so outcomes stay bit-identical to
         per-session ``establish_key`` calls regardless of how arrivals
-        were grouped into ticks.
+        were grouped into ticks -- or across how many shards the batch
+        was split.
         """
         require(bool(labels), "need at least one episode label")
+        n_shards = min(self.shards, len(labels))
+        if n_shards > 1:
+            report = self._run_sharded(list(labels), n_shards)
+            if report is not None:
+                return report
+        return self._run_episodes_local(labels)
+
+    def _run_episodes_local(self, labels: Sequence[str]) -> BatchReport:
+        """One in-process batch (a whole batch, or one shard's chunk)."""
         if not self.amortized:
             return self._run_per_session(labels)
         start = time.perf_counter()
@@ -179,13 +236,13 @@ class BatchedSessionRunner:
         model = self.pipeline.model
         feature_config = self.pipeline.config.feature_config
 
-        # 1. Bulk trace generation: one vectorized probing episode per
-        # session, each with its own channel realization.
+        # 1. Bulk trace generation: every session's probing episode in
+        # one cross-session stacked evaluation (each with its own channel
+        # realization and noise streams).
         phase_start = time.perf_counter()
-        traces: List[ProbeTrace] = [
-            self.pipeline.collect_trace(label, n_rounds=self.n_rounds)
-            for label in labels
-        ]
+        traces: List[ProbeTrace] = self.pipeline.collect_traces(
+            labels, n_rounds=self.n_rounds
+        )
         phase_s["probe"] = time.perf_counter() - phase_start
 
         # 2. Stacked feature extraction, mirroring the session layer's
@@ -215,13 +272,16 @@ class BatchedSessionRunner:
                 cursor += len(dataset)
         phase_s["predict"] = time.perf_counter() - phase_start
 
-        # 4. Per-session authenticated message exchange, reusing the
-        # precomputed prediction slice instead of re-running the model.
+        # 4. Per-session authenticated message exchange, reusing both the
+        # precomputed prediction slice and the already-built window
+        # dataset instead of recomputing either inside the session layer.
         outcomes: List[KeyEstablishmentOutcome] = []
         phase_s["reconcile"] = phase_s["amplify"] = 0.0
         for index, trace in enumerate(traces):
             probs = [predictions[index]] if index in predictions else None
-            result = session.run(trace, alice_probabilities=probs)
+            result = session.run(
+                trace, alice_probabilities=probs, datasets=[datasets[index]]
+            )
             phase_s["reconcile"] += result.phase_s.get("reconcile", 0.0)
             phase_s["amplify"] += result.phase_s.get("amplify", 0.0)
             outcomes.append(self.pipeline.build_outcome(result, [trace]))
@@ -229,6 +289,56 @@ class BatchedSessionRunner:
         elapsed = time.perf_counter() - start
         phase_s["orchestrate"] = max(0.0, elapsed - sum(phase_s.values()))
         return BatchReport(outcomes=outcomes, elapsed_s=elapsed, phase_s=phase_s)
+
+    def _run_sharded(
+        self, labels: List[str], n_shards: int
+    ) -> Optional[BatchReport]:
+        """Fork the batch across ``n_shards`` workers and merge in order.
+
+        Returns ``None`` when no ``fork`` start method exists (the caller
+        then runs in-process).  The runner is handed to workers through a
+        module global set *before* the pool forks, so the pipeline's
+        trained weights travel by copy-on-write page sharing -- nothing
+        is pickled per worker except each chunk's label list and its
+        returned outcomes.
+        """
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        global _SHARD_RUNNER
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platform
+            return None
+        start = time.perf_counter()
+        chunks = _contiguous_chunks(labels, n_shards)
+        previous = _SHARD_RUNNER
+        _SHARD_RUNNER = self
+        try:
+            with ProcessPoolExecutor(
+                max_workers=len(chunks), mp_context=context
+            ) as pool:
+                futures = [pool.submit(_run_shard_chunk, chunk) for chunk in chunks]
+                reports = [future.result() for future in futures]
+        finally:
+            _SHARD_RUNNER = previous
+        outcomes = [outcome for report in reports for outcome in report.outcomes]
+        elapsed = time.perf_counter() - start
+        # Named phases ran in parallel, so the batch-level view of each is
+        # the slowest shard; orchestrate absorbs the fork/merge overhead.
+        phase_s: Dict[str, float] = {}
+        for report in reports:
+            for key, value in report.phase_s.items():
+                if key != "orchestrate":
+                    phase_s[key] = max(phase_s.get(key, 0.0), value)
+        if any(report.phase_s for report in reports):
+            phase_s["orchestrate"] = max(0.0, elapsed - sum(phase_s.values()))
+        return BatchReport(
+            outcomes=outcomes,
+            elapsed_s=elapsed,
+            phase_s=phase_s,
+            shards=len(chunks),
+        )
 
     def _run_per_session(self, labels: Sequence[str]) -> BatchReport:
         """Fault/adversary fallback: one ``establish_key`` per session.

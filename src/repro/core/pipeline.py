@@ -39,7 +39,11 @@ from repro.lora.radio import DRAGINO_LORA_SHIELD, TransceiverModel
 from repro.metrics.generation import key_generation_rate
 from repro.probing.dataset import DatasetSplits, KeyGenDataset, build_dataset, split_dataset
 from repro.probing.features import FeatureConfig, arrssi_sequences
-from repro.probing.protocol import EavesdropperSetup, ProbingProtocol
+from repro.probing.protocol import (
+    EavesdropperSetup,
+    ProbingProtocol,
+    run_fastpath_group,
+)
 from repro.probing.trace import ProbeTrace
 from repro.reconciliation.autoencoder import AutoencoderReconciliation
 from repro.utils.rng import SeedSequenceFactory
@@ -254,6 +258,31 @@ class VehicleKeyPipeline:
         ]
         rounds = n_rounds if n_rounds is not None else self.config.rounds_per_episode
         return protocol.run(rounds, episode_seeds, eavesdroppers=eavesdroppers)
+
+    def collect_traces(
+        self,
+        episodes: Sequence[str],
+        n_rounds: int = None,
+    ) -> List[ProbeTrace]:
+        """Probe several independent episodes in one stacked evaluation.
+
+        The cross-session form of :meth:`collect_trace`: one protocol is
+        built per episode label and the whole group runs through
+        :func:`~repro.probing.protocol.run_fastpath_group`, which shares
+        the round timeline and the trig-heavy fading batch across
+        sessions.  Trace ``i`` is bit-identical to
+        ``collect_trace(episodes[i], n_rounds=n_rounds)``.
+        """
+        labels = list(episodes)
+        require(bool(labels), "collect_traces needs at least one episode")
+        rounds = n_rounds if n_rounds is not None else self.config.rounds_per_episode
+        protocols: List[ProbingProtocol] = []
+        factories: List[SeedSequenceFactory] = []
+        for label in labels:
+            protocol, episode_seeds, _, _ = self.build_protocol(label)
+            protocols.append(protocol)
+            factories.append(episode_seeds)
+        return run_fastpath_group(protocols, rounds, factories)
 
     def collect_dataset(
         self,

@@ -448,6 +448,7 @@ class KeyAgreementSession:
         max_rerequests: int = 2,
         alice_probabilities: Optional[List[np.ndarray]] = None,
         adversary: Optional[ActiveAdversary] = None,
+        datasets: Optional[List] = None,
     ) -> SessionResult:
         """Execute the session.
 
@@ -472,6 +473,12 @@ class KeyAgreementSession:
                 (in trace order) -- the batched engine's hook for sharing
                 a single stacked forward pass across sessions.  ``None``
                 runs the model per dataset as usual.
+            datasets: Optional precomputed window datasets, one entry per
+                trace (``None`` for a trace that fell short of
+                ``seq_len`` windows) -- the batched engine's hook for
+                skipping the re-windowing it already performed.  Entries
+                must be exactly what :func:`build_dataset` would produce
+                for the trace; ``None`` windows each trace here as usual.
             adversary: Optional active attacker whose message-layer
                 attacks (syndrome tamper/replay/spoof, confirmation
                 tamper) are woven into the exchange.  Attacker input
@@ -503,15 +510,27 @@ class KeyAgreementSession:
         degraded = False
         ood_windows = 0
         precomputed = list(alice_probabilities) if alice_probabilities else None
+        prebuilt = list(datasets) if datasets is not None else None
+        if prebuilt is not None:
+            require(
+                len(prebuilt) == len(traces),
+                "datasets must supply one entry (or None) per trace",
+            )
         phase_s = {"window": 0.0, "extract": 0.0, "reconcile": 0.0, "amplify": 0.0}
-        for part in traces:
+        for trace_index, part in enumerate(traces):
             phase_start = time.perf_counter()
-            bob_seq, alice_seq = arrssi_sequences(part, self.feature_config)
-            if len(alice_seq) < self.model.seq_len:
+            if prebuilt is not None:
+                dataset = prebuilt[trace_index]
                 phase_s["window"] += time.perf_counter() - phase_start
-                continue
-            dataset = build_dataset(alice_seq, bob_seq, seq_len=self.model.seq_len)
-            phase_s["window"] += time.perf_counter() - phase_start
+                if dataset is None:
+                    continue
+            else:
+                bob_seq, alice_seq = arrssi_sequences(part, self.feature_config)
+                if len(alice_seq) < self.model.seq_len:
+                    phase_s["window"] += time.perf_counter() - phase_start
+                    continue
+                dataset = build_dataset(alice_seq, bob_seq, seq_len=self.model.seq_len)
+                phase_s["window"] += time.perf_counter() - phase_start
             n_windows += len(dataset)
             probs = precomputed.pop(0) if precomputed else None
             phase_start = time.perf_counter()

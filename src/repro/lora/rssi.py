@@ -144,16 +144,45 @@ class RegisterRssiSampler:
         Returns:
             ``[n_receptions, n_samples]`` register readings in dBm.
         """
-        starts = np.asarray(reception_starts_s, dtype=float)
-        symbol = self.phy.symbol_time_s
-        offsets = symbol * (1.0 + np.arange(self.n_samples))
-        times = starts[:, np.newaxis] + offsets
+        times = self.reception_times(reception_starts_s)
         truth = np.asarray(received_power_dbm(times.ravel()), dtype=float)
         if truth.shape != (times.size,):
             raise ConfigurationError(
                 "received_power_dbm must return one power value per sample time"
             )
         truth = truth.reshape(times.shape)
+        noise = self.device.rssi_noise_std_db * np.asarray(standard_noise, dtype=float)
+        if noise.shape != truth.shape:
+            raise ConfigurationError(
+                "standard_noise must supply one draw per register sample"
+            )
+        return self._register_readings(truth, noise)
+
+    def reception_times(self, reception_starts_s: np.ndarray) -> np.ndarray:
+        """The ``[n_receptions, n_samples]`` register-read time grid.
+
+        Exactly the grid :meth:`sample_many` evaluates the channel over;
+        exposed so cross-session batching can build the grid once per
+        group and feed precomputed powers to :meth:`readings_for_power`.
+        """
+        starts = np.asarray(reception_starts_s, dtype=float)
+        symbol = self.phy.symbol_time_s
+        offsets = symbol * (1.0 + np.arange(self.n_samples))
+        return starts[:, np.newaxis] + offsets
+
+    def readings_for_power(
+        self, truth_dbm: np.ndarray, standard_noise: np.ndarray
+    ) -> np.ndarray:
+        """Register readings from a precomputed received-power grid.
+
+        The tail of :meth:`sample_many` with the channel evaluation
+        factored out: ``truth_dbm`` holds true received powers on the
+        :meth:`reception_times` grid (any leading shape -- the smoothing
+        pipeline only touches the trailing symbol axis, so stacked
+        ``[n_sessions, n_receptions, n_samples]`` batches process each
+        session row bit-identically to a per-session call).
+        """
+        truth = np.asarray(truth_dbm, dtype=float)
         noise = self.device.rssi_noise_std_db * np.asarray(standard_noise, dtype=float)
         if noise.shape != truth.shape:
             raise ConfigurationError(

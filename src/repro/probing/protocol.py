@@ -35,10 +35,11 @@ Two execution paths produce the same trace:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.channel.fading import SpatialJakesFading, batched_spatial_gain_db
 from repro.channel.interference import combine_power_dbm
 from repro.channel.reciprocity import ReciprocalChannel
 from repro.faults.adversary import ActiveAdversary
@@ -579,3 +580,212 @@ class ProbingProtocol:
             return budget.received_power_dbm(channel.path_gain_db(times))
 
         return power
+
+
+def _group_compatible(protocols: Sequence[ProbingProtocol]) -> bool:
+    """Whether one stacked evaluation can serve every session.
+
+    The cross-session fast path shares the round timeline and the trig
+    batch, so the group must agree on everything that shapes them: PHY,
+    both transceivers, link budget, pacing, fault-freeness, and a
+    homogeneous :class:`SpatialJakesFading` family (per-session
+    wavelengths may differ; path count / K-factor / precision may not).
+    """
+    first = protocols[0]
+    fading0 = first.channel.fading
+    if fading0 is None or not isinstance(fading0, SpatialJakesFading):
+        return False
+    for protocol in protocols:
+        fading = protocol.channel.fading
+        if (
+            protocol.fault_model is not None
+            or protocol.adversary is not None
+            or not protocol.fast_path
+            or protocol.phy != first.phy
+            or protocol.alice_device != first.alice_device
+            or protocol.bob_device != first.bob_device
+            or protocol.link_budget != first.link_budget
+            or protocol.inter_round_gap_s != first.inter_round_gap_s
+            or fading is None
+            or not isinstance(fading, SpatialJakesFading)
+            or fading.n_paths != fading0.n_paths
+            or fading.rician_k != fading0.rician_k
+            or fading.trig_precision != fading0.trig_precision
+        ):
+            return False
+    return True
+
+
+def _group_path_gain(
+    protocols: Sequence[ProbingProtocol], times_1d: np.ndarray
+) -> np.ndarray:
+    """``[n_sessions, len(times)]`` total path gains for the group.
+
+    Path loss and shadowing stay per-session (cheap, and their lazy
+    caches are stateful); the fading term -- the dominant cost -- is
+    evaluated for all sessions in one stacked trig pass.  Row ``i`` is
+    bit-identical to ``protocols[i].channel.path_gain_db(times_1d)``
+    because the composition order matches
+    :meth:`~repro.channel.reciprocity.ReciprocalChannel.prefading_gain_db`
+    and :func:`~repro.channel.fading.batched_spatial_gain_db` is
+    row-exact.
+    """
+    partials = np.empty((len(protocols), times_1d.size))
+    displacements = np.empty_like(partials)
+    for i, protocol in enumerate(protocols):
+        partial, displacement = protocol.channel.prefading_gain_db(times_1d)
+        partials[i] = partial
+        displacements[i] = displacement
+    fading_rows = batched_spatial_gain_db(
+        [protocol.channel.fading for protocol in protocols], displacements
+    )
+    return partials + fading_rows
+
+
+def _group_received_power(
+    protocols: Sequence[ProbingProtocol],
+    times_1d: np.ndarray,
+    trajectory_of: Callable[[ProbingProtocol], object],
+) -> np.ndarray:
+    """``[n_sessions, len(times)]`` received powers at one endpoint.
+
+    Mirrors :meth:`ProbingProtocol._receiver_power` per row: link-budget
+    affine map over the (batched) path gain, then any per-session
+    interference combined at the receiver's own positions.
+    """
+    gains = _group_path_gain(protocols, times_1d)
+    powers = np.empty_like(gains)
+    for i, protocol in enumerate(protocols):
+        total = protocol.link_budget.received_power_dbm(gains[i])
+        if protocol.interference:
+            positions = trajectory_of(protocol).position_m(times_1d)
+            for source in protocol.interference:
+                total = combine_power_dbm(
+                    total, source.power_dbm(times_1d, positions)
+                )
+        powers[i] = total
+    return powers
+
+
+def run_fastpath_group(
+    protocols: Sequence[ProbingProtocol],
+    n_rounds: int,
+    seeds: Sequence[SeedSequenceFactory],
+    start_time_s: float = 0.0,
+) -> List[ProbeTrace]:
+    """Run one fault-free probing session per protocol, stacked.
+
+    The cross-session extension of :meth:`ProbingProtocol._run_vectorized`:
+    the ``[n_rounds, n_samples]`` grids of a whole batch are stacked into
+    ``[n_sessions, n_rounds, n_samples]`` so the channel's trig-heavy
+    fading evaluation and the register-reading pipeline each run once for
+    the group.  Per-session randomness is replayed row-major -- each
+    session draws its own ``bob`` block then its own ``alice`` block from
+    its own named streams, exactly as the single-session path does -- so
+    every returned :class:`ProbeTrace` is bit-identical to
+    ``protocols[i].run(n_rounds, seeds[i], start_time_s=start_time_s)``
+    (``tests/test_probing_cross_session.py`` pins this).
+
+    Sessions whose protocols cannot share an evaluation (mixed PHYs or
+    devices, fault models, adversaries, non-Jakes fading) fall back to
+    per-session :meth:`ProbingProtocol.run`, which preserves correctness
+    for any input.
+    """
+    protocols = list(protocols)
+    seeds = list(seeds)
+    require(len(protocols) > 0, "run_fastpath_group needs at least one session")
+    require(
+        len(protocols) == len(seeds),
+        "run_fastpath_group needs one seed factory per protocol",
+    )
+    require_positive(n_rounds, "n_rounds")
+    if not _group_compatible(protocols):
+        return [
+            protocol.run(n_rounds, session_seeds, start_time_s=start_time_s)
+            for protocol, session_seeds in zip(protocols, seeds)
+        ]
+
+    first = protocols[0]
+    airtime = first.phy.airtime_s
+    alice_sampler = RegisterRssiSampler(first.phy, first.alice_device)
+    bob_sampler = RegisterRssiSampler(first.phy, first.bob_device)
+    n_samples = alice_sampler.n_samples
+    n_sessions = len(protocols)
+
+    # Shared round timeline: PHY, devices and pacing agree across the
+    # group, so the running-cursor loop (same association order as the
+    # frozen loop path) is computed once.
+    probe_starts = np.empty(n_rounds)
+    response_starts = np.empty(n_rounds)
+    cursor = float(start_time_s)
+    for k in range(n_rounds):
+        probe_starts[k] = cursor
+        response_start = cursor + airtime + first.bob_device.processing_delay_s
+        response_starts[k] = response_start
+        cursor = (
+            response_start
+            + airtime
+            + first.alice_device.processing_delay_s
+            + first.inter_round_gap_s
+        )
+    probe_times = bob_sampler.reception_times(probe_starts)
+    response_times = alice_sampler.reception_times(response_starts)
+
+    # Per-session noise blocks in the single-session draw order: each
+    # session's bob block before its alice block, from its own streams.
+    z_bob = np.empty((n_sessions, n_rounds, n_samples + 1))
+    z_alice = np.empty_like(z_bob)
+    for i, session_seeds in enumerate(seeds):
+        alice_noise = session_seeds.generator("alice-rssi-noise")
+        bob_noise = session_seeds.generator("bob-rssi-noise")
+        z_bob[i] = bob_noise.standard_normal((n_rounds, n_samples + 1))
+        z_alice[i] = alice_noise.standard_normal((n_rounds, n_samples + 1))
+
+    bob_power = _group_received_power(
+        protocols, probe_times.ravel(), lambda p: p.channel.motion.trajectory_b
+    )
+    alice_power = _group_received_power(
+        protocols, response_times.ravel(), lambda p: p.channel.motion.trajectory_a
+    )
+    bob_rssi = bob_sampler.readings_for_power(
+        bob_power.reshape(n_sessions, n_rounds, n_samples),
+        z_bob[:, :, :n_samples],
+    )
+    alice_rssi = alice_sampler.readings_for_power(
+        alice_power.reshape(n_sessions, n_rounds, n_samples),
+        z_alice[:, :, :n_samples],
+    )
+    bob_prssi = quantize_packet_rssi(
+        bob_rssi.mean(axis=2)
+        + first.bob_device.packet_rssi_noise_std_db * z_bob[:, :, n_samples],
+        first.bob_device.rssi_resolution_db,
+    )
+    alice_prssi = quantize_packet_rssi(
+        alice_rssi.mean(axis=2)
+        + first.alice_device.packet_rssi_noise_std_db * z_alice[:, :, n_samples],
+        first.alice_device.rssi_resolution_db,
+    )
+
+    probe_gain = _group_path_gain(protocols, probe_starts + airtime / 2.0)
+    response_gain = _group_path_gain(protocols, response_starts + airtime / 2.0)
+    valid = first.link_budget.is_decodable(
+        probe_gain, first.phy
+    ) & first.link_budget.is_decodable(response_gain, first.phy)
+
+    traces: List[ProbeTrace] = []
+    for i, protocol in enumerate(protocols):
+        traces.append(
+            ProbeTrace(
+                phy=protocol.phy,
+                alice_rssi=alice_rssi[i],
+                bob_rssi=bob_rssi[i],
+                round_start_s=probe_starts.copy(),
+                valid=np.asarray(valid[i], dtype=bool),
+                eve={},
+                alice_prssi=np.asarray(alice_prssi[i], dtype=float),
+                bob_prssi=np.asarray(bob_prssi[i], dtype=float),
+                retries=np.zeros(n_rounds, dtype=np.int32),
+                dropped=np.zeros(n_rounds, dtype=bool),
+            )
+        )
+    return traces

@@ -43,6 +43,11 @@ class ServerMetrics:
             tick.
         batch_fallbacks: Ticks whose batched run failed and fell back to
             supervised per-session execution (failure isolation).
+        sharded_batches: Tick batches that actually ran across more than
+            one fork worker (``ServerConfig.shards`` > 1 and enough
+            sessions to split).
+        shards_used_max: Largest worker count any single batch ran
+            across.
         model_reloads: Successful hot-reloads of the model registry.
         model_reload_failures: Rejected (corrupt/mismatched) reloads that
             rolled back to the serving generation.
@@ -74,6 +79,8 @@ class ServerMetrics:
     ticks: int = 0
     tick_sessions_max: int = 0
     batch_fallbacks: int = 0
+    sharded_batches: int = 0
+    shards_used_max: int = 0
     model_reloads: int = 0
     model_reload_failures: int = 0
     channels_opened: int = 0
@@ -127,6 +134,8 @@ class ServerMetrics:
             "ticks": self.ticks,
             "tick_sessions_max": self.tick_sessions_max,
             "batch_fallbacks": self.batch_fallbacks,
+            "sharded_batches": self.sharded_batches,
+            "shards_used_max": self.shards_used_max,
             "model_reloads": self.model_reloads,
             "model_reload_failures": self.model_reload_failures,
             "channels_opened": self.channels_opened,

@@ -89,6 +89,10 @@ class ServerConfig:
         tick_interval_s: Coalescing window: how long a tick waits for
             more ready sessions after the first arrival.
         max_batch: Most sessions one tick may coalesce.
+        shards: Fork workers each batch tick splits its sessions across
+            (1 = in-process).  Outcomes are bit-identical for any value
+            (see :class:`~repro.core.batch.BatchedSessionRunner`); raise
+            it to scale ``repro serve`` past one core.
         queue_limit: Bounded ingress queue; a full queue sheds new
             sessions with ``server-overloaded`` + retry-after.
         max_sessions: Most live sessions the server admits at once.
@@ -118,6 +122,7 @@ class ServerConfig:
     session_deadline_s: float = 120.0
     tick_interval_s: float = 0.05
     max_batch: int = 32
+    shards: int = 1
     queue_limit: int = 64
     max_sessions: int = 1024
     retry_after_s: float = 1.0
@@ -132,6 +137,7 @@ class ServerConfig:
 
     def __post_init__(self) -> None:
         require_positive(self.max_batch, "max_batch")
+        require_positive(self.shards, "shards")
         require_positive(self.queue_limit, "queue_limit")
         require_positive(self.max_sessions, "max_sessions")
         require_positive(self.secure_decrypt_budget, "secure_decrypt_budget")
@@ -824,10 +830,17 @@ class KeyEstablishmentServer:
             effective = rounds if rounds is not None else self.config.default_rounds
             labels = [s.episode for s in sessions]
             try:
-                runner = BatchedSessionRunner(pipeline, n_rounds=effective)
+                runner = BatchedSessionRunner(
+                    pipeline, n_rounds=effective, shards=self.config.shards
+                )
                 report = await loop.run_in_executor(
                     None, runner.run_episodes, labels
                 )
+                if report.shards > 1:
+                    self.metrics.sharded_batches += 1
+                    self.metrics.shards_used_max = max(
+                        self.metrics.shards_used_max, report.shards
+                    )
                 verdicts: List[object] = list(report.outcomes)
             except Exception:  # noqa: BLE001 - isolate, then retry per session
                 self.metrics.batch_fallbacks += 1

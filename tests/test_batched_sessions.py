@@ -7,10 +7,12 @@ numbers, byte accounting) equals what a sequential
 ``establish_key(episode=label)`` loop over the same labels produces.
 """
 
+import asyncio
+
 import numpy as np
 import pytest
 
-from repro.core.batch import BatchedSessionRunner, BatchReport
+from repro.core.batch import BatchedSessionRunner, BatchReport, _contiguous_chunks
 from repro.exceptions import ConfigurationError
 from repro.faults.adversary import AdversaryPlan
 from repro.faults.plan import FaultPlan
@@ -152,6 +154,188 @@ class TestFaultFallback:
             assert batched.abort_reason == sequential.abort_reason
             assert batched.attack_detections == sequential.attack_detections
             assert batched.adversary_events == sequential.adversary_events
+
+
+class TestShardedRunner:
+    """Fork-sharded batches must be byte-identical to one-process runs.
+
+    Shards inherit the trained model by copy-on-write fork (nothing is
+    pickled but episode labels and outcomes), and every episode is seeded
+    by name, so the worker count can never change a result -- the same
+    argument that makes ``collect_dataset`` jobs-invariant.
+    """
+
+    def test_shard_sweep_matches_sequential(self, tiny_pipeline):
+        # 5 sessions across 1, 2 and 3 shards (uneven remainders both
+        # ways) must all equal the sequential establish_key loop.
+        reports = {}
+        for shards in (1, 2, 3):
+            runner = BatchedSessionRunner(
+                tiny_pipeline, n_rounds=128, episode_prefix="batch-shard",
+                shards=shards,
+            )
+            reports[shards] = runner.run(5)
+        reference = sequential_outcomes(
+            tiny_pipeline,
+            BatchedSessionRunner(
+                tiny_pipeline, n_rounds=128, episode_prefix="batch-shard"
+            ),
+            5,
+        )
+        for shards, report in reports.items():
+            assert report.shards == shards
+            assert report.n_sessions == 5
+            for batched, sequential in zip(report.outcomes, reference):
+                assert_outcomes_identical(batched, sequential)
+
+    def test_sharded_phase_accounting_survives_merge(self, tiny_pipeline):
+        report = BatchedSessionRunner(
+            tiny_pipeline, n_rounds=128, episode_prefix="batch-shard-phase",
+            shards=2,
+        ).run(4)
+        assert report.shards == 2
+        assert set(report.phase_s) == {
+            "probe", "window", "predict", "reconcile", "amplify", "orchestrate",
+        }
+        assert sum(report.phase_s.values()) <= report.elapsed_s + 1e-6
+
+    def test_shards_clamped_to_session_count(self, tiny_pipeline):
+        report = BatchedSessionRunner(
+            tiny_pipeline, n_rounds=64, episode_prefix="batch-clamp", shards=8
+        ).run(2)
+        assert report.shards == 2
+
+    def test_sharded_equals_sequential_under_faults(self, tiny_pipeline):
+        # A fault plan forces per-session execution *inside each shard*;
+        # the fork boundary must not perturb the fallback either.
+        plan = FaultPlan.lossy(0.2, mean_burst=2.0, message_drop_rate=0.1)
+        policy = RetryPolicy()
+        runner = BatchedSessionRunner(
+            tiny_pipeline, n_rounds=96, episode_prefix="batch-shard-fault",
+            fault_plan=plan, retry_policy=policy, shards=2,
+        )
+        report = runner.run(3)
+        reference = [
+            tiny_pipeline.establish_key(
+                episode=label, n_rounds=96, fault_plan=plan, retry_policy=policy
+            )
+            for label in runner.session_labels(3)
+        ]
+        assert report.shards == 2
+        for batched, sequential in zip(report.outcomes, reference):
+            assert_outcomes_identical(batched, sequential)
+            assert batched.total_retries == sequential.total_retries
+
+    def test_sharded_equals_sequential_under_attack(self, tiny_pipeline):
+        plan = AdversaryPlan(syndrome_tamper_rate=0.5, jamming_rate=0.1)
+        policy = RetryPolicy()
+        runner = BatchedSessionRunner(
+            tiny_pipeline, n_rounds=96, episode_prefix="batch-shard-adv",
+            adversary_plan=plan, retry_policy=policy, shards=2,
+        )
+        report = runner.run(3)
+        reference = [
+            tiny_pipeline.establish_key(
+                episode=label, n_rounds=96,
+                adversary_plan=plan, retry_policy=policy,
+            )
+            for label in runner.session_labels(3)
+        ]
+        for batched, sequential in zip(report.outcomes, reference):
+            assert_outcomes_identical(batched, sequential)
+            assert batched.abort_reason == sequential.abort_reason
+            assert batched.attack_detections == sequential.attack_detections
+
+    def test_rejects_nonpositive_shards(self, tiny_pipeline):
+        with pytest.raises(ConfigurationError):
+            BatchedSessionRunner(tiny_pipeline, n_rounds=64, shards=0)
+
+    def test_contiguous_chunks_cover_exactly(self):
+        labels = [f"s-{i}" for i in range(7)]
+        for n_chunks in (1, 2, 3, 7):
+            chunks = _contiguous_chunks(labels, n_chunks)
+            assert len(chunks) == n_chunks
+            assert [label for chunk in chunks for label in chunk] == labels
+            sizes = [len(chunk) for chunk in chunks]
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestShardedServerTick:
+    """A sharded batch tick serves the same keys and counts itself."""
+
+    ROUNDS = 48
+
+    def run_clients(self, pipeline, shards, n_clients=6):
+        from repro.server import (
+            Endpoint,
+            KeyEstablishmentServer,
+            ModelRegistry,
+            ServerConfig,
+            run_behavior,
+        )
+
+        config = ServerConfig(
+            port=0,
+            hello_timeout_s=2.0,
+            idle_timeout_s=10.0,
+            session_deadline_s=60.0,
+            # A slow first tick so every client is queued before it fires
+            # and the batch really spans multiple shards.
+            tick_interval_s=0.2,
+            max_batch=8,
+            queue_limit=8,
+            max_sessions=32,
+            retry_after_s=0.25,
+            reap_interval_s=0.1,
+            shards=shards,
+        )
+
+        async def body():
+            server = KeyEstablishmentServer(ModelRegistry(pipeline), config)
+            await server.start()
+            endpoint = Endpoint(port=server.bound_port)
+            try:
+                outcomes = await asyncio.gather(
+                    *(
+                        run_behavior(
+                            endpoint,
+                            "normal",
+                            f"dev-{i}",
+                            episode=f"srv-shard-{i}",
+                            rounds=self.ROUNDS,
+                        )
+                        for i in range(n_clients)
+                    )
+                )
+            finally:
+                if not server.closed:
+                    await server.drain(timeout=10.0)
+            assert server.active_sessions == 0
+            return outcomes, server
+
+        return asyncio.run(body())
+
+    def test_sharded_tick_parity_and_metrics(self, tiny_pipeline):
+        sharded, sharded_server = self.run_clients(tiny_pipeline, shards=2)
+        plain, _ = self.run_clients(tiny_pipeline, shards=1)
+        assert all(outcome.kind == "result" for outcome in sharded)
+        digests = {
+            outcome.frame["session_id"]: outcome.frame.get("key_digest")
+            for outcome in sharded
+        }
+        for outcome in plain:
+            # Same episode label => same key digest, sharded or not.
+            assert outcome.frame.get("key_digest") == digests[
+                outcome.frame["session_id"]
+            ]
+        metrics = sharded_server.metrics
+        assert metrics.tick_sessions_max >= 2  # the batch really coalesced
+        assert metrics.sharded_batches >= 1
+        assert metrics.shards_used_max == 2
+        assert metrics.batch_fallbacks == 0
+        snapshot = metrics.snapshot()
+        assert snapshot["sharded_batches"] == metrics.sharded_batches
+        assert snapshot["shards_used_max"] == 2
 
 
 class TestPrecomputedProbabilities:

@@ -91,6 +91,78 @@ class TestGateSemantics:
         assert run_gate(gate, tmp_path, {"k": slow}, {"k": dict(ENTRY)}, 0.4) == 1
 
 
+def phased_entry(before_s=1.0, after_s=0.25, speedup=4.0, **phases):
+    """A gated entry with a per-phase breakdown (seconds)."""
+    entry = {"before_s": before_s, "after_s": after_s, "speedup": speedup}
+    entry["phases"] = dict(phases) if phases else {
+        "probe": 0.2, "orchestrate": 0.04, "window": 0.001,
+    }
+    return entry
+
+
+class TestPhaseGating:
+    """Normalized per-phase cost gating on entries that record phases."""
+
+    def test_identical_phases_pass(self, gate, tmp_path):
+        assert run_gate(gate, tmp_path, {"k": phased_entry()}, {"k": phased_entry()}) == 0
+
+    def test_phase_blowup_fails_despite_ok_speedup(self, gate, tmp_path):
+        # Headline speedup unchanged, but orchestration tripled: the
+        # per-phase gate must catch what the ratio gate cannot.
+        cur = phased_entry(probe=0.2, orchestrate=0.12, window=0.001)
+        assert run_gate(gate, tmp_path, {"k": cur}, {"k": phased_entry()}) == 1
+
+    def test_phase_growth_within_tolerance_passes(self, gate, tmp_path):
+        cur = phased_entry(probe=0.2, orchestrate=0.045, window=0.001)
+        assert run_gate(gate, tmp_path, {"k": cur}, {"k": phased_entry()}, 0.25) == 0
+
+    def test_subfloor_phase_is_not_gated(self, gate, tmp_path):
+        # 'window' is 0.1% of before_s in the baseline -- timer noise.
+        # Even a 20x blowup must not fail on its own.
+        cur = phased_entry(probe=0.2, orchestrate=0.04, window=0.02)
+        assert run_gate(gate, tmp_path, {"k": cur}, {"k": phased_entry()}) == 0
+
+    def test_missing_phase_in_current_fails(self, gate, tmp_path):
+        cur = phased_entry(probe=0.2, window=0.001)  # orchestrate vanished
+        assert run_gate(gate, tmp_path, {"k": cur}, {"k": phased_entry()}) == 1
+
+    def test_lost_breakdown_fails(self, gate, tmp_path):
+        cur = dict(ENTRY)  # no phases at all
+        assert run_gate(gate, tmp_path, {"k": cur}, {"k": phased_entry()}) == 1
+
+    def test_baseline_without_phases_is_not_phase_gated(self, gate, tmp_path):
+        cur = phased_entry(probe=5.0, orchestrate=5.0)
+        assert run_gate(gate, tmp_path, {"k": cur}, {"k": dict(ENTRY)}) == 0
+
+    def test_absolute_tracker_phases_never_gate(self, gate, tmp_path):
+        base = {"k": {"before_s": None, "after_s": 0.5, "speedup": None,
+                      "phases": {"probe": 0.4}}}
+        cur = {"k": {"before_s": None, "after_s": 50.0, "speedup": None,
+                     "phases": {"probe": 49.0}}}
+        assert run_gate(gate, tmp_path, cur, base) == 0
+
+    def test_normalization_transfers_across_machine_speed(self, gate, tmp_path):
+        # A uniformly 3x slower machine scales before_s and every phase
+        # alike; the normalized shares are unchanged and must pass.
+        cur = phased_entry(
+            before_s=3.0, after_s=0.75,
+            probe=0.6, orchestrate=0.12, window=0.003,
+        )
+        assert run_gate(gate, tmp_path, {"k": cur}, {"k": phased_entry()}) == 0
+
+    def test_phase_floor_flag_respected(self, gate, tmp_path):
+        # Raising the floor above orchestrate's 4% share un-gates it.
+        cur = phased_entry(probe=0.2, orchestrate=0.12, window=0.001)
+        argv = [
+            "--current",
+            str(write_bench(tmp_path / "cur.json", {"k": cur})),
+            "--baseline",
+            str(write_bench(tmp_path / "base.json", {"k": phased_entry()})),
+            "--phase-floor", "0.1",
+        ]
+        assert gate.main(argv) == 0
+
+
 class TestGateInputs:
     """A defective gate input must fail the gate, never skip or crash it."""
 
