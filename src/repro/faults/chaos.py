@@ -551,6 +551,63 @@ def _run_payload_phase(
             if detail is not None:
                 violated("rekey-preserves-continuity", detail)
 
+    # Batched burst: push the same payload invariants through the batched
+    # data plane (``seal_records``/``deliver_records``).  The burst is
+    # sized to the epoch's remaining seal capacity so no records-trigger
+    # rekey can fire mid-burst (a zero-grace policy would otherwise
+    # legitimately expire the pre-rekey records in flight); rekey
+    # crossings are the sequential loop's and the canary's job.
+    if not link.closed:
+        desired = int(rng.integers(3, 7))
+        for sender in _ROLES:
+            if link.closed:
+                break
+            endpoint = link.link.endpoint(sender)
+            capacity = min(
+                policy.max_records_per_epoch - endpoint.send_sequence,
+                endpoint.sequence_remaining,
+            )
+            if capacity < 1:
+                continue
+            payloads = [
+                f"chaos-{seed}-{session_index}-burst-{sender}-{i}".encode()
+                for i in range(min(desired, int(capacity)))
+            ]
+            wires = link.seal_records(sender, payloads)
+            legit.update(wires)
+            history.extend(wires)
+            results = link.deliver_records(_PEER[sender], wires)
+            report.records_delivered += len(results)
+            for index, result in enumerate(results):
+                if result.ok:
+                    if result.plaintext != payloads[index]:
+                        violated(
+                            "rekey-preserves-continuity",
+                            f"batched record {index} from {sender} decrypted "
+                            "to the wrong plaintext",
+                        )
+                    continue
+                report.payload_failures[result.failure] = (
+                    report.payload_failures.get(result.failure, 0) + 1
+                )
+                if result.plaintext is not None:
+                    violated(
+                        "no-plaintext-on-auth-failure",
+                        f"batched open failed with {result.failure!r} but "
+                        "released plaintext",
+                    )
+                violated(
+                    "rekey-preserves-continuity",
+                    f"untouched batched record {index} from {sender} failed "
+                    f"to open ({result.failure!r}) at epoch {link.epoch}",
+                )
+            if len(results) < len(wires) and not link.closed:
+                violated(
+                    "rekey-preserves-continuity",
+                    f"batched delivery from {sender} stopped at "
+                    f"{len(results)}/{len(wires)} without closing the link",
+                )
+
     report.rekeys_completed += link.rekeys_completed
     if link.closed:
         report.channels_closed += 1

@@ -22,6 +22,7 @@ silent mismatch.
 from repro.secure.channel import (
     NonceExhaustedError,
     OpenOutcome,
+    RecordMemo,
     ReplayWindow,
     SecureChannel,
     SecureLink,
@@ -65,6 +66,7 @@ __all__ = [
     "FAILURE_EPOCH",
     "SecureChannel",
     "SecureLink",
+    "RecordMemo",
     "ReplayWindow",
     "OpenOutcome",
     "NonceExhaustedError",

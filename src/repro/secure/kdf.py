@@ -31,6 +31,7 @@ import hashlib
 import hmac
 from dataclasses import dataclass, replace
 
+from repro.reconciliation.mac import PrecomputedMacKey, fast_sha256, hmac_midstates
 from repro.utils.validation import require
 
 #: Versioned extract-stage label; bump on any change to the derivation.
@@ -117,11 +118,43 @@ class DirectionKeys:
             nonce ledger to attribute sealed/accepted nonces; derived
             through its own expansion label, so publishing it reveals
             nothing about the traffic keys.
+
+    The record layer calls :meth:`mac` and :meth:`keystream_states` on
+    every seal/open, so both cache their derived state on first use (the
+    old path re-derived the MAC key via a bytes->bits->bytes round trip
+    and re-hashed both HMAC key blocks per record).  The caches hold
+    live hash objects, which do not pickle; ``__getstate__`` drops them
+    so a :class:`DirectionKeys` crossing a fork/pickle boundary (the
+    sharded batch runner) travels as its three key fields and re-primes
+    lazily on the other side.
     """
 
     enc_key: bytes
     mac_key: bytes
     key_id: str
+
+    def mac(self) -> PrecomputedMacKey:
+        """This key pair's MAC side with midstates primed once."""
+        cached = self.__dict__.get("_mac")
+        if cached is None:
+            cached = PrecomputedMacKey(self.mac_key)
+            object.__setattr__(self, "_mac", cached)
+        return cached
+
+    def keystream_states(self):
+        """Primed ``(inner, outer)`` HMAC states of the keystream PRF."""
+        cached = self.__dict__.get("_keystream_states")
+        if cached is None:
+            cached = hmac_midstates(self.enc_key, fast_sha256)
+            object.__setattr__(self, "_keystream_states", cached)
+        return cached
+
+    def __getstate__(self):
+        return (self.enc_key, self.mac_key, self.key_id)
+
+    def __setstate__(self, state) -> None:
+        for name, value in zip(("enc_key", "mac_key", "key_id"), state):
+            object.__setattr__(self, name, value)
 
 
 @dataclass(frozen=True)

@@ -10,12 +10,21 @@ every accepted (successfully opened) record registers its
 counter that repeated, or a receiver that accepted the same nonce twice
 (e.g. with the replay window disabled under the test hook) -- is recorded
 as a :class:`NonceReuse` and trips the ``no-nonce-reuse-ever`` invariant.
+
+Witnessed sequences are stored as sorted disjoint *interval runs* per
+``(key_id, direction)``, not one set entry per record: honest traffic is
+monotonic, so a session that seals a million records holds one run of
+length one million -- O(gaps) state, not O(records).  Extending the
+current run is O(1); an out-of-order sequence costs one bisect.  The
+duplicate-detection contract is unchanged: a sequence inside any
+existing run is a reuse.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import List, Set, Tuple
+from typing import Dict, List, Tuple
 
 
 @dataclass(frozen=True)
@@ -36,6 +45,74 @@ class NonceReuse:
     kind: str
 
 
+class _SequenceRuns:
+    """Sorted disjoint inclusive ``[start, end]`` runs of sequences."""
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self):
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+
+    def __len__(self) -> int:
+        """The number of disjoint runs currently held."""
+        return len(self._starts)
+
+    def __contains__(self, sequence: int) -> bool:
+        index = bisect_right(self._starts, sequence) - 1
+        return index >= 0 and sequence <= self._ends[index]
+
+    def add(self, sequence: int) -> bool:
+        """Witness one sequence; ``False`` if it was already present."""
+        starts, ends = self._starts, self._ends
+        if ends and sequence > ends[-1]:
+            # The monotonic-sender fast path: extend or append the tail run.
+            if sequence == ends[-1] + 1:
+                ends[-1] = sequence
+            else:
+                starts.append(sequence)
+                ends.append(sequence)
+            return True
+        index = bisect_right(starts, sequence) - 1
+        if index >= 0 and sequence <= ends[index]:
+            return False
+        joins_left = index >= 0 and ends[index] == sequence - 1
+        joins_right = index + 1 < len(starts) and starts[index + 1] == sequence + 1
+        if joins_left and joins_right:
+            ends[index] = ends[index + 1]
+            del starts[index + 1]
+            del ends[index + 1]
+        elif joins_left:
+            ends[index] = sequence
+        elif joins_right:
+            starts[index + 1] = sequence
+        else:
+            starts.insert(index + 1, sequence)
+            ends.insert(index + 1, sequence)
+        return True
+
+    def add_run(self, start: int, count: int) -> List[int]:
+        """Witness ``count`` consecutive sequences; returns duplicates.
+
+        O(1) when the whole run lies beyond every witnessed sequence --
+        the shape every honest batched sender produces -- and falls back
+        to per-sequence insertion otherwise.
+        """
+        ends = self._ends
+        if not ends or start > ends[-1]:
+            if ends and start == ends[-1] + 1:
+                ends[-1] = start + count - 1
+            else:
+                self._starts.append(start)
+                ends.append(start + count - 1)
+            return []
+        return [
+            sequence
+            for sequence in range(start, start + count)
+            if not self.add(sequence)
+        ]
+
+
 @dataclass
 class NonceLedger:
     """Append-only registry of every nonce sealed and accepted under watch.
@@ -50,28 +127,66 @@ class NonceLedger:
     total_seals: int = 0
     total_accepts: int = 0
     reuses: List[NonceReuse] = field(default_factory=list)
-    _sealed: Set[Tuple[str, int, int]] = field(default_factory=set, repr=False)
-    _accepted: Set[Tuple[str, int, int]] = field(default_factory=set, repr=False)
+    _sealed: Dict[Tuple[str, int], _SequenceRuns] = field(
+        default_factory=dict, repr=False
+    )
+    _accepted: Dict[Tuple[str, int], _SequenceRuns] = field(
+        default_factory=dict, repr=False
+    )
+
+    def _runs(
+        self, table: Dict[Tuple[str, int], _SequenceRuns], key_id: str, direction: int
+    ) -> _SequenceRuns:
+        key = (key_id, direction)
+        runs = table.get(key)
+        if runs is None:
+            runs = table[key] = _SequenceRuns()
+        return runs
 
     def record_seal(self, key_id: str, direction: int, sequence: int) -> bool:
         """Register one sealed nonce; returns False on a duplicate."""
         self.total_seals += 1
-        triple = (key_id, direction, sequence)
-        if triple in self._sealed:
+        if self._runs(self._sealed, key_id, direction).add(sequence):
+            return True
+        self.reuses.append(NonceReuse(key_id, direction, sequence, "seal"))
+        return False
+
+    def record_seal_run(
+        self, key_id: str, direction: int, start: int, count: int
+    ) -> bool:
+        """Register ``count`` consecutive seals from ``start`` in one call.
+
+        Equivalent to ``count`` :meth:`record_seal` calls (every
+        duplicate is still recorded individually); the batched seal path
+        uses it to witness a whole burst at O(1) ledger cost.
+        """
+        if count <= 0:
+            return True
+        self.total_seals += count
+        duplicates = self._runs(self._sealed, key_id, direction).add_run(
+            start, count
+        )
+        for sequence in duplicates:
             self.reuses.append(NonceReuse(key_id, direction, sequence, "seal"))
-            return False
-        self._sealed.add(triple)
-        return True
+        return not duplicates
 
     def record_accept(self, key_id: str, direction: int, sequence: int) -> bool:
         """Register one accepted nonce; returns False on a duplicate."""
         self.total_accepts += 1
-        triple = (key_id, direction, sequence)
-        if triple in self._accepted:
-            self.reuses.append(NonceReuse(key_id, direction, sequence, "accept"))
-            return False
-        self._accepted.add(triple)
-        return True
+        if self._runs(self._accepted, key_id, direction).add(sequence):
+            return True
+        self.reuses.append(NonceReuse(key_id, direction, sequence, "accept"))
+        return False
+
+    @property
+    def seal_runs(self) -> int:
+        """Disjoint witnessed seal runs across all keys (O(gaps) state)."""
+        return sum(len(runs) for runs in self._sealed.values())
+
+    @property
+    def accept_runs(self) -> int:
+        """Disjoint witnessed accept runs across all keys."""
+        return sum(len(runs) for runs in self._accepted.values())
 
     @property
     def ok(self) -> bool:

@@ -24,19 +24,28 @@ The wire format (big-endian)::
 Open failures form a closed taxonomy (:data:`OPEN_FAILURES`); the channel
 layer maps every rejected record onto exactly one slug and never releases
 plaintext alongside any of them.
+
+The hot path here is the *optimized* implementation: HMAC midstates are
+primed once per :class:`~repro.secure.kdf.DirectionKeys` (see
+:meth:`~repro.secure.kdf.DirectionKeys.keystream_states`), all of a
+record's counter blocks are generated in one pass, and the XOR runs over
+machine words (``int.from_bytes`` for short records, NumPy for long
+ones) instead of a per-byte generator.  Every byte on the wire is
+identical to the frozen :mod:`repro.secure.reference` implementation;
+the equivalence and known-answer tests pin that.
 """
 
 from __future__ import annotations
 
-import hashlib
-import hmac
 import struct
 from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
 
 from repro.exceptions import ProtocolError
-from repro.reconciliation.mac import MAC_BYTES, compute_mac, verify_mac
+from repro.reconciliation.mac import MAC_BYTES
 from repro.secure.kdf import DirectionKeys
-from repro.utils.bits import bytes_to_bits
 from repro.utils.validation import require
 
 #: Record format version carried in every header.
@@ -157,32 +166,68 @@ def parse_record(data: bytes) -> SecureRecord:
     )
 
 
-def _keystream_xor(
-    enc_key: bytes, epoch: int, direction: int, sequence: int, data: bytes
+#: Nonce-tail codec: epoch, direction, sequence (the keystream PRF input
+#: after the label; byte-identical to the reference's manual packing).
+_NONCE_TAIL = struct.Struct(">IBQ")
+
+#: Pre-encoded 4-byte big-endian counters, grown on demand.
+_COUNTERS = [counter.to_bytes(4, "big") for counter in range(64)]
+
+#: Below this many bytes the int-XOR beats NumPy's per-call overhead.
+_NUMPY_XOR_MIN = 256
+
+
+def _grow_counters(n_blocks: int) -> None:
+    while len(_COUNTERS) < n_blocks:
+        _COUNTERS.append(len(_COUNTERS).to_bytes(4, "big"))
+
+
+def keystream_bytes(
+    keys: DirectionKeys, epoch: int, direction: int, sequence: int, length: int
 ) -> bytes:
-    """XOR ``data`` with the (epoch, direction, sequence) keystream."""
-    if not data:
+    """The first ``length`` keystream bytes of one record's nonce.
+
+    Block ``i`` is ``HMAC(enc_key, label || epoch || direction ||
+    sequence || i)``, exactly as the reference computes it -- but from
+    the key's primed midstates: the label-and-nonce prefix is absorbed
+    once, then each block costs two ``copy()``-and-finalize digests
+    instead of a full ``hmac.new``.
+    """
+    if length <= 0:
         return b""
-    nonce = (
-        STREAM_LABEL
-        + epoch.to_bytes(4, "big")
-        + bytes([direction])
-        + sequence.to_bytes(8, "big")
-    )
+    inner, outer = keys.keystream_states()
+    prefix = inner.copy()
+    prefix.update(STREAM_LABEL + _NONCE_TAIL.pack(epoch, direction, sequence))
+    n_blocks = -(-length // _BLOCK_BYTES)
+    if n_blocks > len(_COUNTERS):
+        _grow_counters(n_blocks)
+    copy_prefix = prefix.copy
+    copy_outer = outer.copy
     blocks = []
-    for counter in range(-(-len(data) // _BLOCK_BYTES)):
-        blocks.append(
-            hmac.new(
-                enc_key, nonce + counter.to_bytes(4, "big"), hashlib.sha256
-            ).digest()
-        )
-    stream = b"".join(blocks)[: len(data)]
-    return bytes(a ^ b for a, b in zip(data, stream))
+    append = blocks.append
+    for counter in _COUNTERS[:n_blocks]:
+        block = copy_prefix()
+        block.update(counter)
+        closing = copy_outer()
+        closing.update(block.digest())
+        append(closing.digest())
+    stream = b"".join(blocks)
+    return stream if len(stream) == length else stream[:length]
 
 
-def _mac_key_bits(keys: DirectionKeys):
-    """The MAC key as the bit array :mod:`repro.reconciliation.mac` takes."""
-    return bytes_to_bits(keys.mac_key)
+def xor_bytes(data: bytes, stream: bytes) -> bytes:
+    """XOR two equal-length byte strings over machine words."""
+    length = len(data)
+    if length == 0:
+        return b""
+    if length >= _NUMPY_XOR_MIN:
+        return np.bitwise_xor(
+            np.frombuffer(data, dtype=np.uint8),
+            np.frombuffer(stream, dtype=np.uint8),
+        ).tobytes()
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+    ).to_bytes(length, "big")
 
 
 def seal_record(
@@ -191,22 +236,29 @@ def seal_record(
     direction: int,
     sequence: int,
     plaintext: bytes,
+    keystream: Optional[bytes] = None,
 ) -> SecureRecord:
     """Encrypt-then-MAC one plaintext into a :class:`SecureRecord`.
 
     The caller (the channel layer) owns nonce discipline: it must never
     pass the same ``(epoch, direction, sequence)`` twice for one key.
+    ``keystream`` lets that caller pass the record's keystream in when
+    it already computed it (it must be exactly
+    :func:`keystream_bytes` for the same nonce and length).
     """
     require(direction in DIRECTIONS, f"unknown direction code {direction}")
     require(sequence >= 0, "sequence must be >= 0")
     require(epoch >= 0, "epoch must be >= 0")
-    ciphertext = _keystream_xor(
-        keys.enc_key, epoch, direction, sequence, bytes(plaintext)
-    )
+    plaintext = bytes(plaintext)
+    if keystream is None:
+        keystream = keystream_bytes(
+            keys, epoch, direction, sequence, len(plaintext)
+        )
+    ciphertext = xor_bytes(plaintext, keystream)
     header = _HEADER.pack(
         RECORD_VERSION, epoch, direction, sequence, len(ciphertext)
     )
-    tag = compute_mac(_mac_key_bits(keys), header + ciphertext)
+    tag = keys.mac().tag(header + ciphertext)
     return SecureRecord(
         epoch=epoch,
         direction=direction,
@@ -218,19 +270,23 @@ def seal_record(
 
 def verify_record(keys: DirectionKeys, record: SecureRecord) -> bool:
     """Constant-time check of a record's tag under ``keys``."""
-    return verify_mac(
-        _mac_key_bits(keys),
-        record.header_bytes() + record.ciphertext,
-        record.tag,
+    return keys.mac().verify(
+        record.header_bytes() + record.ciphertext, record.tag
     )
 
 
-def decrypt_record(keys: DirectionKeys, record: SecureRecord) -> bytes:
+def decrypt_record(
+    keys: DirectionKeys,
+    record: SecureRecord,
+    keystream: Optional[bytes] = None,
+) -> bytes:
     """Decrypt a record's ciphertext.  Only call after :func:`verify_record`."""
-    return _keystream_xor(
-        keys.enc_key,
-        record.epoch,
-        record.direction,
-        record.sequence,
-        record.ciphertext,
-    )
+    if keystream is None:
+        keystream = keystream_bytes(
+            keys,
+            record.epoch,
+            record.direction,
+            record.sequence,
+            len(record.ciphertext),
+        )
+    return xor_bytes(record.ciphertext, keystream)

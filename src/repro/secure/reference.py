@@ -1,0 +1,118 @@
+"""Reference secure-record implementation (frozen).
+
+This module is the record layer exactly as it shipped before the
+data-plane rewrite: per-block ``hmac.new`` keystream, generator-XOR, and
+the bytes->bits->bytes MAC-key round trip.  It is kept verbatim so the
+optimized :mod:`repro.secure.records` has a fixed behavioural target --
+the equivalence tests assert byte-identical wire records and identical
+verify/decrypt results between the two, and the benchmarks report honest
+speedups against this path.  Do not optimize this module; its value is
+that it never changes.
+
+The wire format both implementations share (big-endian)::
+
+    version(1) | epoch(4) | direction(1) | sequence(8) | ct_len(4)
+    | ciphertext(ct_len) | tag(16)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import struct
+
+from repro.reconciliation.mac import compute_mac, verify_mac
+from repro.secure.kdf import DirectionKeys
+from repro.secure.records import (
+    DIRECTIONS,
+    RECORD_VERSION,
+    STREAM_LABEL,
+    SecureRecord,
+)
+from repro.utils.bits import bytes_to_bits
+from repro.utils.validation import require
+
+#: Header codec, frozen alongside the implementation.
+_HEADER = struct.Struct(">BIBQI")
+
+#: Keystream block width (SHA-256 digest size).
+_BLOCK_BYTES = 32
+
+
+def _keystream_xor(
+    enc_key: bytes, epoch: int, direction: int, sequence: int, data: bytes
+) -> bytes:
+    """XOR ``data`` with the (epoch, direction, sequence) keystream."""
+    if not data:
+        return b""
+    nonce = (
+        STREAM_LABEL
+        + epoch.to_bytes(4, "big")
+        + bytes([direction])
+        + sequence.to_bytes(8, "big")
+    )
+    blocks = []
+    for counter in range(-(-len(data) // _BLOCK_BYTES)):
+        blocks.append(
+            hmac.new(
+                enc_key, nonce + counter.to_bytes(4, "big"), hashlib.sha256
+            ).digest()
+        )
+    stream = b"".join(blocks)[: len(data)]
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def _mac_key_bits(keys: DirectionKeys):
+    """The MAC key as the bit array :mod:`repro.reconciliation.mac` takes."""
+    return bytes_to_bits(keys.mac_key)
+
+
+def seal_record(
+    keys: DirectionKeys,
+    epoch: int,
+    direction: int,
+    sequence: int,
+    plaintext: bytes,
+) -> SecureRecord:
+    """Encrypt-then-MAC one plaintext into a :class:`SecureRecord`.
+
+    The caller (the channel layer) owns nonce discipline: it must never
+    pass the same ``(epoch, direction, sequence)`` twice for one key.
+    """
+    require(direction in DIRECTIONS, f"unknown direction code {direction}")
+    require(sequence >= 0, "sequence must be >= 0")
+    require(epoch >= 0, "epoch must be >= 0")
+    ciphertext = _keystream_xor(
+        keys.enc_key, epoch, direction, sequence, bytes(plaintext)
+    )
+    header = _HEADER.pack(
+        RECORD_VERSION, epoch, direction, sequence, len(ciphertext)
+    )
+    tag = compute_mac(_mac_key_bits(keys), header + ciphertext)
+    return SecureRecord(
+        epoch=epoch,
+        direction=direction,
+        sequence=sequence,
+        ciphertext=ciphertext,
+        tag=tag,
+    )
+
+
+def verify_record(keys: DirectionKeys, record: SecureRecord) -> bool:
+    """Constant-time check of a record's tag under ``keys``."""
+    return verify_mac(
+        _mac_key_bits(keys),
+        record.header_bytes() + record.ciphertext,
+        record.tag,
+    )
+
+
+def decrypt_record(keys: DirectionKeys, record: SecureRecord) -> bytes:
+    """Decrypt a record's ciphertext.  Only call after :func:`verify_record`."""
+    return _keystream_xor(
+        keys.enc_key,
+        record.epoch,
+        record.direction,
+        record.sequence,
+        record.ciphertext,
+    )

@@ -23,7 +23,7 @@ rekeys are deterministic under test and chaos seeds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.secure.channel import (
     NonceExhaustedError,
@@ -317,6 +317,41 @@ class ManagedSecureLink:
                 return None
             return self.link.endpoint(role).seal(plaintext)
 
+    def seal_records(self, role: str, payloads: Sequence[bytes]) -> List[bytes]:
+        """Seal a burst as ``role``; rekeys at every trigger boundary.
+
+        Chunks the burst at the policy's per-epoch capacity, so the wire
+        records and lifecycle events are exactly those of sealing the
+        payloads one :meth:`seal` call at a time (the logical clock only
+        advances through :meth:`tick`, so no age trigger can fire inside
+        a chunk that a sequential caller would have seen).  Returns the
+        records sealed before the link closed, if it did --
+        :attr:`close_report` then says why; a still-open link returns
+        one record per payload.
+        """
+        wires: List[bytes] = []
+        index = 0
+        while index < len(payloads):
+            if self.closed:
+                break
+            trigger = self._due_trigger(role)
+            if trigger is not None:
+                if not self._rekey(trigger):
+                    break
+                continue
+            endpoint = self.link.endpoint(role)
+            capacity = min(
+                self.policy.max_records_per_epoch - endpoint.send_sequence,
+                endpoint.sequence_remaining,
+            )
+            if capacity <= 0:
+                # The policy trigger fires on the next loop turn.
+                continue
+            chunk = payloads[index : index + capacity]
+            wires.extend(endpoint.seal_records(chunk))
+            index += len(chunk)
+        return wires
+
     def deliver(self, role: str, data: bytes) -> Optional[OpenOutcome]:
         """Open one wire record at ``role``'s endpoint.
 
@@ -334,3 +369,38 @@ class ManagedSecureLink:
             if self._epoch_decrypt_failures >= self.policy.decrypt_failure_budget:
                 self._rekey(TRIGGER_DECRYPT_BUDGET)
         return outcome
+
+    def deliver_records(
+        self, role: str, blobs: Sequence[bytes]
+    ) -> List[OpenOutcome]:
+        """Open a burst at ``role``'s endpoint, in order.
+
+        Uses the channel's batched open with the remaining decrypt
+        budget as the stop cap, so the outcomes and any forced rekey
+        land exactly where a sequential :meth:`deliver` loop would put
+        them.  Returns the outcomes of the blobs processed before the
+        link closed (if it did); a blob delivered after a mid-burst
+        rekey is opened under the new epoch, as in the sequential case.
+        """
+        outcomes: List[OpenOutcome] = []
+        index = 0
+        while index < len(blobs):
+            if self.closed:
+                break
+            remaining_budget = (
+                self.policy.decrypt_failure_budget - self._epoch_decrypt_failures
+            )
+            chunk = self.link.endpoint(role).open_records(
+                blobs[index:], max_failures=remaining_budget
+            )
+            outcomes.extend(chunk)
+            index += len(chunk)
+            failures = sum(1 for outcome in chunk if not outcome.ok)
+            if failures:
+                self._epoch_decrypt_failures += failures
+                if (
+                    self._epoch_decrypt_failures
+                    >= self.policy.decrypt_failure_budget
+                ):
+                    self._rekey(TRIGGER_DECRYPT_BUDGET)
+        return outcomes

@@ -282,11 +282,13 @@ async def _run_secure_behavior(
         # Establishment failed; there is no channel to exercise.
         return ClientOutcome(session_id, behavior, "result", verdict)
     channel = channel_from_frame(channel_frame)
-    for index in range(3):
-        plaintext = f"{session_id}-echo-{index}".encode()
-        await client.send(
-            {"type": "secure", "record": channel.seal(plaintext).hex()}
-        )
+    payloads = [f"{session_id}-echo-{index}".encode() for index in range(3)]
+    # Pipelined: the burst is sealed as one batch and all records go out
+    # back-to-back, so the server can drain them in one batched pass;
+    # echoes come back in record order.
+    for record in channel.seal_records(payloads):
+        await client.send({"type": "secure", "record": record.hex()})
+    for plaintext in payloads:
         reply = await client.recv()
         if reply is None:
             return ClientOutcome(session_id, behavior, "closed", verdict)

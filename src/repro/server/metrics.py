@@ -54,6 +54,13 @@ class ServerMetrics:
         channels_opened: Secure data-phase channels established after a
             successful key exchange.
         secure_records: AEAD records received on data-phase channels.
+        secure_batches: Data-phase drain passes executed; every burst of
+            consecutive already-arrived ``secure`` frames (even a burst
+            of one) is opened and echoed through the channel's batched
+            APIs as one pass.
+        secure_batch_records_max: Largest number of records any single
+            drain pass coalesced -- > 1 proves the batched path actually
+            engaged under load.
         secure_echoed: Records that opened successfully and were echoed
             back under the server's send keys.
         secure_open_failures: Failed record opens, by failure slug from
@@ -85,6 +92,8 @@ class ServerMetrics:
     model_reload_failures: int = 0
     channels_opened: int = 0
     secure_records: int = 0
+    secure_batches: int = 0
+    secure_batch_records_max: int = 0
     secure_echoed: int = 0
     secure_open_failures: Dict[str, int] = field(default_factory=dict)
     channels_closed: Dict[str, int] = field(default_factory=dict)
@@ -140,6 +149,8 @@ class ServerMetrics:
             "model_reload_failures": self.model_reload_failures,
             "channels_opened": self.channels_opened,
             "secure_records": self.secure_records,
+            "secure_batches": self.secure_batches,
+            "secure_batch_records_max": self.secure_batch_records_max,
             "secure_echoed": self.secure_echoed,
             "secure_open_failures": dict(self.secure_open_failures),
             "channels_closed": dict(self.channels_closed),

@@ -112,6 +112,10 @@ class ServerConfig:
             ``nonce-exhausted`` reason rather than ever reusing a nonce.
         secure_replay_window: Sliding replay-window size of the server's
             data-phase channels.
+        secure_batch_max: Most already-arrived ``secure`` frames one
+            data-phase drain pass coalesces into a single batched
+            open/echo round; the cap keeps one flooding peer from
+            starving the event loop between frame writes.
     """
 
     host: str = "127.0.0.1"
@@ -134,6 +138,7 @@ class ServerConfig:
     secure_decrypt_budget: int = 8
     secure_max_records: int = 2**20
     secure_replay_window: int = 64
+    secure_batch_max: int = 64
 
     def __post_init__(self) -> None:
         require_positive(self.max_batch, "max_batch")
@@ -142,6 +147,7 @@ class ServerConfig:
         require_positive(self.max_sessions, "max_sessions")
         require_positive(self.secure_decrypt_budget, "secure_decrypt_budget")
         require_positive(self.secure_max_records, "secure_max_records")
+        require_positive(self.secure_batch_max, "secure_batch_max")
 
 
 @dataclass
@@ -668,34 +674,52 @@ class KeyEstablishmentServer:
         structured ``channel-closed`` frame when the budget or the send
         nonce space is exhausted -- never a silent close, never a reused
         nonce, never released plaintext.
+
+        The phase drains in batches: after one ``secure`` frame arrives,
+        every consecutive ``secure`` frame *already* sitting in the
+        transport (up to ``secure_batch_max``) joins the same pass, and
+        the whole burst goes through :meth:`SecureChannel.open_records`
+        and :meth:`SecureChannel.seal_records` -- the channel's MAC keys
+        and keystream midstates are looked up once per burst instead of
+        once per record.  Replies keep per-record order, and the budget
+        and nonce-exhaustion semantics are exactly the one-record-at-a-
+        time ones: ``open_records`` stops at the budget-crossing record
+        and a mid-burst ``NonceExhaustedError`` carries the echoes
+        sealed before the bound.
         """
         channel = session.channel
+        config = self.config
         failures = 0
         read = read_task
+        pending: Optional[dict] = None  # drained non-secure frame, held in order
         try:
             while True:
-                try:
-                    frame = await asyncio.wait_for(
-                        read, timeout=self.config.idle_timeout_s
+                if pending is not None:
+                    frame = pending
+                    pending = None
+                else:
+                    try:
+                        frame = await asyncio.wait_for(
+                            read, timeout=config.idle_timeout_s
+                        )
+                    except asyncio.TimeoutError:
+                        return
+                    except FrameError:
+                        self.metrics.malformed_frames += 1
+                        return
+                    if frame is None:  # peer closed after its verdict: legal
+                        return
+                    session.touch()
+                    read = asyncio.create_task(
+                        read_frame(reader, config.max_frame_bytes)
                     )
-                except asyncio.TimeoutError:
-                    return
-                except FrameError:
-                    self.metrics.malformed_frames += 1
-                    return
-                if frame is None:  # peer closed after its verdict: legal
-                    return
-                session.touch()
-                read = asyncio.create_task(
-                    read_frame(reader, self.config.max_frame_bytes)
-                )
                 kind = frame.get("type")
                 if kind == "bye":
                     return
                 if kind == "ping":
                     await asyncio.wait_for(
                         write_frame(writer, {"type": "pong"}),
-                        timeout=self.config.send_timeout_s,
+                        timeout=config.send_timeout_s,
                     )
                     continue
                 if kind != "secure":
@@ -704,51 +728,93 @@ class KeyEstablishmentServer:
                         session, writer, "protocol-error"
                     )
                     return
-                self.metrics.secure_records += 1
-                try:
-                    blob = bytes.fromhex(str(frame.get("record", "")))
-                except ValueError:
-                    blob = b""  # not even hex: opens as record-truncated
-                opened = channel.open(blob)
-                if opened.ok:
+                # Batched drain: pull every consecutive secure frame that
+                # has already arrived into this pass.  A completed read
+                # whose result is EOF or a framing error is left on
+                # ``read`` for the outer loop (awaiting a done task
+                # replays its result); a non-secure frame is held in
+                # ``pending`` so it is processed after this burst's
+                # replies, preserving order.
+                frames = [frame]
+                while len(frames) < config.secure_batch_max:
+                    done, _ = await asyncio.wait({read}, timeout=0)
+                    if not done:
+                        break
                     try:
-                        echo = channel.seal(opened.plaintext)
-                    except NonceExhaustedError:
-                        await self._send_channel_closed(
-                            session, writer, "nonce-exhausted"
-                        )
-                        return
-                    self.metrics.secure_echoed += 1
-                    await asyncio.wait_for(
-                        write_frame(
-                            writer,
-                            {
-                                "type": "secure",
-                                "session_id": session.session_id,
-                                "record": echo.hex(),
-                            },
-                        ),
-                        timeout=self.config.send_timeout_s,
+                        nxt = read.result()
+                    except (FrameError, OSError, ConnectionError):
+                        break
+                    if nxt is None:
+                        break
+                    session.touch()
+                    read = asyncio.create_task(
+                        read_frame(reader, config.max_frame_bytes)
                     )
-                else:
-                    failures += 1
-                    self.metrics.record_open_failure(opened.failure)
-                    await asyncio.wait_for(
-                        write_frame(
-                            writer,
-                            {
-                                "type": "secure-error",
-                                "session_id": session.session_id,
-                                "failure": opened.failure,
-                            },
-                        ),
-                        timeout=self.config.send_timeout_s,
-                    )
-                    if failures >= self.config.secure_decrypt_budget:
-                        await self._send_channel_closed(
-                            session, writer, "decrypt-budget-exceeded"
+                    if nxt.get("type") == "secure":
+                        frames.append(nxt)
+                    else:
+                        pending = nxt
+                        break
+                blobs = []
+                for secure_frame in frames:
+                    try:
+                        blob = bytes.fromhex(str(secure_frame.get("record", "")))
+                    except ValueError:
+                        blob = b""  # not even hex: opens as record-truncated
+                    blobs.append(blob)
+                self.metrics.secure_records += len(blobs)
+                self.metrics.secure_batches += 1
+                if len(blobs) > self.metrics.secure_batch_records_max:
+                    self.metrics.secure_batch_records_max = len(blobs)
+                outcomes = channel.open_records(
+                    blobs,
+                    max_failures=config.secure_decrypt_budget - failures,
+                )
+                ok_plaintexts = [o.plaintext for o in outcomes if o.ok]
+                try:
+                    echoes = channel.seal_records(ok_plaintexts)
+                except NonceExhaustedError as exc:
+                    echoes = exc.sealed
+                echo_iter = iter(echoes)
+                for outcome in outcomes:
+                    if outcome.ok:
+                        echo = next(echo_iter, None)
+                        if echo is None:  # nonce space ran out at this record
+                            await self._send_channel_closed(
+                                session, writer, "nonce-exhausted"
+                            )
+                            return
+                        self.metrics.secure_echoed += 1
+                        await asyncio.wait_for(
+                            write_frame(
+                                writer,
+                                {
+                                    "type": "secure",
+                                    "session_id": session.session_id,
+                                    "record": echo.hex(),
+                                },
+                            ),
+                            timeout=config.send_timeout_s,
                         )
-                        return
+                    else:
+                        failures += 1
+                        self.metrics.record_open_failure(outcome.failure)
+                        await asyncio.wait_for(
+                            write_frame(
+                                writer,
+                                {
+                                    "type": "secure-error",
+                                    "session_id": session.session_id,
+                                    "failure": outcome.failure,
+                                },
+                            ),
+                            timeout=config.send_timeout_s,
+                        )
+                        if failures >= config.secure_decrypt_budget:
+                            await self._send_channel_closed(
+                                session, writer, "decrypt-budget-exceeded"
+                            )
+                            return
         finally:
             read.cancel()
 

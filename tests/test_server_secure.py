@@ -269,6 +269,53 @@ class TestProtocolDiscipline:
         assert server.metrics.channels_closed == {"protocol-error": 1}
 
 
+class TestBatchedDrain:
+    def test_flooded_records_coalesce_into_batched_passes(self, tiny_pipeline):
+        n_records = 12
+        config = fast_config(secure_batch_max=8)
+
+        async def scenario(server, endpoint):
+            client, verdict = await open_data_session(endpoint, "flood")
+            try:
+                channel = channel_from_frame(verdict["channel"])
+                payloads = [f"flood-{i}".encode() for i in range(n_records)]
+                # All records go out back-to-back before any echo is
+                # read, so the server's drain finds frames already
+                # waiting in the transport.
+                for record in channel.seal_records(payloads):
+                    await client.send(
+                        {"type": "secure", "record": record.hex()}
+                    )
+                for plaintext in payloads:
+                    reply = await client.recv()
+                    assert reply["type"] == "secure"
+                    opened = channel.open(
+                        bytes.fromhex(str(reply.get("record", "")))
+                    )
+                    assert opened.ok and opened.plaintext == plaintext
+                await client.send({"type": "bye"})
+            finally:
+                await client.close()
+            return True
+
+        ok, server = run_scenario(tiny_pipeline, config, scenario)
+        assert ok
+        metrics = server.metrics
+        assert metrics.secure_records == n_records
+        assert metrics.secure_echoed == n_records
+        # Every record went through a drain pass, and at least one pass
+        # coalesced more than one record (the flood arrived before the
+        # first echo was written); the cap bounds any single pass.
+        assert 1 <= metrics.secure_batches < n_records
+        assert 2 <= metrics.secure_batch_records_max <= 8
+        snapshot = metrics.snapshot()
+        assert snapshot["secure_batches"] == metrics.secure_batches
+        assert (
+            snapshot["secure_batch_records_max"]
+            == metrics.secure_batch_records_max
+        )
+
+
 class TestShedThenAdmit:
     def test_shed_client_backs_off_and_is_admitted(self, tiny_pipeline):
         config = fast_config(max_sessions=1, retry_after_s=0.1)
