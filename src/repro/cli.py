@@ -9,7 +9,8 @@ Usage::
     python -m repro robustness --seed 3
     python -m repro chaos --sessions 200 --seed 0
     python -m repro chaos --server --sessions 200 --seed 0
-    python -m repro serve --port 7316 --load-dir artifacts/
+    python -m repro chaos --restart --sessions 200 --seed 0
+    python -m repro serve --port 7316 --load-dir artifacts/ --journal-dir wal/
 
 ``python -m repro experiments ...`` forwards to
 :mod:`repro.experiments.runner`.
@@ -156,6 +157,8 @@ def _cmd_chaos(args) -> int:
 
     print(f"training chaos pipeline for {args.scenario.value} ...")
     pipeline = build_chaos_pipeline(scenario=args.scenario)
+    if args.restart:
+        return _chaos_restart(pipeline, args)
     if args.server:
         return _chaos_server(pipeline, args)
     print(
@@ -261,6 +264,63 @@ def _chaos_server(pipeline, args) -> int:
     return 1
 
 
+def _chaos_restart(pipeline, args) -> int:
+    """Run the kill/restart chaos sweep; exit non-zero on any violation."""
+    from repro.faults.chaos import (
+        INVARIANTS,
+        PAYLOAD_INVARIANTS,
+        RESTART_INVARIANTS,
+        SERVER_INVARIANTS,
+        run_restart_chaos,
+    )
+
+    print(
+        f"sweeping {args.sessions} clients against a server SIGKILLed at "
+        f"seeded crashpoints (seed {args.seed}, {args.restarts} restart(s)) ..."
+    )
+    report = run_restart_chaos(
+        pipeline,
+        n_clients=args.sessions,
+        seed=args.seed,
+        n_rounds=args.rounds,
+        journal_dir=args.journal_dir,
+        restarts=args.restarts,
+    )
+    print(f"clients              : {report.n_clients}  {report.behaviors}")
+    print(f"terminal kinds       : {report.client_kinds}")
+    print(
+        f"server generations   : {report.generations} "
+        f"({report.kills} SIGKILLed, plans {report.crash_plans})"
+    )
+    print(
+        f"results delivered    : {report.results} ({report.successes} confirmed "
+        f"keys, {report.resumed_results} on resumed connections)"
+    )
+    print(f"recovered aborts     : {report.recovered_aborts}")
+    print(f"secured clients      : {report.secured_clients}")
+    print(f"resume probes        : {report.resume_probes} idempotent redeliveries")
+    print(
+        f"journal              : {report.journal_records} records, "
+        f"{report.recoveries} recovery pass(es), "
+        f"{report.orphans_recovered} orphan(s) aborted"
+    )
+    counts = report.violation_counts()
+    for invariant in (
+        INVARIANTS + PAYLOAD_INVARIANTS + SERVER_INVARIANTS + RESTART_INVARIANTS
+    ):
+        print(f"invariant {invariant:32s}: {counts[invariant]} violation(s)")
+    for violation in report.violations:
+        print(
+            f"VIOLATION [{violation.invariant}] client {violation.session} "
+            f"(seed {violation.seed}): {violation.detail}"
+        )
+    if report.ok:
+        print("all invariants held across every crash and restart")
+        return 0
+    print(f"{len(report.violations)} invariant violation(s)")
+    return 1
+
+
 def _cmd_serve(args) -> int:
     """Run the key-establishment session server until SIGTERM/SIGINT."""
     import asyncio
@@ -291,6 +351,8 @@ def _cmd_serve(args) -> int:
         queue_limit=args.queue_limit,
         max_batch=args.max_batch,
         shards=args.shards,
+        journal_dir=args.journal_dir,
+        journal_fsync=args.journal_fsync,
     )
     server = KeyEstablishmentServer(registry, config)
 
@@ -432,6 +494,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1,
         help="fork workers per server batch tick (--server sweep only)",
     )
+    chaos.add_argument(
+        "--restart", action="store_true",
+        help="kill/restart sweep: SIGKILL a forked server at seeded "
+        "crashpoints mid-sweep, restart it against the same journal, and "
+        "machine-check the crash-durability invariants",
+    )
+    chaos.add_argument(
+        "--restarts", type=int, default=2,
+        help="armed server generations (SIGKILLs) the --restart sweep plans",
+    )
+    chaos.add_argument(
+        "--journal-dir", default=None,
+        help="write-ahead journal directory for the --restart sweep "
+        "(default: a fresh temporary directory)",
+    )
     chaos.set_defaults(handler=_cmd_chaos)
 
     serve = sub.add_parser(
@@ -470,6 +547,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--shards", type=int, default=1,
         help="fork workers to split each batch tick across (1 = in-process)",
+    )
+    serve.add_argument(
+        "--journal-dir", default=None,
+        help="crash-durability write-ahead journal directory; enables "
+        "recovery, resumption tokens and nonce-floor restoration",
+    )
+    serve.add_argument(
+        "--journal-fsync", default="batch", choices=("always", "batch", "off"),
+        help="journal fsync policy (critical records are always fsync'd "
+        "in non-off modes)",
     )
     serve.set_defaults(handler=_cmd_serve)
     return parser

@@ -49,6 +49,11 @@ in an exception):
 ``secure-channel-failed`` The post-establishment secure data phase was
                           misused (a secure record before establishment
                           completed, or with no channel negotiated).
+``recovered-after-crash`` The server crashed while this session was live;
+                          recovery replayed the journal and aborted the
+                          orphan (the client resumes with its token and
+                          receives this structured outcome, never a
+                          recomputed key).
 ========================= ====================================================
 """
 
@@ -77,6 +82,7 @@ ABORT_OVERLOAD = "server-overloaded"
 ABORT_DRAINING = "server-draining"
 ABORT_INTERNAL = "internal-error"
 ABORT_SECURE = "secure-channel-failed"
+ABORT_RECOVERED = "recovered-after-crash"
 
 #: All valid abort reasons, for validation and reporting.
 ABORT_REASONS = (
@@ -94,6 +100,7 @@ ABORT_REASONS = (
     ABORT_DRAINING,
     ABORT_INTERNAL,
     ABORT_SECURE,
+    ABORT_RECOVERED,
 )
 
 
@@ -163,6 +170,8 @@ class SessionEvent(Enum):
     INTERNAL_ERROR = "internal-error"
     #: The secure data phase was misused before a channel existed.
     SECURE_FAILURE = "secure-failure"
+    #: The server crashed mid-session; recovery orphan-aborted it.
+    RECOVERED = "recovered"
 
 
 #: Progress events: the one state each is legal in, and its successor.
@@ -196,6 +205,7 @@ _ABORT_EVENTS: Dict[SessionEvent, str] = {
     SessionEvent.DRAINING: ABORT_DRAINING,
     SessionEvent.INTERNAL_ERROR: ABORT_INTERNAL,
     SessionEvent.SECURE_FAILURE: ABORT_SECURE,
+    SessionEvent.RECOVERED: ABORT_RECOVERED,
 }
 
 

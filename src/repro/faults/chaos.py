@@ -70,18 +70,46 @@ server produced, and adds the server-level invariants:
 ``silent-degraded-session``
     Every served session that used the quantizer-fallback degraded mode
     is counted in server metrics; degradation is never silent.
+
+Finally, the *kill/restart* sweep (``repro chaos --restart``):
+:func:`run_restart_chaos` forks the server into a child process armed
+with seeded :mod:`~repro.server.crashpoints`, SIGKILLs it mid-sweep at
+the armed site, restarts a fresh server against the same write-ahead
+journal while the clients reconnect and resume, and machine-checks the
+crash-durability invariants from the journal itself:
+
+``no-nonce-reuse-across-restart``
+    No ``(key, direction, sequence)`` triple is ever sealed or accepted
+    twice across a crash: journaled seal high-water marks never regress,
+    resumed channels always advance their epoch, and neither the server
+    child's ledger nor the parent-side client ledger witnesses a reuse.
+``no-duplicate-result-delivery``
+    One resumption token maps to one key, forever: every journaled
+    result outcome for a token carries the same key digest, a delivered
+    result is never later orphan-aborted, and re-resuming a delivered
+    result re-answers the identical digest.
+``no-orphan-session-after-recovery``
+    Every session admitted before a crash holds a terminal outcome once
+    recovery completes (``recovered-after-crash`` when the crash caught
+    it mid-flight), and the final drain leaves no session registered.
 """
 
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+import multiprocessing
+import os
+import signal
+import tempfile
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.channel.scenario import ScenarioName, scenario_config
 from repro.core.pipeline import PipelineConfig, VehicleKeyPipeline
+from repro.core.statemachine import ABORT_RECOVERED
 from repro.faults.adversary import AdversaryPlan, build_adversary
 from repro.faults.plan import (
     FaultPlan,
@@ -94,7 +122,15 @@ from repro.lora.regional import EU433, EU868, UNRESTRICTED
 from repro.probing.features import FeatureConfig
 from repro.secure import ManagedSecureLink, NonceLedger, RekeyPolicy
 from repro.secure.rekey import CLOSE_REASONS
-from repro.server.client import ClientOutcome, Endpoint, run_behavior
+from repro.server.client import (
+    ClientOutcome,
+    DeviceClient,
+    Endpoint,
+    channel_from_frame,
+    run_behavior,
+)
+from repro.server.crashpoints import CRASHPOINTS, SITES
+from repro.server.journal import JOURNAL_FILENAME, replay_journal
 from repro.server.registry import ModelRegistry
 from repro.server.server import KeyEstablishmentServer, ServerConfig
 from repro.utils.rng import SeedSequenceFactory
@@ -124,6 +160,13 @@ SERVER_INVARIANTS = (
     "tick-stall",
     "shed-not-hang",
     "silent-degraded-session",
+)
+
+#: Crash-durability invariants :func:`run_restart_chaos` adds on top.
+RESTART_INVARIANTS = (
+    "no-nonce-reuse-across-restart",
+    "no-duplicate-result-delivery",
+    "no-orphan-session-after-recovery",
 )
 
 #: Numerical slack for the duty-cycle time accounting.
@@ -1122,3 +1165,886 @@ def build_chaos_pipeline(
     pipeline = VehicleKeyPipeline(config, seed=seed)
     pipeline.train(n_episodes=100, epochs=60, reconciler_epochs=15)
     return pipeline
+
+
+# -- kill/restart sweep -------------------------------------------------------
+
+#: Seeded behavior mix of the restart sweep: mostly honest sessions that
+#: span crashes, plus walk-away clients that leave orphans behind.
+_RESTART_BEHAVIOR_WEIGHTS = (
+    ("normal", 0.45),
+    ("secure-data", 0.30),
+    ("disconnect-after-start", 0.125),
+    ("disconnect-after-hello", 0.125),
+)
+
+#: Probability a client that received a result re-resumes its token to
+#: actively verify idempotent redelivery.
+_RESUME_PROBE_RATE = 0.30
+
+#: Most reconnect/resume attempts one client spends chasing a verdict.
+_RESUME_ATTEMPTS = 12
+
+
+def restart_chaos_config(n_clients: int, journal_dir: str) -> ServerConfig:
+    """The server sweep's tuned knobs plus crash-durability journaling.
+
+    ``batch`` fsync (small batches) is deliberate: it leaves a window of
+    admission and nonce high-water records that a SIGKILL can eat, which
+    is exactly the lag recovery must compensate for.  Idle/hello budgets
+    are widened past the restart latency so detached sessions survive
+    the resumption window.
+    """
+    return replace(
+        chaos_server_config(n_clients),
+        journal_dir=str(journal_dir),
+        journal_fsync="batch",
+        journal_batch_records=8,
+        hello_timeout_s=2.0,
+        idle_timeout_s=4.0,
+    )
+
+
+def _write_port_file(path: str, port: int) -> None:
+    """Publish the child's bound port atomically (write-temp-then-rename)."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(str(port))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+async def _restart_server_child_main(
+    pipeline: VehicleKeyPipeline, config: ServerConfig, port_path: str
+) -> int:
+    """Async body of the forked server child: serve until SIGTERM, drain.
+
+    The journal doubles as the child's witness channel: library-path
+    invariant breaches on served outcomes and ledger-witnessed nonce
+    reuses are appended as ``violation`` records, so the parent can
+    machine-check them after the child is long dead.
+    """
+    ledger = NonceLedger()
+    server = KeyEstablishmentServer(
+        ModelRegistry(pipeline), config, nonce_ledger=ledger
+    )
+    observed = {"index": 0}
+
+    def on_outcome(session, outcome) -> None:
+        index = observed["index"]
+        observed["index"] = index + 1
+        for violation in _served_outcome_violations(outcome, index, 0):
+            server.journal_append(
+                {
+                    "t": "violation",
+                    "invariant": violation.invariant,
+                    "detail": violation.detail,
+                },
+                critical=True,
+            )
+
+    def on_reuse(reuse) -> None:
+        server.journal_append(
+            {
+                "t": "violation",
+                "invariant": "no-nonce-reuse-across-restart",
+                "detail": f"served channel duplicated {reuse.kind} of sequence "
+                f"{reuse.sequence} ({reuse.direction}) under key {reuse.key_id}",
+            },
+            critical=True,
+        )
+
+    server.on_outcome = on_outcome
+    ledger.on_reuse = on_reuse
+    await server.start()
+    _write_port_file(port_path, int(server.bound_port))
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    await stop.wait()
+    report = await server.drain()
+    return 0 if report.leaked == 0 else 3
+
+
+def _restart_server_child(
+    pipeline: VehicleKeyPipeline,
+    config: ServerConfig,
+    port_path: str,
+    crash_plan: Dict[str, int],
+) -> None:  # pragma: no cover - runs in a forked child
+    """Forked child entry: arm the crash plan, serve, die or drain."""
+    CRASHPOINTS.reset()
+    CRASHPOINTS.arm_plan(crash_plan)
+    raise SystemExit(
+        asyncio.run(_restart_server_child_main(pipeline, config, port_path))
+    )
+
+
+class _ServerCluster:
+    """Parent-side spawn/respawn handle over the forked server child.
+
+    Generations ``0 .. restarts-1`` run with a seeded crashpoint armed
+    (derived from ``(seed, 7, generation)``); later generations run
+    unarmed so the sweep always ends with a clean recovery and drain.
+    """
+
+    def __init__(
+        self,
+        pipeline: VehicleKeyPipeline,
+        config: ServerConfig,
+        journal_dir: str,
+        seed: int,
+        n_clients: int,
+        restarts: int,
+    ) -> None:
+        self.pipeline = pipeline
+        self.config = config
+        self.port_path = Path(journal_dir) / "server.port"
+        self.seed = seed
+        self.n_clients = n_clients
+        self.restarts = restarts
+        self.generation = 0
+        self.kills = 0
+        self.unexpected_exits: List[int] = []
+        self.crash_plans: List[Dict[str, int]] = []
+        self.process = None
+        self._ctx = multiprocessing.get_context("fork")
+
+    def crash_plan(self, generation: int) -> Dict[str, int]:
+        """The seeded ``site -> countdown`` plan for one generation."""
+        if generation >= self.restarts:
+            return {}
+        rng = np.random.default_rng([self.seed, 7, generation])
+        site = str(rng.choice(np.array(SITES)))
+        spans = {
+            "admit": (1, max(3, self.n_clients // 2)),
+            "tick": (1, 24),
+            "deliver": (1, max(3, self.n_clients // 2)),
+            "seal": (2, max(6, 2 * self.n_clients)),
+        }
+        low, high = spans[site]
+        return {site: int(rng.integers(low, high + 1))}
+
+    def spawn(self) -> None:
+        """Fork the next server generation against the same journal."""
+        try:
+            os.unlink(self.port_path)
+        except FileNotFoundError:
+            pass
+        plan = self.crash_plan(self.generation)
+        self.crash_plans.append(plan)
+        self.process = self._ctx.Process(
+            target=_restart_server_child,
+            args=(self.pipeline, self.config, str(self.port_path), plan),
+            daemon=True,
+        )
+        self.process.start()
+
+    async def port(self, timeout_s: float = 120.0) -> int:
+        """Await the *current* generation's published port."""
+        deadline = asyncio.get_running_loop().time() + timeout_s
+        while asyncio.get_running_loop().time() < deadline:
+            try:
+                text = self.port_path.read_text(encoding="utf-8").strip()
+                if text:
+                    return int(text)
+            except (FileNotFoundError, ValueError):
+                pass
+            await asyncio.sleep(0.02)
+        raise asyncio.TimeoutError("server port file never appeared")
+
+    async def monitor(self, stop: asyncio.Event) -> None:
+        """Respawn the child whenever a crashpoint SIGKILLs it."""
+        while not stop.is_set():
+            process = self.process
+            if process is not None and not process.is_alive():
+                code = process.exitcode
+                if code == -signal.SIGKILL:
+                    self.kills += 1
+                else:
+                    self.unexpected_exits.append(int(code or 0))
+                if self.generation >= self.restarts + 3:
+                    return  # runaway backstop; clients will time out
+                self.generation += 1
+                self.spawn()
+            await asyncio.sleep(0.02)
+
+    async def finish(self, timeout_s: float = 60.0) -> Optional[int]:
+        """SIGTERM the live child (graceful drain) and reap its exit."""
+        process = self.process
+        if process is None:
+            return None
+        if process.is_alive():
+            process.terminate()
+        deadline = asyncio.get_running_loop().time() + timeout_s
+        while process.is_alive() and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.05)
+        if process.is_alive():  # pragma: no cover - drain wedged
+            process.kill()
+        process.join(timeout=5.0)
+        return process.exitcode
+
+
+@dataclass
+class RestartChaosReport:
+    """Aggregated verdict of one kill/restart chaos sweep.
+
+    Attributes:
+        n_clients: Client interactions executed.
+        seed: Sweep seed; client ``i`` derives from ``(seed, i)`` and
+            generation ``g``'s crash plan from ``(seed, 7, g)``.
+        restarts: Armed generations the sweep planned.
+        kills: Server children actually SIGKILLed by a crashpoint.
+        generations: Server generations that ran (kills + 1 when every
+            armed crashpoint fired).
+        crash_plans: The seeded ``site -> countdown`` plan per
+            generation (empty for unarmed generations).
+        unexpected_exits: Child exit codes other than the crashpoint's
+            SIGKILL or a clean drain (each is also a violation).
+        violations: Every broken invariant, across all four families.
+        behaviors: How many clients ran each behavior.
+        client_kinds: Histogram of terminal client-outcome kinds.
+        results: Clients that received an establishment result frame.
+        successes: Result frames reporting a confirmed key.
+        resumed_results: Results delivered on a resumed connection.
+        recovered_aborts: Clients answered ``recovered-after-crash``.
+        aborts: Clients answered with any taxonomized abort frame.
+        rejections: Clients shed with a final structured rejection.
+        secured_clients: Clients that completed an encrypted echo phase.
+        resume_probes: Extra idempotency resumes after a delivered
+            result (each must re-answer the identical key digest).
+        journal_records: Records the final journal replayed to.
+        recoveries: Recovery passes witnessed in the journal.
+        orphans_recovered: Orphaned sessions recovery aborted.
+        nonce_reuses: Duplicate nonce events the parent-side client
+            ledger witnessed across every channel epoch (must be zero).
+        drain_metrics: The final generation's journaled metrics
+            snapshot.
+    """
+
+    n_clients: int = 0
+    seed: int = 0
+    restarts: int = 0
+    kills: int = 0
+    generations: int = 1
+    crash_plans: List[Dict[str, int]] = field(default_factory=list)
+    unexpected_exits: List[int] = field(default_factory=list)
+    violations: List[ChaosViolation] = field(default_factory=list)
+    behaviors: Dict[str, int] = field(default_factory=dict)
+    client_kinds: Dict[str, int] = field(default_factory=dict)
+    results: int = 0
+    successes: int = 0
+    resumed_results: int = 0
+    recovered_aborts: int = 0
+    aborts: int = 0
+    rejections: int = 0
+    secured_clients: int = 0
+    resume_probes: int = 0
+    journal_records: int = 0
+    recoveries: int = 0
+    orphans_recovered: int = 0
+    nonce_reuses: int = 0
+    drain_metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every invariant held across the whole sweep."""
+        return not self.violations
+
+    def violation_counts(self) -> Dict[str, int]:
+        """Per-invariant violation counts (zero-filled for reporting)."""
+        counts = {
+            name: 0
+            for name in (
+                INVARIANTS
+                + PAYLOAD_INVARIANTS
+                + SERVER_INVARIANTS
+                + RESTART_INVARIANTS
+            )
+        }
+        for violation in self.violations:
+            counts[violation.invariant] = counts.get(violation.invariant, 0) + 1
+        return counts
+
+
+async def _drive_secure_data(
+    client: DeviceClient,
+    session_id: str,
+    ledger: NonceLedger,
+    report: RestartChaosReport,
+    index: int,
+    seed: int,
+    epoch_seen: Dict[str, int],
+    resume: Optional[str] = None,
+) -> ClientOutcome:
+    """One secure-data connection attempt: (resume-)hello, verdict, echo.
+
+    Unlike :func:`run_behavior`'s ``secure-echo``, every seal and accept
+    registers on the sweep-wide parent ``ledger``, and each result
+    frame's channel epoch is checked to strictly advance across resumes
+    -- the client-side halves of ``no-nonce-reuse-across-restart``.
+    """
+    behavior = "secure-data"
+    client.data = True
+    if resume:
+        client.resume = resume
+        client.resume_token = resume
+
+    def closed_kind() -> str:
+        return "disconnected" if client.resume_token else "closed"
+
+    try:
+        await client.connect()
+        answer = await client.hello()
+        if answer is None:
+            return ClientOutcome(
+                session_id, behavior, closed_kind(),
+                resume_token=client.resume_token,
+            )
+        if answer.get("type") == "rejected":
+            return ClientOutcome(
+                session_id, behavior, "rejected", answer,
+                resume_token=client.resume_token,
+            )
+        if not resume:
+            await client.send({"type": "start"})
+        verdict = await client.recv()
+        if verdict is None:
+            return ClientOutcome(
+                session_id, behavior, closed_kind(),
+                resume_token=client.resume_token,
+            )
+        if verdict.get("type") != "result":
+            return ClientOutcome(
+                session_id, behavior, "abort", verdict,
+                resume_token=client.resume_token,
+            )
+        channel_frame = verdict.get("channel")
+        if not verdict.get("success") or channel_frame is None:
+            return ClientOutcome(
+                session_id, behavior, "result", verdict,
+                resume_token=client.resume_token,
+            )
+        epoch = int(channel_frame.get("epoch", 0))
+        if epoch <= epoch_seen["epoch"]:
+            report.violations.append(
+                ChaosViolation(
+                    invariant="no-nonce-reuse-across-restart",
+                    session=index,
+                    seed=seed,
+                    detail=f"resumed channel re-issued epoch {epoch} "
+                    f"(this client already held epoch {epoch_seen['epoch']})",
+                )
+            )
+        epoch_seen["epoch"] = max(epoch_seen["epoch"], epoch)
+        channel = channel_from_frame(channel_frame, ledger=ledger)
+        payloads = [f"{session_id}-restart-echo-{i}".encode() for i in range(3)]
+        for record in channel.seal_records(payloads):
+            await client.send({"type": "secure", "record": record.hex()})
+        for plaintext in payloads:
+            reply = await client.recv()
+            if reply is None:
+                return ClientOutcome(
+                    session_id, behavior, closed_kind(), verdict,
+                    resume_token=client.resume_token,
+                )
+            if reply.get("type") != "secure":
+                return ClientOutcome(
+                    session_id, behavior, "error", reply,
+                    detail="payload-invariant:rekey-preserves-continuity",
+                    resume_token=client.resume_token,
+                )
+            opened = channel.open(bytes.fromhex(str(reply.get("record", ""))))
+            if not opened.ok or opened.plaintext != plaintext:
+                return ClientOutcome(
+                    session_id, behavior, "error", reply,
+                    detail="payload-invariant:rekey-preserves-continuity",
+                    resume_token=client.resume_token,
+                )
+        await client.send({"type": "bye"})
+        return ClientOutcome(
+            session_id, behavior, "result", verdict,
+            resume_token=client.resume_token,
+        )
+    except (OSError, asyncio.TimeoutError, ConnectionError) as error:
+        return ClientOutcome(
+            session_id,
+            behavior,
+            "disconnected" if client.resume_token else "error",
+            detail=str(error),
+            resume_token=client.resume_token,
+        )
+    finally:
+        await client.close()
+
+
+async def _restart_client(
+    cluster: _ServerCluster,
+    index: int,
+    seed: int,
+    n_rounds: Optional[int],
+    ledger: NonceLedger,
+    report: RestartChaosReport,
+) -> ClientOutcome:
+    """One client's establish / reconnect / resume loop across crashes."""
+    rng = np.random.default_rng([seed, index])
+    await asyncio.sleep(float(rng.uniform(0.0, 1.0)))
+    names = [name for name, _ in _RESTART_BEHAVIOR_WEIGHTS]
+    weights = np.array([weight for _, weight in _RESTART_BEHAVIOR_WEIGHTS])
+    behavior = str(rng.choice(names, p=weights / weights.sum()))
+    session_id = f"dev-{seed}-{index}"
+    episode = f"restart-chaos-{seed}-{index}"
+    if behavior in ("disconnect-after-hello", "disconnect-after-start"):
+        # Walk-away clients: their abandoned admissions are exactly the
+        # orphans recovery must abort; any outcome is legal for them.
+        try:
+            endpoint = Endpoint(port=await cluster.port())
+        except asyncio.TimeoutError:
+            return ClientOutcome(session_id, behavior, "error",
+                                 detail="server endpoint never appeared")
+        return await run_behavior(
+            endpoint, behavior, session_id,
+            episode=episode, rounds=n_rounds, timeout_s=60.0,
+        )
+    token = ""
+    epoch_seen = {"epoch": -1}
+    outcome = ClientOutcome(session_id, behavior, "error", detail="never ran")
+    for attempt in range(_RESUME_ATTEMPTS):
+        try:
+            endpoint = Endpoint(port=await cluster.port())
+        except asyncio.TimeoutError:
+            outcome = ClientOutcome(
+                session_id, behavior, "error",
+                detail="server endpoint never reappeared", resume_token=token,
+            )
+            break
+        client = DeviceClient(
+            endpoint,
+            session_id,
+            episode=episode,
+            rounds=n_rounds,
+            timeout_s=60.0,
+            max_admission_retries=4,
+            backoff_cap_s=1.0,
+            retry_seed=int(rng.integers(0, 2**31)),
+        )
+        if behavior == "secure-data":
+            outcome = await _drive_secure_data(
+                client, session_id, ledger, report, index, seed, epoch_seen,
+                resume=token or None,
+            )
+        elif token:
+            outcome = await client.resume_session(token)
+        else:
+            outcome = await client.establish(behavior=behavior)
+        token = outcome.resume_token or token
+        if outcome.kind in ("result", "abort"):
+            break
+        if outcome.kind == "rejected":
+            reason = str((outcome.frame or {}).get("reason") or "")
+            if reason == "unknown-resumption-token":
+                # The admit record died un-fsynced with the crash; the
+                # contract is a fresh session, never a duplicate key.
+                token = ""
+            elif reason not in ("duplicate-session", "server-overloaded"):
+                break  # final structured rejection
+        await asyncio.sleep(0.1 * (attempt + 1) + float(rng.uniform(0.0, 0.3)))
+    if (
+        outcome.kind == "result"
+        and token
+        and float(rng.random()) < _RESUME_PROBE_RATE
+    ):
+        # Actively verify idempotent redelivery: re-resuming a delivered
+        # result must re-answer the identical key digest, never a second
+        # key and never an abort (results are journaled before delivery).
+        report.resume_probes += 1
+        try:
+            probe = DeviceClient(
+                Endpoint(port=await cluster.port()),
+                session_id,
+                timeout_s=60.0,
+                max_admission_retries=6,
+                backoff_cap_s=1.0,
+                retry_seed=int(rng.integers(0, 2**31)),
+            )
+            again = await probe.resume_session(token)
+        except asyncio.TimeoutError:
+            again = ClientOutcome(session_id, "resume", "error")
+        first = (outcome.frame or {}).get("key_digest")
+        if again.kind == "result":
+            second = (again.frame or {}).get("key_digest")
+            if second != first:
+                report.violations.append(
+                    ChaosViolation(
+                        invariant="no-duplicate-result-delivery",
+                        session=index,
+                        seed=seed,
+                        detail=f"re-resume answered key digest {second!r} "
+                        f"after the first delivery answered {first!r}",
+                    )
+                )
+        elif again.kind == "abort" or (
+            again.kind == "rejected"
+            and (again.frame or {}).get("reason") == "unknown-resumption-token"
+        ):
+            report.violations.append(
+                ChaosViolation(
+                    invariant="no-duplicate-result-delivery",
+                    session=index,
+                    seed=seed,
+                    detail=f"re-resume of a delivered result answered "
+                    f"{again.kind!r} ({(again.frame or {}).get('reason')!r})",
+                )
+            )
+    return outcome
+
+
+def _verify_restart_journal(records: List[dict], seed: int):
+    """Machine-check the three restart invariants from the journal alone.
+
+    Returns ``(violations, stats)``.  The checks are purely structural,
+    so a torn or lying server cannot pass by construction: high-water
+    marks must never regress, channel epochs must strictly advance per
+    token, every admission preceding a recovery marker must precede a
+    terminal outcome, and one token must never map to two key digests.
+    """
+    violations: List[ChaosViolation] = []
+    stats = {
+        "recoveries": 0,
+        "orphans": 0,
+        "drains": 0,
+        "leaked": 0,
+        "drain_metrics": {},
+    }
+    admitted: Dict[str, int] = {}
+    outcomes: Dict[str, List[tuple]] = {}
+    nonce_high: Dict[tuple, int] = {}
+    epochs: Dict[str, int] = {}
+    for pos, record in enumerate(records):
+        kind = record.get("t")
+        token = str(record.get("token", ""))
+        if kind == "admit":
+            admitted.setdefault(token, pos)
+        elif kind == "outcome":
+            frame = record.get("frame") or {}
+            outcomes.setdefault(token, []).append(
+                (
+                    pos,
+                    str(record.get("kind", "")),
+                    frame.get("key_digest"),
+                    str(record.get("reason", "")),
+                )
+            )
+        elif kind == "channel":
+            epoch = int(record.get("epoch", 0))
+            last = epochs.get(token, -1)
+            if epoch <= last:
+                violations.append(
+                    ChaosViolation(
+                        invariant="no-nonce-reuse-across-restart",
+                        session=-1,
+                        seed=seed,
+                        detail=f"token {token[:8]}... re-journaled channel "
+                        f"epoch {epoch} after already reaching {last}",
+                    )
+                )
+            epochs[token] = max(last, epoch)
+        elif kind == "nonce":
+            key = (str(record.get("key", "")), int(record.get("dir", 0)))
+            high = int(record.get("high", 0))
+            if high <= nonce_high.get(key, -1):
+                violations.append(
+                    ChaosViolation(
+                        invariant="no-nonce-reuse-across-restart",
+                        session=-1,
+                        seed=seed,
+                        detail=f"seal high-water for key {key[0][:16]}... "
+                        f"dir {key[1]} regressed to {high} from "
+                        f"{nonce_high[key]}",
+                    )
+                )
+            nonce_high[key] = max(nonce_high.get(key, -1), high)
+        elif kind == "recovery":
+            stats["recoveries"] += 1
+            stats["orphans"] += int(record.get("orphans", 0))
+            for admit_token, admit_pos in admitted.items():
+                if admit_pos < pos and not any(
+                    outcome_pos < pos
+                    for outcome_pos, *_ in outcomes.get(admit_token, [])
+                ):
+                    violations.append(
+                        ChaosViolation(
+                            invariant="no-orphan-session-after-recovery",
+                            session=-1,
+                            seed=seed,
+                            detail=f"recovery left admitted token "
+                            f"{admit_token[:8]}... without a terminal outcome",
+                        )
+                    )
+        elif kind == "violation":
+            violations.append(
+                ChaosViolation(
+                    invariant=str(record.get("invariant", "uncaught-exception")),
+                    session=-1,
+                    seed=seed,
+                    detail=f"server child witnessed: {record.get('detail', '')}",
+                )
+            )
+        elif kind == "drain":
+            stats["drains"] += 1
+            stats["leaked"] = int(record.get("leaked", 0))
+            stats["drain_metrics"] = record.get("metrics") or {}
+            if int(record.get("leaked", 0)) > 0:
+                violations.append(
+                    ChaosViolation(
+                        invariant="no-orphan-session-after-recovery",
+                        session=-1,
+                        seed=seed,
+                        detail=f"drain left {record.get('leaked')} "
+                        "session(s) registered",
+                    )
+                )
+            if int(record.get("ledger_reuses", 0)) > 0:
+                violations.append(
+                    ChaosViolation(
+                        invariant="no-nonce-reuse-across-restart",
+                        session=-1,
+                        seed=seed,
+                        detail=f"server ledger witnessed "
+                        f"{record.get('ledger_reuses')} nonce reuse(s)",
+                    )
+                )
+    for token, entries in outcomes.items():
+        digests = {
+            digest for _, okind, digest, _ in entries if okind == "result" and digest
+        }
+        if len(digests) > 1:
+            violations.append(
+                ChaosViolation(
+                    invariant="no-duplicate-result-delivery",
+                    session=-1,
+                    seed=seed,
+                    detail=f"token {token[:8]}... holds result outcomes under "
+                    f"{len(digests)} distinct key digests",
+                )
+            )
+        result_positions = [p for p, okind, _, _ in entries if okind == "result"]
+        if result_positions and any(
+            okind == "abort" and reason == ABORT_RECOVERED
+            and pos > min(result_positions)
+            for pos, okind, _, reason in entries
+        ):
+            violations.append(
+                ChaosViolation(
+                    invariant="no-duplicate-result-delivery",
+                    session=-1,
+                    seed=seed,
+                    detail=f"token {token[:8]}... was orphan-aborted after "
+                    "its result was already journaled",
+                )
+            )
+    return violations, stats
+
+
+async def _run_restart_chaos(
+    pipeline: VehicleKeyPipeline,
+    n_clients: int,
+    seed: int,
+    n_rounds: Optional[int],
+    journal_dir: str,
+    restarts: int,
+    config: Optional[ServerConfig],
+) -> RestartChaosReport:
+    """The async body of :func:`run_restart_chaos`."""
+    report = RestartChaosReport(n_clients=n_clients, seed=seed, restarts=restarts)
+    if config is None:
+        config = restart_chaos_config(n_clients, journal_dir)
+    cluster = _ServerCluster(pipeline, config, journal_dir, seed, n_clients, restarts)
+    cluster.spawn()
+    stop = asyncio.Event()
+    monitor = asyncio.create_task(cluster.monitor(stop))
+    ledger = NonceLedger()
+    try:
+        outcomes = await asyncio.gather(
+            *(
+                _restart_client(cluster, index, seed, n_rounds, ledger, report)
+                for index in range(n_clients)
+            )
+        )
+    finally:
+        stop.set()
+        await monitor
+        exit_code = await cluster.finish()
+        if exit_code == -signal.SIGKILL:
+            # An armed crashpoint fired during the drain itself: run one
+            # final unarmed generation so recovery and a graceful drain
+            # complete against the same journal before verification.
+            cluster.kills += 1
+            cluster.generation = max(cluster.generation + 1, restarts)
+            cluster.spawn()
+            await cluster.port()
+            exit_code = await cluster.finish()
+    report.kills = cluster.kills
+    report.generations = cluster.generation + 1
+    report.crash_plans = cluster.crash_plans
+    report.unexpected_exits = list(cluster.unexpected_exits)
+    if exit_code not in (0, None):
+        report.unexpected_exits.append(int(exit_code))
+    for code in report.unexpected_exits:
+        report.violations.append(
+            ChaosViolation(
+                invariant="no-orphan-session-after-recovery",
+                session=-1,
+                seed=seed,
+                detail=f"server child exited with unexpected code {code} "
+                "(crashpoints only ever SIGKILL; a drain exits 0)",
+            )
+        )
+    honest = ("normal", "secure-data")
+    for index, outcome in enumerate(outcomes):
+        report.behaviors[outcome.behavior] = (
+            report.behaviors.get(outcome.behavior, 0) + 1
+        )
+        report.client_kinds[outcome.kind] = (
+            report.client_kinds.get(outcome.kind, 0) + 1
+        )
+        if outcome.detail.startswith("payload-invariant:"):
+            name = outcome.detail.split(":", 1)[1]
+            report.violations.append(
+                ChaosViolation(
+                    invariant=(
+                        name if name in PAYLOAD_INVARIANTS else "shed-not-hang"
+                    ),
+                    session=index,
+                    seed=seed,
+                    detail=f"{outcome.behavior!r} client's payload check "
+                    f"failed ({outcome.detail})",
+                )
+            )
+            continue
+        if outcome.kind == "result":
+            report.results += 1
+            if outcome.frame is not None and outcome.frame.get("success"):
+                report.successes += 1
+                if outcome.behavior == "secure-data":
+                    report.secured_clients += 1
+            if outcome.frame is not None and outcome.frame.get("resumed"):
+                report.resumed_results += 1
+        elif outcome.kind == "abort":
+            report.aborts += 1
+            if (
+                outcome.frame is not None
+                and outcome.frame.get("reason") == ABORT_RECOVERED
+            ):
+                report.recovered_aborts += 1
+        elif outcome.kind == "rejected":
+            report.rejections += 1
+        elif outcome.behavior in honest:
+            report.violations.append(
+                ChaosViolation(
+                    invariant="shed-not-hang",
+                    session=index,
+                    seed=seed,
+                    detail=f"{outcome.behavior!r} client never reached a "
+                    f"structured verdict across {_RESUME_ATTEMPTS} "
+                    f"reconnects (kind={outcome.kind!r}, "
+                    f"{outcome.detail or 'no terminal frame'})",
+                )
+            )
+    report.nonce_reuses = len(ledger.reuses)
+    for reuse in ledger.reuses:
+        report.violations.append(
+            ChaosViolation(
+                invariant="no-nonce-reuse-across-restart",
+                session=-1,
+                seed=seed,
+                detail=f"client-side ledger duplicated {reuse.kind} of "
+                f"sequence {reuse.sequence} ({reuse.direction}) under key "
+                f"{reuse.key_id}",
+            )
+        )
+    replay = replay_journal(Path(journal_dir) / JOURNAL_FILENAME)
+    report.journal_records = len(replay.records)
+    if not replay.clean:
+        report.violations.append(
+            ChaosViolation(
+                invariant="no-orphan-session-after-recovery",
+                session=-1,
+                seed=seed,
+                detail=f"journal tail still torn after the final drain "
+                f"({replay.torn})",
+            )
+        )
+    journal_violations, stats = _verify_restart_journal(replay.records, seed)
+    report.violations.extend(journal_violations)
+    report.recoveries = stats["recoveries"]
+    report.orphans_recovered = stats["orphans"]
+    report.drain_metrics = stats["drain_metrics"]
+    if stats["drains"] == 0:
+        report.violations.append(
+            ChaosViolation(
+                invariant="no-orphan-session-after-recovery",
+                session=-1,
+                seed=seed,
+                detail="no drain record reached the journal -- the final "
+                "generation never drained gracefully",
+            )
+        )
+    return report
+
+
+def run_restart_chaos(
+    pipeline: VehicleKeyPipeline,
+    n_clients: int,
+    seed: int = 0,
+    n_rounds: Optional[int] = None,
+    journal_dir: Optional[str] = None,
+    restarts: int = 2,
+    config: Optional[ServerConfig] = None,
+) -> RestartChaosReport:
+    """Kill/restart-sweep the served path against its durability contract.
+
+    Forks a real :class:`KeyEstablishmentServer` into a child process
+    whose :mod:`~repro.server.crashpoints` are armed from
+    ``(seed, 7, generation)``, launches ``n_clients`` seeded clients
+    (honest establishments, encrypted data phases, walk-away orphans),
+    lets the armed crashpoint SIGKILL the child mid-sweep, restarts a
+    fresh server generation against the same write-ahead journal while
+    clients reconnect with their resumption tokens, and finally drains
+    gracefully and machine-checks :data:`RESTART_INVARIANTS` (plus the
+    library and payload invariants the child re-checked in-process) from
+    the journal, the parent-side client nonce ledger, and active
+    idempotency probes.
+
+    Args:
+        pipeline: A trained pipeline to serve (e.g.
+            :func:`build_chaos_pipeline`'s).
+        n_clients: Concurrent client interactions to run.
+        seed: Sweep seed; one seed reproduces clients, behaviors, crash
+            plans and restart timing.
+        n_rounds: Probing rounds clients request (``None``: the server
+            default).
+        journal_dir: Journal directory shared by every server
+            generation; a fresh temporary directory when ``None``.
+        restarts: Armed generations (SIGKILLs) to plan; later
+            generations run unarmed so the sweep always ends clean.
+        config: Server knobs; defaults to :func:`restart_chaos_config`.
+
+    Returns:
+        The :class:`RestartChaosReport`; ``report.ok`` is the verdict.
+    """
+    require_positive(n_clients, "n_clients")
+    if restarts < 0:
+        raise ValueError(f"restarts must be >= 0, got {restarts}")
+    if journal_dir is None:
+        journal_dir = tempfile.mkdtemp(prefix="vk-restart-chaos-")
+    return asyncio.run(
+        _run_restart_chaos(
+            pipeline, n_clients, seed, n_rounds, str(journal_dir), restarts, config
+        )
+    )

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,10 @@ class _SequenceRuns:
     def __contains__(self, sequence: int) -> bool:
         index = bisect_right(self._starts, sequence) - 1
         return index >= 0 and sequence <= self._ends[index]
+
+    def high_water(self) -> int:
+        """The highest witnessed sequence (``-1`` when empty)."""
+        return self._ends[-1] if self._ends else -1
 
     def add(self, sequence: int) -> bool:
         """Witness one sequence; ``False`` if it was already present."""
@@ -122,11 +126,24 @@ class NonceLedger:
         total_accepts: Records successfully opened while attached.
         reuses: Every duplicate observed, in discovery order; an empty
             list is the ``no-nonce-reuse-ever`` verdict.
+        on_seal_advance: Durability hook: called with
+            ``(key_id, direction, high_water)`` whenever a seal raises a
+            key's high-water sequence.  The session server's journal
+            subscribes here so the floor survives a crash.
+        on_reuse: Witness hook: called with each :class:`NonceReuse` as
+            it is recorded (the restart chaos child journals these as
+            invariant violations the parent can read post-mortem).
     """
 
     total_seals: int = 0
     total_accepts: int = 0
     reuses: List[NonceReuse] = field(default_factory=list)
+    on_seal_advance: Optional[Callable[[str, int, int], None]] = field(
+        default=None, repr=False
+    )
+    on_reuse: Optional[Callable[[NonceReuse], None]] = field(
+        default=None, repr=False
+    )
     _sealed: Dict[Tuple[str, int], _SequenceRuns] = field(
         default_factory=dict, repr=False
     )
@@ -143,12 +160,24 @@ class NonceLedger:
             runs = table[key] = _SequenceRuns()
         return runs
 
+    def _reuse(self, reuse: NonceReuse) -> None:
+        self.reuses.append(reuse)
+        if self.on_reuse is not None:
+            self.on_reuse(reuse)
+
+    def _seal_advanced(self, key_id: str, direction: int, high: int) -> None:
+        if self.on_seal_advance is not None:
+            runs = self._sealed.get((key_id, direction))
+            if runs is not None and high == runs.high_water():
+                self.on_seal_advance(key_id, direction, high)
+
     def record_seal(self, key_id: str, direction: int, sequence: int) -> bool:
         """Register one sealed nonce; returns False on a duplicate."""
         self.total_seals += 1
         if self._runs(self._sealed, key_id, direction).add(sequence):
+            self._seal_advanced(key_id, direction, sequence)
             return True
-        self.reuses.append(NonceReuse(key_id, direction, sequence, "seal"))
+        self._reuse(NonceReuse(key_id, direction, sequence, "seal"))
         return False
 
     def record_seal_run(
@@ -167,7 +196,8 @@ class NonceLedger:
             start, count
         )
         for sequence in duplicates:
-            self.reuses.append(NonceReuse(key_id, direction, sequence, "seal"))
+            self._reuse(NonceReuse(key_id, direction, sequence, "seal"))
+        self._seal_advanced(key_id, direction, start + count - 1)
         return not duplicates
 
     def record_accept(self, key_id: str, direction: int, sequence: int) -> bool:
@@ -175,8 +205,32 @@ class NonceLedger:
         self.total_accepts += 1
         if self._runs(self._accepted, key_id, direction).add(sequence):
             return True
-        self.reuses.append(NonceReuse(key_id, direction, sequence, "accept"))
+        self._reuse(NonceReuse(key_id, direction, sequence, "accept"))
         return False
+
+    def high_water(self) -> Dict[Tuple[str, int], int]:
+        """Highest witnessed *seal* sequence per ``(key_id, direction)``."""
+        return {
+            key: runs.high_water()
+            for key, runs in self._sealed.items()
+            if len(runs)
+        }
+
+    def restore_floor(self, key_id: str, direction: int, high: int) -> None:
+        """Mark ``0..high`` as already sealed for a key (crash recovery).
+
+        A restarted server calls this with each journaled high-water mark
+        before serving traffic: any sequence at or below the floor that a
+        post-restart sender re-issues is then witnessed as a reuse rather
+        than silently accepted as fresh.  Does not count toward
+        ``total_seals`` and never fires the durability hook (restoring a
+        floor is not new traffic).
+        """
+        if high < 0:
+            return
+        runs = self._runs(self._sealed, key_id, direction)
+        if high > runs.high_water():
+            runs.add_run(0, high + 1)
 
     @property
     def seal_runs(self) -> int:

@@ -6,8 +6,10 @@ per-device session records with liveness budgets
 (:mod:`~repro.server.session`), a checksummed hot-reloading model
 registry (:mod:`~repro.server.registry`), health counters
 (:mod:`~repro.server.metrics`), the asyncio server itself
-(:mod:`~repro.server.server`) and a device client / misbehavior driver
-(:mod:`~repro.server.client`).  See ``docs/SERVER.md`` for the
+(:mod:`~repro.server.server`), a device client / misbehavior driver
+(:mod:`~repro.server.client`), a crash-durability write-ahead journal
+(:mod:`~repro.server.journal`) and seeded crash-point fault injection
+(:mod:`~repro.server.crashpoints`).  See ``docs/SERVER.md`` for the
 architecture and the robustness contract.
 """
 
@@ -16,8 +18,11 @@ from repro.server.client import (
     ClientOutcome,
     DeviceClient,
     Endpoint,
+    channel_from_frame,
+    fetch_status,
     run_behavior,
 )
+from repro.server.crashpoints import CRASHPOINTS, SITES, CrashpointRegistry
 from repro.server.framing import (
     FRAME_CORRUPT,
     FRAME_OVERSIZED,
@@ -29,6 +34,16 @@ from repro.server.framing import (
     read_frame,
     write_frame,
 )
+from repro.server.journal import (
+    JOURNAL_FILENAME,
+    JournalReplay,
+    RecoveredSession,
+    RecoveryState,
+    SessionJournal,
+    build_recovery_state,
+    recover_journal,
+    replay_journal,
+)
 from repro.server.metrics import ServerMetrics
 from repro.server.registry import ARTIFACT_NAMES, ModelRegistry
 from repro.server.server import DrainReport, KeyEstablishmentServer, ServerConfig
@@ -37,7 +52,9 @@ from repro.server.session import DeviceSession
 __all__ = [
     "ARTIFACT_NAMES",
     "BEHAVIORS",
+    "CRASHPOINTS",
     "ClientOutcome",
+    "CrashpointRegistry",
     "DeviceClient",
     "DeviceSession",
     "DrainReport",
@@ -46,14 +63,25 @@ __all__ = [
     "FRAME_CORRUPT",
     "FRAME_OVERSIZED",
     "FRAME_TRUNCATED",
+    "JOURNAL_FILENAME",
+    "JournalReplay",
     "KeyEstablishmentServer",
     "MAX_FRAME_BYTES",
     "ModelRegistry",
+    "RecoveredSession",
+    "RecoveryState",
+    "SITES",
     "ServerConfig",
     "ServerMetrics",
+    "SessionJournal",
+    "build_recovery_state",
+    "channel_from_frame",
     "decode_body",
     "encode_frame",
+    "fetch_status",
     "read_frame",
+    "recover_journal",
+    "replay_journal",
     "run_behavior",
     "write_frame",
 ]

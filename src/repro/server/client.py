@@ -28,7 +28,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.secure import ChannelContext, SecureChannel, derive_channel_keys
+from repro.secure import (
+    ChannelContext,
+    NonceLedger,
+    SecureChannel,
+    derive_channel_keys,
+)
 from repro.server.framing import encode_frame, read_frame, write_frame
 
 #: The closed set of client behaviors the chaos harness draws from.
@@ -59,13 +64,20 @@ class ClientOutcome:
             ``"abort"`` (taxonomized server abort), ``"rejected"``
             (structured admission rejection), ``"closed"`` (server
             closed without a terminal frame -- legal only for behaviors
-            that disconnect first), or ``"error"`` (transport error on
-            the client side).
+            that disconnect first), ``"disconnected"`` (the transport
+            dropped mid-session against a journaling server -- the
+            outcome carries the resumption token, so the caller can
+            distinguish "reconnect and resume" from a rejection or
+            abort), or ``"error"`` (transport error on the client side
+            with no resumption path).
         frame: The terminal server frame, when one arrived.
         detail: Free-text context (transport error strings; for secure
             behaviors, ``payload-invariant:<name>`` when the client-side
             payload check failed).
         retries: Admission retries spent before this outcome.
+        resume_token: The resumption token the server minted at
+            admission (empty on non-journaling servers); populated on
+            every kind, but load-bearing on ``"disconnected"``.
     """
 
     session_id: str
@@ -74,6 +86,7 @@ class ClientOutcome:
     frame: Optional[dict] = None
     detail: str = ""
     retries: int = 0
+    resume_token: str = ""
 
     @property
     def structured(self) -> bool:
@@ -112,6 +125,10 @@ class DeviceClient:
         backoff_cap_s: Hard ceiling on any single reconnect backoff.
         retry_seed: Seed of the backoff-jitter stream, so retry timing
             is reproducible.
+        resume: A resumption token to present in the hello frame (the
+            :meth:`resume_session` driver sets it).
+        resume_token: The token the server minted for this session in
+            its welcome frame (empty on non-journaling servers).
     """
 
     endpoint: Endpoint
@@ -123,6 +140,8 @@ class DeviceClient:
     max_admission_retries: int = 0
     backoff_cap_s: float = 2.0
     retry_seed: Optional[int] = None
+    resume: Optional[str] = None
+    resume_token: str = ""
     _reader: Optional[asyncio.StreamReader] = field(default=None, repr=False)
     _writer: Optional[asyncio.StreamWriter] = field(default=None, repr=False)
 
@@ -151,7 +170,11 @@ class DeviceClient:
         )
 
     async def hello(self) -> Optional[dict]:
-        """Run the admission handshake; returns the server's answer."""
+        """Run the admission handshake; returns the server's answer.
+
+        A welcome frame's ``resume_token`` (journaling servers) is
+        captured onto :attr:`resume_token` for later reconnects.
+        """
         frame = {"type": "hello", "session_id": self.session_id}
         if self.episode is not None:
             frame["episode"] = self.episode
@@ -159,8 +182,15 @@ class DeviceClient:
             frame["rounds"] = self.rounds
         if self.data:
             frame["data"] = True
+        if self.resume:
+            frame["resume"] = self.resume
         await self.send(frame)
-        return await self.recv()
+        answer = await self.recv()
+        if answer is not None and answer.get("type") == "welcome":
+            token = str(answer.get("resume_token") or "")
+            if token:
+                self.resume_token = token
+        return answer
 
     async def establish(self, behavior: str = "normal") -> ClientOutcome:
         """Honest full exchange: hello, start, await the verdict.
@@ -203,32 +233,140 @@ class DeviceClient:
                 await self.send({"type": "start"})
                 verdict = await self.recv()
                 if verdict is None:
+                    # Against a journaling server a mid-session close is
+                    # not an undifferentiated failure: the caller gets a
+                    # structured ``disconnected`` outcome carrying the
+                    # resumption token and can reconnect with it.
+                    kind = "disconnected" if self.resume_token else "closed"
                     return ClientOutcome(
-                        self.session_id, behavior, "closed", retries=attempt
+                        self.session_id,
+                        behavior,
+                        kind,
+                        retries=attempt,
+                        resume_token=self.resume_token,
                     )
                 kind = "result" if verdict.get("type") == "result" else "abort"
                 return ClientOutcome(
-                    self.session_id, behavior, kind, verdict, retries=attempt
+                    self.session_id,
+                    behavior,
+                    kind,
+                    verdict,
+                    retries=attempt,
+                    resume_token=self.resume_token,
+                )
+            except (OSError, asyncio.TimeoutError, ConnectionError) as error:
+                kind = "disconnected" if self.resume_token else "error"
+                return ClientOutcome(
+                    self.session_id,
+                    behavior,
+                    kind,
+                    detail=str(error),
+                    retries=attempt,
+                    resume_token=self.resume_token,
+                )
+            finally:
+                await self.close()
+
+    async def resume_session(self, token: str) -> ClientOutcome:
+        """Reconnect presenting a resumption token; await the verdict.
+
+        Implements the client half of the resumption protocol: connect,
+        hello with ``resume``, and read the terminal frame the server
+        either re-delivers from its journal or delivers live once the
+        pending tick settles.  A ``duplicate-session`` rejection (the
+        server has not yet noticed the old transport died) is backed off
+        with the same capped seeded jitter as admission retries and
+        retried while ``max_admission_retries`` allows; any other
+        rejection (notably ``unknown-resumption-token``) is final -- the
+        caller establishes a fresh session instead.
+        """
+        self.resume = token
+        self.resume_token = token
+        jitter = random.Random(self.retry_seed)
+        attempt = 0
+        behavior = "resume"
+        while True:
+            try:
+                await self.connect()
+                answer = await self.hello()
+                if answer is None:
+                    return ClientOutcome(
+                        self.session_id,
+                        behavior,
+                        "disconnected",
+                        retries=attempt,
+                        resume_token=token,
+                    )
+                if answer.get("type") == "rejected":
+                    if (
+                        answer.get("reason") == "duplicate-session"
+                        and attempt < self.max_admission_retries
+                    ):
+                        hint = float(answer.get("retry_after_s") or 0.1)
+                        delay = min(
+                            hint
+                            * (2.0**attempt)
+                            * (1.0 + 0.25 * jitter.random()),
+                            self.backoff_cap_s,
+                        )
+                        attempt += 1
+                        await self.close()
+                        await asyncio.sleep(delay)
+                        continue
+                    return ClientOutcome(
+                        self.session_id,
+                        behavior,
+                        "rejected",
+                        answer,
+                        retries=attempt,
+                        resume_token=token,
+                    )
+                verdict = await self.recv()
+                if verdict is None:
+                    return ClientOutcome(
+                        self.session_id,
+                        behavior,
+                        "disconnected",
+                        retries=attempt,
+                        resume_token=token,
+                    )
+                kind = "result" if verdict.get("type") == "result" else "abort"
+                return ClientOutcome(
+                    self.session_id,
+                    behavior,
+                    kind,
+                    verdict,
+                    retries=attempt,
+                    resume_token=token,
                 )
             except (OSError, asyncio.TimeoutError, ConnectionError) as error:
                 return ClientOutcome(
                     self.session_id,
                     behavior,
-                    "error",
+                    "disconnected",
                     detail=str(error),
                     retries=attempt,
+                    resume_token=token,
                 )
             finally:
                 await self.close()
 
 
-def channel_from_frame(channel_frame: dict, role: str = "initiator") -> SecureChannel:
+def channel_from_frame(
+    channel_frame: dict,
+    role: str = "initiator",
+    ledger: Optional[NonceLedger] = None,
+) -> SecureChannel:
     """Build one end of the data-phase channel from a result frame.
 
     The server's result frame carries a ``channel`` object (see
     ``KeyEstablishmentServer._open_channel``) with the device-side
     secret and the public KDF context; deriving from it here yields
-    keys that match the server's responder channel bit for bit.
+    keys that match the server's responder channel bit for bit.  A
+    resumed session's frame carries a bumped ``epoch``, so the rebuilt
+    channel shares no keys with any pre-crash traffic.  Passing a
+    ``ledger`` registers every nonce this end seals/accepts on it (the
+    restart chaos sweep threads one through all its clients).
     """
     context = ChannelContext(
         session_nonce=bytes.fromhex(str(channel_frame["nonce"])),
@@ -245,12 +383,48 @@ def channel_from_frame(channel_frame: dict, role: str = "initiator") -> SecureCh
         role=role,
         max_sequence=int(channel_frame.get("max_records", 2**20)),
         replay_window=int(channel_frame.get("replay_window", 64)),
+        ledger=ledger,
     )
 
 
 def _retry_seed(session_id: str) -> int:
     """A per-session deterministic seed for the backoff-jitter stream."""
     return int.from_bytes(hashlib.sha256(session_id.encode()).digest()[:4], "big")
+
+
+def _closed_kind(client: DeviceClient) -> str:
+    """``disconnected`` when a resumption token is held, else ``closed``."""
+    return "disconnected" if client.resume_token else "closed"
+
+
+async def fetch_status(
+    endpoint: Endpoint,
+    session_id: str = "status-probe",
+    timeout_s: float = 10.0,
+) -> Optional[dict]:
+    """Scrape a live server's metrics over the wire (``status`` frame).
+
+    Returns the status frame -- ``{"type": "status", "metrics": {...}}``
+    with the full :meth:`~repro.server.metrics.ServerMetrics.snapshot`
+    counters dict -- or ``None`` when the server refused admission or
+    the transport failed; never raises.
+    """
+    client = DeviceClient(endpoint, session_id, timeout_s=timeout_s)
+    try:
+        await client.connect()
+        answer = await client.hello()
+        if answer is None or answer.get("type") != "welcome":
+            return None
+        await client.send({"type": "status"})
+        reply = await client.recv()
+        if reply is None or reply.get("type") != "status":
+            return None
+        await client.send({"type": "bye"})
+        return reply
+    except (OSError, asyncio.TimeoutError, ConnectionError):
+        return None
+    finally:
+        await client.close()
 
 
 async def _run_secure_behavior(
@@ -274,13 +448,24 @@ async def _run_secure_behavior(
     await client.send({"type": "start"})
     verdict = await client.recv()
     if verdict is None:
-        return ClientOutcome(session_id, behavior, "closed")
+        return ClientOutcome(
+            session_id,
+            behavior,
+            _closed_kind(client),
+            resume_token=client.resume_token,
+        )
     if verdict.get("type") != "result":
-        return ClientOutcome(session_id, behavior, "abort", verdict)
+        return ClientOutcome(
+            session_id, behavior, "abort", verdict,
+            resume_token=client.resume_token,
+        )
     channel_frame = verdict.get("channel")
     if not verdict.get("success") or channel_frame is None:
         # Establishment failed; there is no channel to exercise.
-        return ClientOutcome(session_id, behavior, "result", verdict)
+        return ClientOutcome(
+            session_id, behavior, "result", verdict,
+            resume_token=client.resume_token,
+        )
     channel = channel_from_frame(channel_frame)
     payloads = [f"{session_id}-echo-{index}".encode() for index in range(3)]
     # Pipelined: the burst is sealed as one batch and all records go out
@@ -291,7 +476,13 @@ async def _run_secure_behavior(
     for plaintext in payloads:
         reply = await client.recv()
         if reply is None:
-            return ClientOutcome(session_id, behavior, "closed", verdict)
+            return ClientOutcome(
+                session_id,
+                behavior,
+                _closed_kind(client),
+                verdict,
+                resume_token=client.resume_token,
+            )
         if reply.get("type") != "secure":
             return ClientOutcome(
                 session_id,
@@ -315,7 +506,13 @@ async def _run_secure_behavior(
         await client.send({"type": "secure", "record": bytes(record).hex()})
         reply = await client.recv()
         if reply is None:
-            return ClientOutcome(session_id, behavior, "closed", verdict)
+            return ClientOutcome(
+                session_id,
+                behavior,
+                _closed_kind(client),
+                verdict,
+                resume_token=client.resume_token,
+            )
         if reply.get("type") != "secure-error" or "record" in reply:
             return ClientOutcome(
                 session_id,
@@ -333,7 +530,10 @@ async def _run_secure_behavior(
                 detail="payload-invariant:no-plaintext-on-auth-failure",
             )
     await client.send({"type": "bye"})
-    return ClientOutcome(session_id, behavior, "result", verdict)
+    return ClientOutcome(
+        session_id, behavior, "result", verdict,
+        resume_token=client.resume_token,
+    )
 
 
 async def run_behavior(
@@ -442,6 +642,13 @@ async def run_behavior(
             return ClientOutcome(session_id, behavior, "closed", verdict)
         raise ValueError(f"unknown behavior {behavior!r}")
     except (OSError, asyncio.TimeoutError, ConnectionError) as error:
-        return ClientOutcome(session_id, behavior, "error", detail=str(error))
+        kind = "disconnected" if client.resume_token else "error"
+        return ClientOutcome(
+            session_id,
+            behavior,
+            kind,
+            detail=str(error),
+            resume_token=client.resume_token,
+        )
     finally:
         await client.close()

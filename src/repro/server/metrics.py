@@ -68,6 +68,15 @@ class ServerMetrics:
         channels_closed: Data-phase channels the server closed with a
             structured ``channel-closed`` frame (decrypt budget
             exhausted, send nonce space exhausted), by reason.
+        recoveries: Journal recovery passes this server performed at
+            startup (0 on a fresh journal, 1 after surviving a crash).
+        recovered_orphans: Sessions found non-terminal in the journal at
+            recovery and aborted with ``recovered-after-crash``.
+        resumed_sessions: Reconnecting clients whose resumption token
+            was honoured (live re-attach or idempotent redelivery of a
+            journaled outcome).
+        journal_records: Records appended to the write-ahead journal
+            over this server's lifetime.
     """
 
     accepted: int = 0
@@ -97,6 +106,10 @@ class ServerMetrics:
     secure_echoed: int = 0
     secure_open_failures: Dict[str, int] = field(default_factory=dict)
     channels_closed: Dict[str, int] = field(default_factory=dict)
+    recoveries: int = 0
+    recovered_orphans: int = 0
+    resumed_sessions: int = 0
+    journal_records: int = 0
 
     def record_abort(self, reason: str) -> None:
         """Count one server-side session abort by its taxonomy slug."""
@@ -154,4 +167,8 @@ class ServerMetrics:
             "secure_echoed": self.secure_echoed,
             "secure_open_failures": dict(self.secure_open_failures),
             "channels_closed": dict(self.channels_closed),
+            "recoveries": self.recoveries,
+            "recovered_orphans": self.recovered_orphans,
+            "resumed_sessions": self.resumed_sessions,
+            "journal_records": self.journal_records,
         }

@@ -46,13 +46,14 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import secrets
 import signal
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.batch import BatchedSessionRunner
 from repro.core.pipeline import KeyEstablishmentOutcome
-from repro.core.statemachine import SessionEvent
+from repro.core.statemachine import ABORT_RECOVERED, SessionEvent
 from repro.server.framing import (
     MAX_FRAME_BYTES,
     FrameError,
@@ -66,6 +67,12 @@ from repro.secure import (
     SecureChannel,
     derive_channel_keys,
     master_secret_from_result,
+)
+from repro.server.crashpoints import CRASHPOINTS
+from repro.server.journal import (
+    RecoveredSession,
+    SessionJournal,
+    build_recovery_state,
 )
 from repro.server.metrics import ServerMetrics
 from repro.server.registry import ModelRegistry
@@ -116,6 +123,16 @@ class ServerConfig:
             data-phase drain pass coalesces into a single batched
             open/echo round; the cap keeps one flooding peer from
             starving the event loop between frame writes.
+        journal_dir: Directory of the crash-durability write-ahead
+            journal (:mod:`repro.server.journal`).  ``None`` (the
+            default) serves purely in memory with the pre-journal
+            behaviour: no tokens, no detach-on-disconnect, no recovery.
+        journal_fsync: Journal fsync policy: ``"always"``, ``"batch"``
+            or ``"off"``; critical records (outcomes, deliveries,
+            channel context) are fsync'd immediately in both non-off
+            modes.
+        journal_batch_records: In ``"batch"`` mode, fsync after this
+            many unsynced non-critical appends.
     """
 
     host: str = "127.0.0.1"
@@ -139,6 +156,9 @@ class ServerConfig:
     secure_max_records: int = 2**20
     secure_replay_window: int = 64
     secure_batch_max: int = 64
+    journal_dir: Optional[str] = None
+    journal_fsync: str = "batch"
+    journal_batch_records: int = 16
 
     def __post_init__(self) -> None:
         require_positive(self.max_batch, "max_batch")
@@ -148,6 +168,7 @@ class ServerConfig:
         require_positive(self.secure_decrypt_budget, "secure_decrypt_budget")
         require_positive(self.secure_max_records, "secure_max_records")
         require_positive(self.secure_batch_max, "secure_batch_max")
+        require_positive(self.journal_batch_records, "journal_batch_records")
 
 
 @dataclass
@@ -200,7 +221,14 @@ class KeyEstablishmentServer:
         self.metrics = ServerMetrics()
         self.on_outcome = on_outcome
         self.nonce_ledger = nonce_ledger
+        if self.config.journal_dir is not None and self.nonce_ledger is None:
+            # A journaling server always witnesses its own nonces: the
+            # ledger's high-water marks are what recovery restores.
+            self.nonce_ledger = NonceLedger()
         self.sessions: Dict[str, DeviceSession] = {}
+        self.journal: Optional[SessionJournal] = None
+        self._resumable: Dict[str, RecoveredSession] = {}
+        self._live_tokens: Dict[str, DeviceSession] = {}
         self._pending: Optional[asyncio.Queue] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._tick_task: Optional[asyncio.Task] = None
@@ -210,8 +238,90 @@ class KeyEstablishmentServer:
         self._closed = asyncio.Event()
 
     # -- lifecycle -----------------------------------------------------------
+    def journal_append(self, record: dict, critical: bool = False) -> None:
+        """Append one record to the journal, if one is configured."""
+        if self.journal is None:
+            return
+        self.journal.append(record, critical=critical)
+        self.metrics.journal_records = self.journal.records_written
+
+    def _recover_from_journal(self) -> None:
+        """Open the journal; replay, truncate and restore on a restart.
+
+        Orphans -- sessions the journal admitted but never saw a
+        terminal outcome for -- are aborted *into the journal* with
+        ``recovered-after-crash``, so a client resuming one receives a
+        structured terminal outcome rather than silence, and the
+        ``no-orphan-session-after-recovery`` invariant can be checked
+        from the journal alone.  Nonce high-water marks are restored as
+        ledger floors; channel context records keep their journaled
+        epoch, and every resumption derives fresh keys at epoch + 1 --
+        so even where a ``batch``-mode fsync lost the newest high-water
+        record, the uncertain sequences sit under keys the resumed
+        channel no longer uses.
+        """
+        self.journal = SessionJournal(
+            self.config.journal_dir,
+            fsync=self.config.journal_fsync,
+            batch_records=self.config.journal_batch_records,
+        )
+        replay = self.journal.recover()
+        state = build_recovery_state(replay)
+        self._resumable = state.resumable
+        for key, high in state.nonce_floors.items():
+            self.nonce_ledger.restore_floor(key[0], key[1], high)
+        for token in state.orphans:
+            session_id = state.orphan_sessions.get(token, "")
+            detail = "server crashed while this session was live"
+            self.journal_append(
+                {
+                    "t": "outcome",
+                    "token": token,
+                    "sid": session_id,
+                    "kind": "abort",
+                    "reason": ABORT_RECOVERED,
+                    "detail": detail,
+                },
+                critical=True,
+            )
+            self._resumable[token] = RecoveredSession(
+                session_id=session_id,
+                kind="abort",
+                reason=ABORT_RECOVERED,
+                detail=detail,
+            )
+            self.metrics.record_abort(ABORT_RECOVERED)
+        self.metrics.recovered_orphans = len(state.orphans)
+        if replay.records:
+            self.metrics.recoveries = 1
+            self.journal_append(
+                {
+                    "t": "recovery",
+                    "replayed": state.replayed_records,
+                    "orphans": len(state.orphans),
+                    "torn": replay.torn,
+                },
+                critical=True,
+            )
+        self.nonce_ledger.on_seal_advance = self._journal_nonce_floor
+        self.metrics.journal_records = self.journal.records_written
+
+    def _journal_nonce_floor(self, key_id: str, direction: int, high: int) -> None:
+        """Ledger durability hook: persist a seal high-water advance."""
+        self.journal_append(
+            {"t": "nonce", "key": key_id, "dir": direction, "high": high}
+        )
+
     async def start(self) -> None:
-        """Bind the listening socket and start the tick/reaper tasks."""
+        """Bind the listening socket and start the tick/reaper tasks.
+
+        When a journal directory is configured, recovery runs first:
+        the journal's torn tail is truncated, orphaned sessions are
+        aborted with ``recovered-after-crash``, and nonce floors are
+        restored -- all before the first connection can be accepted.
+        """
+        if self.config.journal_dir is not None:
+            self._recover_from_journal()
         self._pending = asyncio.Queue(maxsize=self.config.queue_limit)
         if self.config.unix_path is not None:
             self._server = await asyncio.start_unix_server(
@@ -277,6 +387,17 @@ class KeyEstablishmentServer:
                     session, SessionEvent.DRAINING, "server is draining"
                 )
                 report.aborted_draining += 1
+        # Detached sessions have no handler to unregister them; end the
+        # resumption window now (the journaled outcome stays resumable
+        # on the next generation of the server).
+        for session in list(self.sessions.values()):
+            if session.detached:
+                if not session.terminal:
+                    self._abort_session(
+                        session, SessionEvent.DRAINING, "server is draining"
+                    )
+                    report.aborted_draining += 1
+                self._unregister(session)
         pending_results = [
             session.result
             for session in self.sessions.values()
@@ -296,6 +417,19 @@ class KeyEstablishmentServer:
         while self.sessions and asyncio.get_running_loop().time() < deadline:
             await asyncio.sleep(0.01)
         report.leaked = len(self.sessions)
+        self.journal_append(
+            {
+                "t": "drain",
+                "delivered": report.delivered,
+                "aborted_draining": report.aborted_draining,
+                "leaked": report.leaked,
+                "ledger_reuses": (
+                    0 if self.nonce_ledger is None else len(self.nonce_ledger.reuses)
+                ),
+                "metrics": self.metrics.snapshot(),
+            },
+            critical=True,
+        )
         await self._shutdown()
         return report
 
@@ -313,6 +447,35 @@ class KeyEstablishmentServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self.journal is not None:
+            self.journal.close()
+        self._closed.set()
+
+    async def stop(self) -> None:
+        """Hard-stop without draining (a cooperative crash, for tests).
+
+        Nothing is flushed or delivered: the loops are cancelled, the
+        listener closes, and the journal descriptor is *abandoned*
+        (closed without a final fsync) -- the closest an in-process test
+        can get to SIGKILL while sharing the event loop.  What recovery
+        restores afterwards is exactly what the durability contract
+        promised, nothing more.
+        """
+        self._stopping = True
+        for task in (self._tick_task, self._reaper_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._tick_task = None
+        self._reaper_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.journal is not None:
+            self.journal.abandon()
         self._closed.set()
 
     async def serve_forever(self) -> DrainReport:
@@ -365,17 +528,70 @@ class KeyEstablishmentServer:
         except (OSError, asyncio.TimeoutError, ConnectionError):
             if session is not None and not session.terminal:
                 self.metrics.disconnects += 1
-                self._abort_session(
-                    session, SessionEvent.PEER_DISCONNECTED, "transport error"
-                )
+                if self.journal is not None and session.resume_token:
+                    # Journaled server: keep the session for a resumption
+                    # window instead of aborting -- the client reconnects
+                    # with its token and is re-attached.
+                    session.detached = True
+                else:
+                    self._abort_session(
+                        session, SessionEvent.PEER_DISCONNECTED, "transport error"
+                    )
         finally:
-            if session is not None:
-                self.sessions.pop(session.session_id, None)
+            if session is not None and not session.detached:
+                self._unregister(session)
             writer.close()
             try:
                 await writer.wait_closed()
             except (OSError, ConnectionError):
                 pass
+
+    def _unregister(self, session: DeviceSession) -> None:
+        """Drop a session from the live tables; keep its verdict resumable.
+
+        On a journaled server a terminal session's verdict (and channel
+        context) moves into the in-memory resumable map, mirroring what
+        a post-crash recovery would rebuild from the journal -- so a
+        client that disconnected mid-data-phase can resume against the
+        same process, not only against a restarted one.
+        """
+        self.sessions.pop(session.session_id, None)
+        if not session.resume_token:
+            return
+        self._live_tokens.pop(session.resume_token, None)
+        if self.journal is None or not session.outcome_journaled:
+            return
+        channel = None
+        if session.channel_frame is not None:
+            frame = session.channel_frame
+            channel = {
+                "master": frame["device_key"],
+                "nonce": frame["nonce"],
+                "fingerprint": frame["fingerprint"],
+                "epoch": frame["epoch"],
+                "max_records": frame["max_records"],
+                "replay_window": frame["replay_window"],
+            }
+        abort = session.machine.abort_record
+        if session.verdict_frame is not None:
+            entry = RecoveredSession(
+                session_id=session.session_id,
+                kind="result",
+                frame=session.verdict_frame,
+                channel=channel,
+                delivered=session.delivered,
+            )
+        elif abort is not None:
+            entry = RecoveredSession(
+                session_id=session.session_id,
+                kind="abort",
+                reason=abort.reason,
+                detail=abort.detail,
+                delivered=session.delivered,
+            )
+        else:
+            return
+        self._resumable[session.resume_token] = entry
 
     async def _admit(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -398,6 +614,11 @@ class KeyEstablishmentServer:
         if not session_id:
             self.metrics.malformed_frames += 1
             return None
+        resume = str(hello.get("resume") or "")
+        if resume and self.journal is not None:
+            # Resumption is answered even while draining: it only ever
+            # re-delivers an existing verdict, never admits new work.
+            return await self._resume(resume, reader, writer)
         if self._draining:
             self.metrics.rejected_draining += 1
             await self._reject(writer, "server-draining", "server is draining")
@@ -430,19 +651,178 @@ class KeyEstablishmentServer:
         session.deadline_s = session.created_s + self.config.session_deadline_s
         self.sessions[session_id] = session
         self.metrics.accepted += 1
+        welcome = {
+            "type": "welcome",
+            "session_id": session_id,
+            "idle_timeout_s": self.config.idle_timeout_s,
+            "deadline_s": self.config.session_deadline_s,
+        }
+        if self.journal is not None:
+            session.resume_token = secrets.token_hex(16)
+            self._live_tokens[session.resume_token] = session
+            welcome["resume_token"] = session.resume_token
+            self.journal_append(
+                {
+                    "t": "admit",
+                    "token": session.resume_token,
+                    "sid": session_id,
+                    "episode": session.episode,
+                    "rounds": session.rounds,
+                    "data": session.wants_data,
+                }
+            )
+            CRASHPOINTS.hit("admit")
+        await asyncio.wait_for(
+            write_frame(
+                writer,
+                welcome,
+            ),
+            timeout=self.config.send_timeout_s,
+        )
+        return session
+
+    async def _resume(
+        self,
+        token: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> Optional[DeviceSession]:
+        """Answer a reconnecting client presenting a resumption token.
+
+        Three cases, none of which ever recomputes or duplicates a key:
+
+        - the token names a *detached* live session: re-attach this
+          connection to it (the pending verdict is delivered when the
+          tick settles it, exactly once);
+        - the token names a journaled terminal verdict: re-deliver it
+          idempotently (a fresh data-phase channel is derived at the
+          journaled epoch + 1, so pre-crash records cannot verify);
+        - the token is unknown (never journaled, or its admit record
+          was lost to a crash before the batched fsync): a structured
+          rejection tells the client to establish a fresh session.
+        """
+        live = self._live_tokens.get(token)
+        if live is not None:
+            if not live.detached:
+                self.metrics.rejected_duplicate += 1
+                await self._reject(
+                    writer,
+                    "duplicate-session",
+                    "resumption token is attached to a live connection",
+                )
+                return None
+            live.detached = False
+            live.touch()
+            self.metrics.resumed_sessions += 1
+            if not live.started and not live.terminal:
+                # The disconnect may have eaten the peer's ``start``
+                # frame; a resumed client only awaits its verdict, so
+                # queue the session for the batch tick now.
+                live.started = True
+                try:
+                    self._pending.put_nowait(live)
+                except asyncio.QueueFull:
+                    self.metrics.rejected_overload += 1
+                    self._abort_session(
+                        live, SessionEvent.OVERLOADED, "ingress queue full"
+                    )
+            await asyncio.wait_for(
+                write_frame(
+                    writer,
+                    {
+                        "type": "welcome",
+                        "session_id": live.session_id,
+                        "resumed": True,
+                        "resume_token": token,
+                        "idle_timeout_s": self.config.idle_timeout_s,
+                        "deadline_s": self.config.session_deadline_s,
+                    },
+                ),
+                timeout=self.config.send_timeout_s,
+            )
+            return live
+        recovered = self._resumable.get(token)
+        if recovered is None or (
+            recovered.kind == "result" and recovered.frame is None
+        ):
+            await self._reject(
+                writer,
+                "unknown-resumption-token",
+                "no journaled session matches this resumption token",
+            )
+            return None
+        self.metrics.resumed_sessions += 1
+        await self._redeliver(token, recovered, reader, writer)
+        return None
+
+    async def _redeliver(
+        self,
+        token: str,
+        recovered: RecoveredSession,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Idempotently re-deliver a journaled terminal verdict.
+
+        The result/abort frame is byte-for-byte the journaled one (same
+        ``key_digest``) -- only the ``channel`` description is fresh,
+        re-derived at the last journaled epoch + 1 and journaled again,
+        so repeated crashes keep bumping the epoch and no pre-crash
+        ``(epoch, direction, sequence)`` tuple ever verifies again.
+        """
+        send_timeout = self.config.send_timeout_s
         await asyncio.wait_for(
             write_frame(
                 writer,
                 {
                     "type": "welcome",
-                    "session_id": session_id,
+                    "session_id": recovered.session_id,
+                    "resumed": True,
+                    "resume_token": token,
                     "idle_timeout_s": self.config.idle_timeout_s,
                     "deadline_s": self.config.session_deadline_s,
                 },
             ),
-            timeout=self.config.send_timeout_s,
+            timeout=send_timeout,
         )
-        return session
+        if recovered.kind == "abort":
+            frame = {
+                "type": "abort",
+                "session_id": recovered.session_id,
+                "reason": recovered.reason,
+                "detail": recovered.detail,
+                "resumed": True,
+            }
+            await asyncio.wait_for(write_frame(writer, frame), timeout=send_timeout)
+            recovered.delivered = True
+            self.journal_append({"t": "deliver", "token": token}, critical=True)
+            return
+        frame = dict(recovered.frame)
+        frame["resumed"] = True
+        session = DeviceSession(
+            session_id=recovered.session_id,
+            episode=f"resume-{recovered.session_id}",
+            idle_timeout_s=self.config.idle_timeout_s,
+            resume_token=token,
+        )
+        if recovered.channel is not None and frame.get("success"):
+            epoch = int(recovered.channel["epoch"]) + 1
+            frame["channel"] = self._build_channel(
+                session,
+                master=bytes.fromhex(recovered.channel["master"]),
+                nonce=bytes.fromhex(recovered.channel["nonce"]),
+                fingerprint=str(recovered.channel["fingerprint"]),
+                epoch=epoch,
+            )
+            recovered.channel["epoch"] = epoch
+        await asyncio.wait_for(write_frame(writer, frame), timeout=send_timeout)
+        recovered.delivered = True
+        self.journal_append({"t": "deliver", "token": token}, critical=True)
+        if session.channel is not None:
+            read_task = asyncio.create_task(
+                read_frame(reader, self.config.max_frame_bytes)
+            )
+            await self._data_phase(session, reader, writer, read_task)
 
     async def _serve_session(
         self,
@@ -484,11 +864,14 @@ class KeyEstablishmentServer:
                 if frame is None:  # peer closed the stream
                     if not session.terminal:
                         self.metrics.disconnects += 1
-                        self._abort_session(
-                            session,
-                            SessionEvent.PEER_DISCONNECTED,
-                            "peer closed mid-session",
-                        )
+                        if self.journal is not None and session.resume_token:
+                            session.detached = True
+                        else:
+                            self._abort_session(
+                                session,
+                                SessionEvent.PEER_DISCONNECTED,
+                                "peer closed mid-session",
+                            )
                     return
                 session.touch()
                 read_task = asyncio.create_task(
@@ -526,6 +909,18 @@ class KeyEstablishmentServer:
                 write_frame(writer, {"type": "health", **self.health()}),
                 timeout=self.config.send_timeout_s,
             )
+        elif kind == "status":
+            await asyncio.wait_for(
+                write_frame(
+                    writer,
+                    {
+                        "type": "status",
+                        "session_id": session.session_id,
+                        "metrics": self.metrics.snapshot(),
+                    },
+                ),
+                timeout=self.config.send_timeout_s,
+            )
         elif kind == "bye":
             return
         elif kind == "secure":
@@ -551,9 +946,26 @@ class KeyEstablishmentServer:
         """Send the terminal result/abort frame for a resolved session."""
         verdict = session.result.result()
         if isinstance(verdict, KeyEstablishmentOutcome):
-            frame = self._result_frame(session, verdict)
+            if session.verdict_frame is not None:
+                frame = dict(session.verdict_frame)  # journaled by _settle
+            else:
+                frame = self._result_frame(session, verdict)
             if verdict.success and session.wants_data:
-                frame["channel"] = self._open_channel(session, verdict)
+                if session.channel_frame is not None:
+                    # Re-attach after the channel was already opened:
+                    # never re-derive the same epoch -- bump it so no
+                    # pre-disconnect record can verify and no nonce is
+                    # ever sealed twice under the same keys.
+                    prior = session.channel_frame
+                    frame["channel"] = self._build_channel(
+                        session,
+                        master=bytes.fromhex(prior["device_key"]),
+                        nonce=bytes.fromhex(prior["nonce"]),
+                        fingerprint=str(prior["fingerprint"]),
+                        epoch=int(prior["epoch"]) + 1,
+                    )
+                else:
+                    frame["channel"] = self._open_channel(session, verdict)
         else:  # SessionAbort record
             frame = {
                 "type": "abort",
@@ -563,10 +975,16 @@ class KeyEstablishmentServer:
             }
             if verdict.reason in ("server-overloaded", "server-draining"):
                 frame["retry_after_s"] = self.config.retry_after_s
+        CRASHPOINTS.hit("deliver")
         try:
             await asyncio.wait_for(
                 write_frame(writer, frame), timeout=self.config.send_timeout_s
             )
+            session.delivered = True
+            if session.resume_token:
+                self.journal_append(
+                    {"t": "deliver", "token": session.resume_token}, critical=True
+                )
         except (OSError, asyncio.TimeoutError, ConnectionError):
             self.metrics.disconnects += 1
 
@@ -612,13 +1030,36 @@ class KeyEstablishmentServer:
         into the KDF.
         """
         result = outcome.session
+        return self._build_channel(
+            session,
+            master=master_secret_from_result(result),
+            nonce=result.session_nonce,
+            fingerprint=self.registry.pipeline.fingerprint(),
+            epoch=0,
+        )
+
+    def _build_channel(
+        self,
+        session: DeviceSession,
+        master: bytes,
+        nonce: bytes,
+        fingerprint: str,
+        epoch: int,
+    ) -> dict:
+        """Derive one epoch's responder channel and journal its context.
+
+        The journal record carries everything a restarted server needs
+        to re-derive the *next* epoch's keys for a resuming client --
+        including the master secret itself (see ``docs/SECURITY.md``:
+        the journal holds key material and must be protected like one).
+        """
         context = ChannelContext(
-            session_nonce=result.session_nonce,
+            session_nonce=nonce,
             initiator_id=session.session_id,
             responder_id="server",
-            pipeline_fingerprint=self.registry.pipeline.fingerprint(),
+            pipeline_fingerprint=fingerprint,
+            epoch=epoch,
         )
-        master = master_secret_from_result(result)
         session.channel = SecureChannel(
             derive_channel_keys(master, context),
             role="responder",
@@ -627,16 +1068,33 @@ class KeyEstablishmentServer:
             ledger=self.nonce_ledger,
         )
         self.metrics.channels_opened += 1
-        return {
+        frame = {
             "device_key": master.hex(),
-            "nonce": result.session_nonce.hex(),
+            "nonce": nonce.hex(),
             "initiator_id": session.session_id,
             "responder_id": "server",
-            "fingerprint": context.pipeline_fingerprint,
-            "epoch": 0,
+            "fingerprint": fingerprint,
+            "epoch": epoch,
             "max_records": self.config.secure_max_records,
             "replay_window": self.config.secure_replay_window,
         }
+        session.channel_frame = frame
+        if session.resume_token:
+            self.journal_append(
+                {
+                    "t": "channel",
+                    "token": session.resume_token,
+                    "sid": session.session_id,
+                    "master": master.hex(),
+                    "nonce": nonce.hex(),
+                    "fingerprint": fingerprint,
+                    "epoch": epoch,
+                    "max_records": self.config.secure_max_records,
+                    "replay_window": self.config.secure_replay_window,
+                },
+                critical=True,
+            )
+        return frame
 
     async def _send_channel_closed(
         self, session: DeviceSession, writer: asyncio.StreamWriter, reason: str
@@ -826,13 +1284,60 @@ class KeyEstablishmentServer:
         record = session.abort(event, detail)
         if record is not None:
             self.metrics.record_abort(record.reason)
+        self._journal_outcome(session)
+
+    def _journal_outcome(self, session: DeviceSession) -> None:
+        """Witness a session's terminal verdict in the journal, once."""
+        if (
+            self.journal is None
+            or not session.resume_token
+            or session.outcome_journaled
+        ):
+            return
+        if session.verdict_frame is not None:
+            record = {
+                "t": "outcome",
+                "token": session.resume_token,
+                "sid": session.session_id,
+                "kind": "result",
+                "frame": session.verdict_frame,
+            }
+        else:
+            abort = session.machine.abort_record
+            if abort is None:
+                return
+            record = {
+                "t": "outcome",
+                "token": session.resume_token,
+                "sid": session.session_id,
+                "kind": "abort",
+                "reason": abort.reason,
+                "detail": abort.detail,
+            }
+        session.outcome_journaled = True
+        self.journal_append(record, critical=True)
 
     async def _reaper_loop(self) -> None:
-        """Periodically reclaim idle and deadline-expired sessions."""
+        """Periodically reclaim idle and deadline-expired sessions.
+
+        Detached sessions (journaled server, peer gone, resumption
+        window open) have no connection handler left to unregister
+        them, so the reaper also retires any detached session that has
+        gone terminal: its verdict moves to the resumable map and the
+        session table entry is reclaimed -- no leak, and a late resume
+        still finds the journaled outcome.
+        """
         while True:
             await asyncio.sleep(self.config.reap_interval_s)
             now = None
             for session in list(self.sessions.values()):
+                if session.detached and (
+                    session.terminal or session.result.done()
+                ):
+                    if session.result.done():
+                        self._journal_outcome(session)
+                    self._unregister(session)
+                    continue
                 if session.terminal or session.result.done():
                     continue
                 if session.deadline_expired(now):
@@ -879,6 +1384,7 @@ class KeyEstablishmentServer:
         live = [s for s in batch if not s.terminal and not s.result.done()]
         if not live:
             return
+        CRASHPOINTS.hit("tick")
         if self.registry.maybe_reload():
             self.metrics.model_reloads += 1
         elif self.registry.last_error is not None:
@@ -930,6 +1436,9 @@ class KeyEstablishmentServer:
         if isinstance(verdict, KeyEstablishmentOutcome):
             session.complete(verdict)
             if session.outcome is verdict:
+                if self.journal is not None and session.resume_token:
+                    session.verdict_frame = self._result_frame(session, verdict)
+                    self._journal_outcome(session)
                 self.metrics.completed += 1
                 if verdict.success:
                     self.metrics.succeeded += 1

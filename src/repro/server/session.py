@@ -48,6 +48,22 @@ class DeviceSession:
             phase after establishment (``"data": true``).
         channel: The server-side (responder) secure channel, built once
             a successful outcome is delivered to a ``wants_data`` peer.
+        resume_token: Resumption token minted at admission when the
+            server journals (empty otherwise).  The client presents it
+            on reconnect; the journal keys all durable records by it.
+        detached: The transport dropped but the session is being kept
+            for a resumption window instead of being aborted (journaled
+            servers only).
+        delivered: The terminal verdict frame was written to a peer (and
+            journaled); a resumed client is re-sent the identical frame.
+        verdict_frame: The terminal frame as sent, cached for idempotent
+            redelivery on re-attach (the channel object is *not* in it).
+        channel_frame: The wire description of the last data-phase
+            channel opened for this session; a resumed client gets a
+            fresh channel derived at this epoch + 1, so pre-crash
+            records can never verify on the resumed channel.
+        outcome_journaled: The terminal outcome record reached the
+            journal (guards against double-journaling on re-attach).
     """
 
     session_id: str
@@ -62,6 +78,12 @@ class DeviceSession:
     started: bool = False
     wants_data: bool = False
     channel: Optional[SecureChannel] = None
+    resume_token: str = ""
+    detached: bool = False
+    delivered: bool = False
+    verdict_frame: Optional[dict] = None
+    channel_frame: Optional[dict] = None
+    outcome_journaled: bool = False
 
     def __post_init__(self) -> None:
         self._result: asyncio.Future = asyncio.get_running_loop().create_future()

@@ -316,6 +316,100 @@ class TestBatchedDrain:
         )
 
 
+class TestRestartEpochFloor:
+    def test_resumed_channel_rejects_every_pre_crash_record(
+        self, tiny_pipeline, tmp_path
+    ):
+        """Crash mid-encrypted-echo, restart, resume: the re-derived
+        channel lives at the journaled epoch + 1, so every record sealed
+        before the crash fails authentication -- no pre-crash
+        ``(epoch, direction, sequence)`` tuple ever verifies again --
+        while fresh records under the bumped epoch round-trip."""
+        journal_dir = tmp_path / "wal"
+        config = fast_config(
+            journal_dir=str(journal_dir), journal_fsync="always"
+        )
+
+        async def body():
+            server = KeyEstablishmentServer(ModelRegistry(tiny_pipeline), config)
+            await server.start()
+            endpoint = Endpoint(port=server.bound_port)
+            client, verdict = await open_data_session(endpoint, "restart")
+            token = client.resume_token
+            assert token
+            assert verdict["channel"]["epoch"] == 0
+            channel = channel_from_frame(verdict["channel"])
+            payloads = [f"pre-crash-{i}".encode() for i in range(3)]
+            pre_crash = list(channel.seal_records(payloads))
+            for record in pre_crash:
+                await client.send({"type": "secure", "record": record.hex()})
+            # Read only part of the echo burst, then vanish: the crash
+            # lands mid-encrypted-echo, with the channel context and the
+            # verdict already journaled.
+            for _ in range(2):
+                reply = await client.recv()
+                assert reply["type"] == "secure"
+            await client.close()
+            await asyncio.sleep(0.3)  # the reaper retires the detachee
+            await server.stop()
+
+            restarted = KeyEstablishmentServer(
+                ModelRegistry(tiny_pipeline), config
+            )
+            await restarted.start()
+            endpoint = Endpoint(port=restarted.bound_port)
+            resumer = DeviceClient(
+                endpoint, client.session_id, timeout_s=30.0, resume=token
+            )
+            try:
+                await resumer.connect()
+                welcome = await resumer.hello()
+                assert welcome["type"] == "welcome"
+                assert welcome["resumed"] is True
+                redelivered = await resumer.recv()
+                assert redelivered["type"] == "result"
+                assert redelivered["resumed"] is True
+                assert redelivered["key_digest"] == verdict["key_digest"]
+                assert redelivered["channel"]["epoch"] == 1
+                fresh_channel = channel_from_frame(redelivered["channel"])
+                # Every pre-crash record replays as a structured epoch
+                # mismatch: the wire epoch names keys the resumed
+                # channel no longer holds, and nothing decrypts.
+                for record in pre_crash:
+                    await resumer.send(
+                        {"type": "secure", "record": record.hex()}
+                    )
+                    reply = await resumer.recv()
+                    assert reply["type"] == "secure-error"
+                    assert reply["failure"] == "epoch-mismatch"
+                    assert "record" not in reply  # no plaintext, ever
+                # The bumped-epoch channel itself is live.
+                await resumer.send(
+                    {
+                        "type": "secure",
+                        "record": fresh_channel.seal(b"post-crash").hex(),
+                    }
+                )
+                echo = await resumer.recv()
+                assert echo["type"] == "secure"
+                opened = fresh_channel.open(
+                    bytes.fromhex(str(echo["record"]))
+                )
+                assert opened.ok and opened.plaintext == b"post-crash"
+                await resumer.send({"type": "bye"})
+            finally:
+                await resumer.close()
+                await restarted.drain(timeout=10.0)
+            return restarted
+
+        restarted = asyncio.run(body())
+        assert restarted.metrics.recoveries == 1
+        assert restarted.metrics.resumed_sessions == 1
+        assert restarted.metrics.secure_open_failures["epoch-mismatch"] == 3
+        # Tampered/pre-crash replays never close a healthy channel.
+        assert restarted.metrics.channels_closed == {}
+
+
 class TestShedThenAdmit:
     def test_shed_client_backs_off_and_is_admitted(self, tiny_pipeline):
         config = fast_config(max_sessions=1, retry_after_s=0.1)

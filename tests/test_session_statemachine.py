@@ -75,10 +75,10 @@ class TestAbort:
     def test_taxonomy_is_closed(self):
         # 4 protocol slugs from the original machine plus desync, plus
         # the 8 server-path slugs (liveness, transport, admission,
-        # supervisor) and the secure data-phase slug;
-        # tests/test_statemachine_matrix.py proves every abort event
-        # maps into this set.
-        assert len(ABORT_REASONS) == 14
-        assert len(set(ABORT_REASONS)) == 14
+        # supervisor), the secure data-phase slug and the crash-recovery
+        # slug; tests/test_statemachine_matrix.py proves every abort
+        # event maps into this set.
+        assert len(ABORT_REASONS) == 15
+        assert len(set(ABORT_REASONS)) == 15
         for reason in ABORT_REASONS:
             SessionAbort(reason=reason, detail="d", state="reconciling")

@@ -70,6 +70,7 @@ _ABORT_SLUGS = {
     SessionEvent.DRAINING: "server-draining",
     SessionEvent.INTERNAL_ERROR: "internal-error",
     SessionEvent.SECURE_FAILURE: "secure-channel-failed",
+    SessionEvent.RECOVERED: "recovered-after-crash",
 }
 
 
